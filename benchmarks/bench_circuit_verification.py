@@ -1,0 +1,28 @@
+"""Section 4.1 — wire-level model verification (also a genuine perf bench:
+the exhaustive sweep is the heaviest pure-Python kernel in the repo)."""
+
+from benchmarks.conftest import run_once
+from repro.circuit.verification import verify_exhaustive, verify_random
+from repro.experiments.circuit_verification import run_circuit_verification
+
+
+def test_exhaustive_radix4(benchmark):
+    report = run_once(benchmark, verify_exhaustive, 4, 4)
+    assert report.trials > 80_000
+    benchmark.extra_info["decisions"] = report.trials
+
+
+def test_randomized_radix8_with_gl(benchmark):
+    report = run_once(
+        benchmark, verify_random,
+        **{"radix": 8, "num_levels": 8, "trials": 5000, "gl_probability": 0.2},
+    )
+    assert report.trials == 5000
+    benchmark.extra_info["decisions"] = report.trials
+
+
+def test_full_verification_harness(benchmark):
+    result = run_once(benchmark, run_circuit_verification, **{"fast": False})
+    print("\n" + result.format())
+    assert result.total_trials > 90_000
+    benchmark.extra_info["total_decisions"] = result.total_trials

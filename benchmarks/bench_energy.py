@@ -1,0 +1,60 @@
+"""Arbitration-energy proxy (extension; ISSCC-anchored activity model).
+
+Measures actual bitline pull-down activity on the wire-level fabric under
+randomized arbitration and relates it to the analytic worst-case bound and
+to data-movement energy — quantifying that SSVC's QoS logic costs lanes of
+arbitration activity but stays a thin slice of total switch energy.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.circuit.fabric import ArbitrationFabric, FabricRequest
+from repro.core.thermometer import ThermometerCode
+from repro.hw.energy import (
+    EnergyModel,
+    arbitration_energy_overhead,
+    worst_case_discharges_per_arbitration,
+)
+
+
+def test_measured_activity_vs_bound(benchmark):
+    def run():
+        rng = np.random.default_rng(5)
+        fabric = ArbitrationFabric(radix=8, levels=8)
+        for _ in range(2000):
+            k = int(rng.integers(1, 9))
+            ports = rng.choice(8, size=k, replace=False)
+            requests = [
+                FabricRequest(
+                    int(p),
+                    ThermometerCode(positions=8, level=int(rng.integers(0, 8))),
+                )
+                for p in ports
+            ]
+            fabric.arbitrate_and_grant(requests)
+        return fabric
+
+    fabric = run_once(benchmark, run)
+    mean_activity = fabric.total_discharge_count / fabric.total_arbitrations
+    bound = worst_case_discharges_per_arbitration(8, 8)
+    assert 0 < mean_activity < bound
+    model = EnergyModel()
+    share = model.arbitration_share(
+        int(mean_activity), flits=8, channel_bits=128
+    )
+    # Arbitration stays a thin slice of total energy next to data movement.
+    assert share < 0.10
+    benchmark.extra_info["mean_discharges_per_arb"] = round(mean_activity, 1)
+    benchmark.extra_info["worst_case_bound"] = bound
+    benchmark.extra_info["arbitration_energy_share"] = round(share, 4)
+
+
+def test_overhead_grows_with_qos_levels(benchmark):
+    def run():
+        return {levels: arbitration_energy_overhead(8, levels) for levels in (2, 4, 8, 16)}
+
+    ratios = run_once(benchmark, run)
+    assert ratios[2] < ratios[4] < ratios[8] < ratios[16]
+    for levels, ratio in ratios.items():
+        benchmark.extra_info[f"x{levels}_levels"] = round(ratio, 1)

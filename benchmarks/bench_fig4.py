@@ -1,0 +1,78 @@
+"""Fig. 4 — accepted throughput vs. injection rate, LRG vs. SSVC.
+
+Regenerates both panels with the paper's setup (8 inputs, 1 output,
+128-bit channel, 8-flit packets, 16-flit buffers, rates 40/20/10/10/5x4 %)
+plus the re-arbitration-bubble ablation called out in DESIGN.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_bandwidth import run_fig4
+
+SWEEP = (0.05, 0.10, 0.20, 0.40, 0.60, 1.0)
+HORIZON = 40_000
+
+
+def test_fig4a_lrg_no_qos(benchmark):
+    result = run_once(benchmark, run_fig4, "lrg", SWEEP, HORIZON)
+    print("\n" + result.format())
+    shares = result.saturation_shares
+    # Paper Fig. 4(a): equal shares at congestion, 0.89 total ceiling.
+    assert all(s == pytest.approx(1 / 9, abs=0.01) for s in shares)
+    assert result.total_throughput[1.0] == pytest.approx(8 / 9, abs=0.01)
+    benchmark.extra_info["total_at_saturation"] = result.total_throughput[1.0]
+
+
+def test_fig4b_ssvc_qos(benchmark):
+    result = run_once(benchmark, run_fig4, "ssvc", SWEEP, HORIZON)
+    print("\n" + result.format())
+    shares = result.saturation_shares
+    reserved = result.reserved_rates
+    # Paper Fig. 4(b): every flow holds its reservation during congestion
+    # (the channel's L/(L+1) deficit lands on the largest flow).
+    for src in range(1, len(reserved)):
+        assert shares[src] >= reserved[src] - 0.01, src
+    assert result.total_throughput[1.0] == pytest.approx(8 / 9, abs=0.01)
+    benchmark.extra_info["flow0_share"] = shares[0]
+    benchmark.extra_info["smallest_flow_share"] = shares[-1]
+
+
+def test_fig4_ablation_no_arbitration_bubble(benchmark):
+    """DESIGN.md ablation: removing the 1-cycle bubble lifts the ceiling to 1.0."""
+    result = run_once(
+        benchmark, run_fig4, "lrg", (1.0,), 20_000,
+        **{"arbitration_cycles": 0},
+    )
+    assert result.total_throughput[1.0] == pytest.approx(1.0, abs=0.01)
+    benchmark.extra_info["ceiling_without_bubble"] = result.total_throughput[1.0]
+
+
+def test_fig4_packet_chaining_mitigation(benchmark):
+    """Paper Section 4.2: packet chaining recovers the bubble loss for
+    small packets headed to the same destination."""
+    from dataclasses import replace
+
+    from repro.experiments.common import gb_only_config, run_simulation
+    from repro.traffic.flows import Workload, gb_flow
+
+    def run():
+        rates = {}
+        for chaining in (False, True):
+            config = replace(
+                gb_only_config(), packet_chaining=chaining, max_chain_length=64
+            )
+            workload = Workload().add(
+                gb_flow(0, 0, 0.9, packet_length=2, inject_rate=None)
+            )
+            result = run_simulation(config, workload, arbiter="ssvc",
+                                    horizon=20_000, seed=1)
+            rates[chaining] = result.stats.output_throughput(0)
+        return rates
+
+    rates = run_once(benchmark, run)
+    # 2-flit packets: 2/3 without chaining, ~1.0 with it.
+    assert rates[False] == pytest.approx(2 / 3, abs=0.01)
+    assert rates[True] == pytest.approx(1.0, abs=0.02)
+    benchmark.extra_info["throughput_unchained"] = round(rates[False], 3)
+    benchmark.extra_info["throughput_chained"] = round(rates[True], 3)

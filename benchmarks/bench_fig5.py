@@ -1,0 +1,56 @@
+"""Fig. 5 — latency vs. allocation for the four schemes, steady and bursty.
+
+Also runs the significant-bits ablation (DESIGN.md): more auxVC bits move
+SSVC toward the original Virtual Clock's coupled behaviour.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_latency_fairness import run_fig5
+
+HORIZON = 150_000
+
+
+def test_fig5_steady_injection(benchmark):
+    result = run_once(benchmark, run_fig5, **{"horizon": HORIZON, "bursty": False})
+    print("\n" + result.format())
+    spread = result.latency_stddev_across_flows
+    # Paper Fig. 5: halving/reset decouple latency from allocation.
+    assert spread["ssvc-halve"] < spread["virtual-clock"]
+    assert spread["ssvc-reset"] < spread["virtual-clock"]
+    # The low-allocation blow-up exists under the original algorithm.
+    vc = result.mean_latency["virtual-clock"]
+    assert min(vc[-2:]) > 2 * vc[0]
+    for scheme in spread:
+        benchmark.extra_info[f"spread_{scheme}"] = round(spread[scheme], 1)
+
+
+def test_fig5_bursty_injection(benchmark):
+    """Section 4.3: halving/resetting help 'especially during bursty injection'."""
+    result = run_once(benchmark, run_fig5, **{"horizon": HORIZON, "bursty": True})
+    print("\n" + result.format())
+    spread = result.latency_stddev_across_flows
+    assert spread["ssvc-reset"] < spread["virtual-clock"]
+    benchmark.extra_info["spread_vc"] = round(spread["virtual-clock"], 1)
+    benchmark.extra_info["spread_reset"] = round(spread["ssvc-reset"], 1)
+
+
+def test_fig5_rate_adherence_within_tolerance(benchmark):
+    """All three methods keep flows within ~2% of reserved rates (4.3)."""
+    result = run_once(benchmark, run_fig5, **{"horizon": HORIZON})
+    worst = min(min(r) for r in result.accepted_ratio.values())
+    assert worst > 0.97
+    benchmark.extra_info["worst_accept_ratio"] = round(worst, 4)
+
+
+@pytest.mark.parametrize("sig_bits", [1, 4, 6])
+def test_fig5_ablation_quantization(benchmark, sig_bits):
+    """DESIGN.md ablation: sig_bits interpolates LRG <-> original VC."""
+    result = run_once(
+        benchmark, run_fig5,
+        **{"horizon": 80_000, "schemes": ("ssvc-subtract",), "sig_bits": sig_bits},
+    )
+    spread = result.latency_stddev_across_flows["ssvc-subtract"]
+    benchmark.extra_info["sig_bits"] = sig_bits
+    benchmark.extra_info["latency_spread"] = round(spread, 1)

@@ -1,0 +1,45 @@
+"""Section 3.4 — GL latency bound (Eq. 1), burst budgets (Eqs. 2-3), and
+the GL-policing ablation (what the safeguard buys)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.gl_burst import run_gl_burst
+from repro.experiments.gl_latency_bound import run_gl_bound, run_policing_ablation
+
+
+def test_eq1_bound_holds_under_adversarial_congestion(benchmark):
+    result = run_once(benchmark, run_gl_bound, **{"horizon": 100_000})
+    print("\n" + result.format())
+    assert result.holds
+    assert result.gl_packets > 100
+    benchmark.extra_info["bound"] = result.bound
+    benchmark.extra_info["measured_max"] = result.max_waiting
+
+
+@pytest.mark.parametrize("n_gl", [1, 3, 6])
+def test_eq1_bound_scales_with_gl_population(benchmark, n_gl):
+    result = run_once(
+        benchmark, run_gl_bound, **{"n_gl": n_gl, "horizon": 60_000, "seed": n_gl}
+    )
+    assert result.holds
+    benchmark.extra_info["n_gl"] = n_gl
+    benchmark.extra_info["slack"] = result.bound - result.max_waiting
+
+
+def test_eq2_eq3_burst_budgets(benchmark):
+    result = run_once(benchmark, run_gl_burst, **{"repeats": 15})
+    print("\n" + result.format())
+    assert result.all_hold
+    for case in result.cases:
+        benchmark.extra_info[f"L{int(case.latency_bound)}_maxwait"] = case.max_waiting
+
+
+def test_policing_ablation(benchmark):
+    """DESIGN.md ablation: unpoliced GL starves the GB class outright."""
+    ablation = run_once(benchmark, run_policing_ablation, **{"horizon": 40_000})
+    print("\n" + ablation.format())
+    assert ablation.gb_throughput_unpoliced < 0.05
+    assert ablation.gb_throughput_policed > 0.7
+    benchmark.extra_info["gb_policed"] = round(ablation.gb_throughput_policed, 3)
+    benchmark.extra_info["gb_unpoliced"] = round(ablation.gb_throughput_unpoliced, 3)

@@ -1,0 +1,80 @@
+"""Simulator kernel microbenchmarks (not a paper figure).
+
+These track the event-driven kernel's own performance so regressions in the
+reproduction infrastructure are visible: grants per second under full
+congestion, and a multi-output permutation workload.
+"""
+
+from repro.experiments.common import gb_only_config, run_simulation
+from repro.traffic.patterns import fig4_workload, permutation_workload
+
+
+def test_kernel_single_output_saturated(benchmark):
+    config = gb_only_config()
+
+    def run():
+        return run_simulation(
+            config, fig4_workload(inject_rate=None), arbiter="ssvc",
+            horizon=30_000, seed=1,
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["grants"] = result.grants
+    assert result.grants > 3000
+
+
+def test_kernel_permutation_16_outputs(benchmark):
+    config = gb_only_config(radix=16, channel_bits=256)
+
+    def run():
+        return run_simulation(
+            config, permutation_workload(16), arbiter="ssvc",
+            horizon=10_000, seed=2,
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["grants"] = result.grants
+    assert result.grants > 10_000
+
+
+def test_kernel_radix64_uniform_random(benchmark):
+    """The paper's full 64-node scale: 4096 flows, uniform-random traffic."""
+    from repro.config import GLPolicerConfig, QoSConfig, SwitchConfig
+    from repro.traffic.patterns import uniform_random_workload
+
+    config = SwitchConfig(
+        radix=64, channel_bits=256, gb_buffer_flits=16,
+        qos=QoSConfig(sig_bits=2, frac_bits=8),
+        gl_policer=GLPolicerConfig(reserved_rate=0.0),
+    )
+
+    def run():
+        return run_simulation(
+            config, uniform_random_workload(64, inject_rate=0.4),
+            arbiter="ssvc", horizon=3_000, seed=1,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    # At 0.4 offered and no hotspot the network delivers ~everything.
+    mean_util = sum(result.output_utilization.values()) / 64
+    assert mean_util > 0.37
+    benchmark.extra_info["grants"] = result.grants
+    benchmark.extra_info["mean_output_util"] = round(mean_util, 3)
+
+
+def test_kernel_wire_level_arbitration(benchmark):
+    """Wire-model arbitration throughput (decisions/second)."""
+    from repro.circuit.fabric import ArbitrationFabric, FabricRequest
+    from repro.core.thermometer import ThermometerCode
+
+    fabric = ArbitrationFabric(radix=8, levels=8)
+    requests = [
+        FabricRequest(input_port=p, thermometer=ThermometerCode(8, level=p % 8))
+        for p in range(8)
+    ]
+
+    def run():
+        for _ in range(200):
+            fabric.arbitrate_and_grant(requests)
+
+    benchmark(run)

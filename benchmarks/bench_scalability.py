@@ -1,0 +1,22 @@
+"""Section 4.4 — lane feasibility and SSVC accuracy vs. quantization."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.scalability import run_scalability
+
+
+def test_scalability_analysis(benchmark):
+    result = run_once(
+        benchmark, run_scalability,
+        **{"horizon": 60_000, "sig_bits_values": (1, 2, 3, 4, 5)},
+    )
+    print("\n" + result.format())
+    # Paper: 128-bit buses carry radix 8-32; radix 64 needs 256 bits.
+    infeasible = [(r, w) for r, w, _, ok, _ in result.lane_rows if not ok]
+    assert infeasible == [(64, 128)]
+    # Every quantization still meets reservations...
+    assert all(p.worst_shortfall < 0.05 for p in result.accuracy)
+    # ...while coarser codes (fewer bits) give flatter latency (more LRG).
+    spreads = {p.sig_bits: p.latency_spread for p in result.accuracy}
+    assert spreads[1] < spreads[5]
+    for bits, spread in spreads.items():
+        benchmark.extra_info[f"spread_{bits}b"] = round(spread, 1)

@@ -1,0 +1,34 @@
+"""Table 1 — SSVC storage requirements (exact closed-form reproduction)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config import SwitchConfig, QoSConfig
+from repro.experiments.table1_storage import run_table1
+from repro.hw.storage import storage_breakdown
+
+
+def test_table1_paper_configuration(benchmark):
+    result = run_once(benchmark, run_table1)
+    print("\n" + result.format())
+    assert result.buffering_kb == pytest.approx(1056.0)
+    assert result.crosspoint_kb == pytest.approx(45.0)
+    assert result.total_kb == pytest.approx(1101.0)
+    benchmark.extra_info["total_kb"] = result.total_kb
+
+
+def test_table1_sweep_other_configs(benchmark):
+    """Storage model across the Table 2 grid (sanity: monotone in radix)."""
+
+    def sweep():
+        totals = {}
+        for radix in (8, 16, 32, 64):
+            config = SwitchConfig(
+                radix=radix, channel_bits=256, qos=QoSConfig(sig_bits=3)
+            )
+            totals[radix] = storage_breakdown(config).total
+        return totals
+
+    totals = run_once(benchmark, sweep)
+    assert totals[8] < totals[16] < totals[32] < totals[64]
+    benchmark.extra_info["kb_radix64_256b"] = round(totals[64] / 1024, 1)

@@ -1,0 +1,27 @@
+"""Table 2 — frequency with and without SSVC (calibrated analytic model)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2_frequency import run_table2
+
+
+def test_table2_grid(benchmark):
+    result = run_once(benchmark, run_table2)
+    print("\n" + result.format())
+    radix, width, slow = result.worst
+    # Paper Section 4.5: worst slowdown 8.4% at the 8x8, 256-bit point.
+    assert (radix, width) == (8, 256)
+    assert slow == pytest.approx(8.4, abs=0.1)
+    # Calibration anchor: 1.5 GHz baseline at radix 64 (128-bit).
+    assert result.frequency(64, 128) == pytest.approx(1.5, abs=0.01)
+    benchmark.extra_info["worst_slowdown_pct"] = round(slow, 2)
+
+
+def test_table2_trends(benchmark):
+    result = run_once(benchmark, run_table2)
+    rows = {(r, w): slow for r, w, _, _, slow in result.rows}
+    # Slowdown shrinks as radix grows (fewer lanes -> shallower mux).
+    for width in (128, 256, 512):
+        assert rows[(8, width)] > rows[(64, width)]
+    benchmark.extra_info["slowdown_64_512"] = round(rows[(64, 512)], 2)

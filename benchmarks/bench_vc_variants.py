@@ -1,0 +1,83 @@
+"""Virtual Clock design-space ablations (related-work baselines).
+
+Two comparisons the paper's Section 2.2/5 discussion implies but does not
+plot: (1) arrival-time vs. transmit-time stamping under bursty traffic,
+and (2) the PVC-style frame-reset scheme vs. SSVC's RESET counter mode —
+which should behave alike, since SSVC-reset is the paper's single-cycle
+hardware realization of the same idea.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import gb_only_config, run_simulation
+from repro.traffic.flows import Workload, gb_flow
+from repro.traffic.generators import BurstyInjection
+from repro.types import CounterMode, FlowId, TrafficClass
+
+RATES = (0.40, 0.20, 0.10, 0.05, 0.04, 0.03, 0.02, 0.02)
+
+
+def _bursty_workload():
+    workload = Workload(name="vc-variants")
+    for src, rate in enumerate(RATES):
+        workload.add(
+            gb_flow(src, 0, rate, packet_length=8,
+                    process=BurstyInjection(rate * 0.9, burst_packets=4.0))
+        )
+    return workload
+
+
+def _mean_latencies(preset, horizon, seed=31):
+    config = gb_only_config(radix=8, sig_bits=4)
+    result = run_simulation(config, _bursty_workload(), arbiter=preset,
+                            horizon=horizon, seed=seed)
+    return [
+        result.stats.flow_stats(FlowId(src, 0, TrafficClass.GB)).latency.mean
+        for src in range(len(RATES))
+    ]
+
+
+def test_arrival_vs_transmit_stamping(benchmark):
+    def run():
+        return {
+            "transmit": _mean_latencies("virtual-clock", 120_000),
+            "arrival": _mean_latencies("virtual-clock-arrival", 120_000),
+        }
+
+    latencies = run_once(benchmark, run)
+    # Both variants must deliver the traffic; arrival stamping lets queued
+    # bursts hold consecutive future stamps, so low-rate flows' burst tails
+    # are at least as slow as under transmit-time updates.
+    for variant, values in latencies.items():
+        assert all(v > 0 for v in values), variant
+        benchmark.extra_info[f"{variant}_low_alloc"] = round(values[-1], 1)
+        benchmark.extra_info[f"{variant}_high_alloc"] = round(values[0], 1)
+    # The latency/allocation coupling exists under both.
+    assert min(latencies["arrival"][-2:]) > latencies["arrival"][0]
+    assert min(latencies["transmit"][-2:]) > latencies["transmit"][0]
+
+
+def test_pvc_style_matches_ssvc_reset_shape(benchmark):
+    def run():
+        config = gb_only_config(radix=8, sig_bits=4, counter_mode=CounterMode.RESET)
+        reset = run_simulation(config, _bursty_workload(), arbiter="ssvc-reset",
+                               horizon=120_000, seed=31)
+        pvc = run_simulation(config, _bursty_workload(), arbiter="preemptive-vc",
+                             horizon=120_000, seed=31)
+        out = {}
+        for name, result in (("reset", reset), ("pvc", pvc)):
+            out[name] = [
+                result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
+                for src in range(len(RATES))
+            ]
+        return out
+
+    rates = run_once(benchmark, run)
+    # Same traffic, same reservations: both frame-reset schemes deliver
+    # every flow's offered load (feasible mix), so their rate vectors agree.
+    for src in range(len(RATES)):
+        assert rates["pvc"][src] == pytest.approx(rates["reset"][src], abs=0.02)
+    benchmark.extra_info["max_rate_delta"] = round(
+        max(abs(a - b) for a, b in zip(rates["pvc"], rates["reset"])), 4
+    )

@@ -1,0 +1,18 @@
+"""Benchmark-suite conventions.
+
+Every bench regenerates one paper table/figure via the experiment harness,
+asserts its reproduction shape, prints the harness report (visible with
+``pytest benchmarks/ --benchmark-only -s``), and attaches the headline
+numbers as ``benchmark.extra_info`` so they appear in the benchmark JSON.
+
+Benches run each experiment exactly once (``pedantic(rounds=1)``): the
+interesting output is the regenerated table, and a single run of the longer
+simulations already takes seconds.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Guaranteed Latency in action: interrupts through a congested switch.
+
+The GL class exists for "infrequent, time-critical messages, such as
+interrupts, that need to quickly pass through the network" (paper Section
+1). Here an interrupt controller sends single-flit interrupts to a core
+whose switch output is saturated by 8-flit GB transfers. The same
+interrupts are sent three ways — as BE, as GB (with a small reservation),
+and as GL — and their worst-case latencies compared against the Eq. 1
+analytical bound.
+
+Run:  python examples/interrupt_latency.py
+"""
+
+from repro import (
+    ARBITER_PRESETS,
+    FlowId,
+    GLPolicerConfig,
+    QoSConfig,
+    Simulation,
+    SwitchConfig,
+    TrafficClass,
+    Workload,
+    be_flow,
+    gb_flow,
+    gl_flow,
+    gl_latency_bound,
+)
+from repro.metrics import format_table
+
+IRQ_SOURCE = 0
+TARGET_CORE = 0
+IRQ_BURST = 8  # interrupts per event (e.g. a cascaded device)
+IRQ_PERIOD = 5_000  # cycles between interrupt events — genuinely infrequent
+BACKGROUND_LOAD = 0.95  # background injects just under its reservations
+
+
+def _irq_process():
+    """A burst of IRQ_BURST single-flit interrupts every IRQ_PERIOD cycles.
+
+    Bursts are the adversarial case for the GB class: Virtual Clock charges
+    each packet a full Vtick (= 1/reserved_rate cycles for 1-flit packets),
+    so the tail of a burst waits out the flow's tiny reservation. The GL
+    lane is immune — that is exactly why the paper adds it.
+    """
+    from repro.traffic import TraceInjection
+
+    times = [
+        event * IRQ_PERIOD + i
+        for event in range(1, 1_000)
+        for i in range(IRQ_BURST)
+    ]
+    return TraceInjection(times)
+
+
+def build_workload(irq_class: TrafficClass) -> Workload:
+    """Saturating GB background plus interrupts of the chosen class."""
+    workload = Workload(name=f"interrupts-as-{irq_class.short_name}")
+    irq_process = _irq_process()
+    if irq_class is TrafficClass.GL:
+        workload.add(gl_flow(IRQ_SOURCE, TARGET_CORE, packet_length=1, process=irq_process))
+    elif irq_class is TrafficClass.GB:
+        workload.add(
+            gb_flow(
+                IRQ_SOURCE, TARGET_CORE, reserved_rate=0.01,
+                packet_length=1, process=irq_process,
+            )
+        )
+    else:
+        workload.add(be_flow(IRQ_SOURCE, TARGET_CORE, packet_length=1, process=irq_process))
+    # Background: seven inputs run just below their reservations, so their
+    # virtual clocks idle at the highest-priority level — the regime where
+    # a bursting low-reservation flow actually has to wait its Vticks out.
+    for src in range(1, 8):
+        workload.add(
+            gb_flow(
+                src,
+                TARGET_CORE,
+                reserved_rate=0.12,
+                packet_length=8,
+                inject_rate=0.12 * BACKGROUND_LOAD,
+            )
+        )
+    return workload
+
+
+def main() -> None:
+    config = SwitchConfig(
+        radix=8,
+        channel_bits=128,
+        gb_buffer_flits=16,
+        gl_buffer_flits=IRQ_BURST,
+        be_buffer_flits=IRQ_BURST,
+        qos=QoSConfig(sig_bits=4, frac_bits=8),
+        gl_policer=GLPolicerConfig(reserved_rate=0.05, burst_window=4096),
+    )
+    horizon = 150_000
+
+    rows = []
+    for irq_class in (TrafficClass.BE, TrafficClass.GB, TrafficClass.GL):
+        sim = Simulation(
+            config,
+            build_workload(irq_class),
+            arbiter_factory=ARBITER_PRESETS["three-class"],
+            seed=19,
+        )
+        result = sim.run(horizon)
+        stats = result.stats.flow_stats(FlowId(IRQ_SOURCE, TARGET_CORE, irq_class))
+        delivered = stats.latency.count
+        rows.append(
+            (
+                irq_class.short_name,
+                delivered,
+                stats.latency.mean if delivered else None,
+                stats.latency.p99 if delivered else None,
+                stats.waiting.maximum if stats.waiting.count else None,
+            )
+        )
+
+    bound = gl_latency_bound(l_max=8, l_min=1, n_gl=1, buffer_flits=config.gl_buffer_flits)
+    print(
+        format_table(
+            ["IRQ class", "IRQs", "mean lat", "p99 lat", "max wait"],
+            rows,
+            title="Interrupt delivery through a saturated output (cycles)",
+            float_format=".1f",
+        )
+    )
+    print(f"\nEq. 1 analytical bound on GL waiting: {bound:.0f} cycles")
+    print(
+        "BE interrupts queue behind every guaranteed packet; GB interrupts "
+        "pay the Virtual Clock coupling — the tail of each burst waits out "
+        "the flow's 1% reservation (~100-cycle Vticks); GL rides the "
+        "dedicated lane and its worst wait stays within the Eq. 1 bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

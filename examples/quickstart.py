@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: bandwidth guarantees on a congested output in ~30 lines.
+
+Eight cores share one output channel of an 8x8 Swizzle Switch. Every core
+floods the channel (saturating sources); without QoS they split it evenly,
+with SSVC each core receives its reserved share — the paper's Fig. 4 in
+miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ARBITER_PRESETS,
+    FlowId,
+    Simulation,
+    TrafficClass,
+    fig4_workload,
+)
+from repro.experiments.common import gb_only_config
+from repro.metrics import format_table
+
+
+def main() -> None:
+    config = gb_only_config(radix=8, channel_bits=128, sig_bits=4)
+    horizon = 50_000
+
+    results = {}
+    for policy in ("lrg", "ssvc"):
+        workload = fig4_workload(inject_rate=None)  # saturate every input
+        sim = Simulation(config, workload, arbiter_factory=ARBITER_PRESETS[policy])
+        results[policy] = sim.run(horizon)
+
+    reserved = [spec.reserved_rate for spec in fig4_workload(inject_rate=None)]
+    rows = []
+    for src, rate in enumerate(reserved):
+        flow = FlowId(src, 0, TrafficClass.GB)
+        rows.append(
+            (
+                f"core {src}",
+                f"{100 * rate:.0f}%",
+                results["lrg"].accepted_rate(flow),
+                results["ssvc"].accepted_rate(flow),
+            )
+        )
+    rows.append(
+        (
+            "total",
+            "100%",
+            results["lrg"].stats.output_throughput(0),
+            results["ssvc"].stats.output_throughput(0),
+        )
+    )
+    print(
+        format_table(
+            ["core", "reserved", "no QoS (LRG)", "SSVC"],
+            rows,
+            title="Accepted throughput at the congested output (flits/cycle)",
+        )
+    )
+    print(
+        "\nWithout QoS every core gets an equal 1/8 share; with SSVC each "
+        "core holds its reservation.\nThe 0.889 ceiling is the single "
+        "re-arbitration cycle per 8-flit packet (8/9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""What happens past one switch — the paper's Section 4.4 frontier, live.
+
+The paper's QoS technique "is not scalable beyond 64 nodes" without
+composing multiple switches, and composing "makes the QoS technique more
+complex". This example runs the victim/aggressor scenario from
+``repro.experiments.composition`` on both a single 16-radix Swizzle Switch
+and a 4x4 two-stage Clos, then prints the lane-feasibility table showing
+where the single-switch design runs out of bus width.
+
+Run:  python examples/scaling_beyond_64.py
+"""
+
+from repro.experiments.composition import run_composition
+from repro.hw.lanes import lane_feasibility_table, required_bus_width
+from repro.metrics import format_table
+
+
+def main() -> None:
+    print("Where a single Swizzle Switch stops (Section 4.4):\n")
+    rows = [
+        (radix, width, lanes, "yes" if ok else "NO", levels)
+        for radix, width, lanes, ok, levels in lane_feasibility_table()
+    ]
+    print(
+        format_table(
+            ["radix", "bus bits", "lanes", "3 classes?", "GB levels"],
+            rows,
+            title="num_lanes = bus width / radix (>= 3 lanes for BE+GB+GL)",
+        )
+    )
+    print(f"\nradix 64 needs a {required_bus_width(64)}-bit bus; "
+          "radix 128 has no standard bus wide enough -> compose switches.\n")
+
+    print("And what composing costs (victim holds a 30% reservation,")
+    print("an aggressor shares its ingress crosspoint aggregate):\n")
+    result = run_composition(horizon=60_000)
+    print(result.format())
+    print(
+        "\nBandwidth aggregates survive the composition, but per-flow "
+        "latency isolation does not — which is why the paper argues a "
+        "single high-radix switch 'is more than reasonable for current "
+        "and near-term products'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Trace capture and bit-identical replay across policies.
+
+Records the packet creations of a bursty uniform-random workload to a
+JSON-lines trace file, then replays the *identical* offered traffic under
+LRG and under SSVC. Because the trace pins every creation cycle, the
+throughput/latency differences are attributable to arbitration alone.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ARBITER_PRESETS, Simulation, TrafficClass
+from repro.experiments.common import gb_only_config
+from repro.metrics import format_table
+from repro.traffic import (
+    BurstyInjection,
+    Workload,
+    gb_flow,
+    load_trace,
+    save_trace,
+    workload_from_trace,
+)
+from repro.traffic.trace import TraceRecord
+
+
+def original_workload(radix: int) -> Workload:
+    """Bursty all-to-one traffic with equal reservations."""
+    workload = Workload(name="bursty-capture")
+    share = 0.8 / radix
+    for src in range(radix):
+        workload.add(
+            gb_flow(
+                src,
+                0,
+                reserved_rate=share,
+                packet_length=8,
+                process=BurstyInjection(rate_flits=share, burst_packets=5.0),
+            )
+        )
+    return workload
+
+
+def capture_trace(radix: int, horizon: int, path: Path) -> int:
+    """Run once with event collection and write the creation trace."""
+    config = gb_only_config(radix=radix)
+    sim = Simulation(
+        config,
+        original_workload(radix),
+        arbiter_factory=ARBITER_PRESETS["ssvc"],
+        seed=3,
+        collect_events=True,
+    )
+    sim.run(horizon)
+    # Creations are recoverable from the sources' schedules; simplest is to
+    # rebuild the same schedules and dump them. (Sources are seeded, so the
+    # trace equals what the run offered.)
+    records = []
+    rebuilt = Simulation(
+        config, original_workload(radix), arbiter_factory=ARBITER_PRESETS["ssvc"], seed=3
+    )
+    for source in rebuilt._build_sources(horizon):  # noqa: SLF001 - demo introspection
+        while source.peek_time() is not None:
+            packet = source.pop_scheduled()
+            records.append(
+                TraceRecord(
+                    cycle=packet.created_cycle,
+                    src=packet.src,
+                    dst=packet.dst,
+                    traffic_class=packet.traffic_class,
+                    flits=packet.flits,
+                )
+            )
+    records.sort(key=lambda r: (r.cycle, r.src))
+    return save_trace(records, path)
+
+
+def main() -> None:
+    radix, horizon = 8, 60_000
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "bursty.jsonl"
+        count = capture_trace(radix, horizon, trace_path)
+        print(f"captured {count} packet creations -> {trace_path.name}")
+
+        records = load_trace(trace_path)
+        reservations = {(src, 0): 0.8 / radix for src in range(radix)}
+        rows = []
+        for policy in ("lrg", "ssvc"):
+            workload = workload_from_trace(records, reserved_rates=reservations)
+            config = gb_only_config(radix=radix)
+            sim = Simulation(
+                config, workload, arbiter_factory=ARBITER_PRESETS[policy], seed=3
+            )
+            result = sim.run(horizon)
+            latencies = [
+                result.stats.flow_stats(flow).latency.mean
+                for flow in result.stats.flows
+                if flow.traffic_class is TrafficClass.GB
+                and result.stats.flow_stats(flow).latency.count
+            ]
+            rows.append(
+                (
+                    policy,
+                    result.stats.output_throughput(0),
+                    sum(latencies) / len(latencies),
+                    max(latencies),
+                )
+            )
+        print(
+            format_table(
+                ["policy", "output thrpt", "mean flow latency", "worst flow latency"],
+                rows,
+                title="Identical replayed traffic, different arbitration",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Wire-level model of the Swizzle Switch's inhibit-based arbitration.
+
+The paper validates SSVC by modelling "the behavior of each wire,
+multiplexer, and sense amp in a C++ program" and testing it against a true
+auxVC comparison (Section 4.1). This package is that model in Python:
+
+* :mod:`repro.circuit.bitline` — precharged bitlines grouped into lanes.
+* :mod:`repro.circuit.discharge` — the two-thermometer-bit discharge
+  decision circuit of Fig. 1(b) and its GL override of Fig. 3.
+* :mod:`repro.circuit.crosspoint` — register-accurate crosspoint state:
+  the finite auxVC counter, thermometer code, Vtick register, and the
+  replicated LRG row.
+* :mod:`repro.circuit.fabric` — one output's full arbitration: precharge,
+  per-crosspoint discharge, sense, single-winner detection.
+* :mod:`repro.circuit.verification` — exhaustive/randomized equivalence
+  checking against the reference (min level, LRG tie-break) decision.
+"""
+
+from .bitline import Bitline, Lane
+from .crosspoint import CrosspointCircuit
+from .discharge import discharge_decision, gl_discharge_decision
+from .fabric import ArbitrationFabric, FabricRequest
+from .sense_amp import SenseAmpMux
+from .verification import verify_exhaustive, verify_random
+
+__all__ = [
+    "ArbitrationFabric",
+    "Bitline",
+    "CrosspointCircuit",
+    "FabricRequest",
+    "Lane",
+    "SenseAmpMux",
+    "discharge_decision",
+    "gl_discharge_decision",
+    "verify_exhaustive",
+    "verify_random",
+]

@@ -1,0 +1,120 @@
+"""Bitlines and lanes of the repurposed output data bus.
+
+During arbitration a subset of the output bus bitlines is precharged;
+requesting inputs then *discharge* the wires of inputs they beat, and each
+input finally senses exactly one wire — the position matching its own index
+within the lane matching its priority level. A wire that was discharged by
+someone else means "you lost".
+
+A *lane* is a group of ``radix`` bitlines — "exactly the number of bitlines
+required to perform LRG arbitration" (paper footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..errors import CircuitError
+
+
+class Bitline:
+    """One precharged arbitration wire.
+
+    Tracks *who* discharged it so the model can enforce the hardware
+    invariant that no input ever discharges the wire it senses.
+    """
+
+    def __init__(self, index: int) -> None:
+        if index < 0:
+            raise CircuitError(f"bitline index must be >= 0, got {index}")
+        self.index = index
+        self._precharged = False
+        self._discharged_by: Set[int] = set()
+
+    @property
+    def precharged(self) -> bool:
+        """True after :meth:`precharge` until the next arbitration."""
+        return self._precharged
+
+    @property
+    def discharged_by(self) -> Set[int]:
+        """Inputs that pulled this wire down in this arbitration (a copy)."""
+        return set(self._discharged_by)
+
+    def precharge(self) -> None:
+        """Charge the wire at the start of an arbitration cycle."""
+        self._precharged = True
+        self._discharged_by.clear()
+
+    def discharge(self, by_input: int) -> None:
+        """Pull the wire down.
+
+        Raises:
+            CircuitError: if the wire was never precharged (a sequencing
+                bug in the caller).
+        """
+        if not self._precharged:
+            raise CircuitError(f"discharge of bitline {self.index} before precharge")
+        self._discharged_by.add(by_input)
+
+    def sense(self, by_input: int) -> bool:
+        """Read the wire: ``True`` when still charged.
+
+        Raises:
+            CircuitError: if sensed before precharge, or if the sensing
+                input itself discharged the wire — hardware never routes an
+                input's pull-down onto its own sense wire, so that state
+                indicates a modelling bug.
+        """
+        if not self._precharged:
+            raise CircuitError(f"sense of bitline {self.index} before precharge")
+        if by_input in self._discharged_by:
+            raise CircuitError(
+                f"input {by_input} sensed bitline {self.index} it discharged itself"
+            )
+        return not self._discharged_by
+
+
+class Lane:
+    """A group of ``radix`` bitlines — one LRG vector wide.
+
+    Args:
+        lane_index: position of the lane on the bus.
+        radix: number of inputs (bitlines per lane).
+    """
+
+    def __init__(self, lane_index: int, radix: int) -> None:
+        if lane_index < 0:
+            raise CircuitError(f"lane_index must be >= 0, got {lane_index}")
+        if radix < 1:
+            raise CircuitError(f"radix must be >= 1, got {radix}")
+        self.lane_index = lane_index
+        self.radix = radix
+        self.bitlines: List[Bitline] = [
+            Bitline(lane_index * radix + position) for position in range(radix)
+        ]
+
+    def precharge(self) -> None:
+        """Precharge every bitline in the lane."""
+        for bitline in self.bitlines:
+            bitline.precharge()
+
+    def apply_discharge(self, bits: List[int], by_input: int) -> None:
+        """Pull down the positions where ``bits`` has a 1.
+
+        Raises:
+            CircuitError: if ``bits`` is not one LRG vector wide.
+        """
+        if len(bits) != self.radix:
+            raise CircuitError(
+                f"discharge vector has {len(bits)} bits, lane is {self.radix} wide"
+            )
+        for position, bit in enumerate(bits):
+            if bit:
+                self.bitlines[position].discharge(by_input)
+
+    def sense(self, position: int, by_input: int) -> bool:
+        """Sense one position; ``True`` when still charged."""
+        if not 0 <= position < self.radix:
+            raise CircuitError(f"position {position} out of range [0, {self.radix})")
+        return self.bitlines[position].sense(by_input)

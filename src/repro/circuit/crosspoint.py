@@ -1,0 +1,108 @@
+"""Register-accurate crosspoint state (paper Section 3.1, Fig. 2).
+
+Each crosspoint ``(In_n, Out_m)`` added for QoS holds:
+
+* a finite **auxVC counter** of ``sig_bits + frac_bits`` bits,
+* the **thermometer code register** mirroring the counter's MSBs,
+* the **Vtick increment register** (an integer, ``vtick_bits`` wide),
+* a replica of the **LRG arbitration row**.
+
+This class implements the *hardware* update rules — integer saturating
+arithmetic, carry-driven thermometer shifts, the quantum-granular
+real-time wrap — so tests can check it against the behavioral float model
+in :class:`repro.core.ssvc.SSVCCore`.
+"""
+
+from __future__ import annotations
+
+from ..config import QoSConfig
+from ..errors import CircuitError
+from ..core.thermometer import ThermometerCode
+from ..types import CounterMode
+
+
+class CrosspointCircuit:
+    """One (input, output) crosspoint's QoS registers.
+
+    Args:
+        input_port: the input this crosspoint serves.
+        qos: register widths and counter management policy.
+        vtick: integer Vtick value; must fit in ``qos.vtick_bits`` bits.
+    """
+
+    def __init__(self, input_port: int, qos: QoSConfig, vtick: int) -> None:
+        if input_port < 0:
+            raise CircuitError(f"input_port must be >= 0, got {input_port}")
+        if vtick <= 0:
+            raise CircuitError(f"vtick must be positive, got {vtick}")
+        if vtick >= (1 << qos.vtick_bits) * qos.quantum:
+            raise CircuitError(
+                f"vtick {vtick} does not fit: the {qos.vtick_bits}-bit register "
+                f"holds at most {(1 << qos.vtick_bits) - 1} quantum-scaled units"
+            )
+        self.input_port = input_port
+        self.qos = qos
+        self.vtick = vtick
+        self._counter = 0  # integer cycles, in [0, qos.saturation]
+        self.thermometer = ThermometerCode(positions=qos.levels, level=0)
+        self.saturated_flag = False
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def counter(self) -> int:
+        """Current auxVC register value (integer cycles)."""
+        return self._counter
+
+    @property
+    def level(self) -> int:
+        """MSB value of the counter == thermometer level."""
+        return self.thermometer.level
+
+    def _sync_thermometer(self) -> None:
+        level = min(self._counter // self.qos.quantum, self.qos.levels - 1)
+        self.thermometer.level = level
+
+    # --------------------------------------------------------------- updates
+
+    def on_transmit(self) -> bool:
+        """Add Vtick to the counter (saturating); returns True on saturate.
+
+        The thermometer register shifts up once per MSB carry; when the
+        counter would exceed its range it saturates and the flag asks the
+        owner to run the configured management policy across *all*
+        crosspoints of the output.
+        """
+        self._counter += self.vtick
+        if self._counter >= self.qos.saturation:
+            self._counter = self.qos.saturation
+            self.saturated_flag = True
+        self._sync_thermometer()
+        return self.saturated_flag
+
+    def real_time_wrap(self) -> None:
+        """The shared real-time counter saturated (SUBTRACT mode).
+
+        "We subtract 1 from the most significant bits value and shift down
+        all thermometer codes by 1 position."
+        """
+        if self.qos.counter_mode is not CounterMode.SUBTRACT:
+            raise CircuitError(
+                f"real_time_wrap only applies in SUBTRACT mode, "
+                f"configured {self.qos.counter_mode}"
+            )
+        self._counter = max(self._counter - self.qos.quantum, 0)
+        self.saturated_flag = False
+        self._sync_thermometer()
+
+    def halve(self) -> None:
+        """Divide the counter by two (HALVE mode management event)."""
+        self._counter //= 2
+        self.saturated_flag = False
+        self._sync_thermometer()
+
+    def reset(self) -> None:
+        """Clear the counter (RESET mode management event)."""
+        self._counter = 0
+        self.saturated_flag = False
+        self._sync_thermometer()

@@ -1,0 +1,74 @@
+"""The per-lane discharge decision circuit (paper Fig. 1(b) and Fig. 3).
+
+For every lane ``i`` the circuit combines two *adjacent* thermometer code
+bits ``T[i]`` and ``T[i+1]`` of the requesting input with its LRG row:
+
+* ``T[i] == 0``  — the input's level is *below* this lane, so it beats
+  everyone sensing here: discharge **all** bitlines of the lane;
+* ``T[i] == 1 and T[i+1] == 0`` — the input's level is exactly this lane:
+  discharge only the **LRG row** bits (inputs it beats in a tie);
+* ``T[i+1] == 1`` — the input's level is *above* this lane: discharge
+  **nothing** (it loses to anyone sensing here).
+
+The bit beyond the last thermometer position is implicitly 0.
+
+Fig. 3 adds the GL override: a GL request discharges every bitline of every
+GB lane outright and competes by LRG inside the dedicated GL lane.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import CircuitError
+
+
+def _check_vector(bits: Sequence[int], name: str) -> None:
+    if any(b not in (0, 1) for b in bits):
+        raise CircuitError(f"{name} must contain only 0/1 bits, got {list(bits)}")
+
+
+def discharge_decision(
+    lane_index: int,
+    therm_bits: Sequence[int],
+    lrg_row: Sequence[int],
+) -> List[int]:
+    """Discharge bits one input drives onto one GB lane.
+
+    Args:
+        lane_index: which lane the decision is for.
+        therm_bits: the input's thermometer code ``(T0, ..., T(n-1))``.
+        lrg_row: the input's LRG priority row (1 where it beats that input).
+
+    Returns:
+        A bit vector as wide as ``lrg_row``: 1 = pull the wire down.
+    """
+    _check_vector(therm_bits, "therm_bits")
+    _check_vector(lrg_row, "lrg_row")
+    if not 0 <= lane_index < len(therm_bits):
+        raise CircuitError(
+            f"lane_index {lane_index} out of range [0, {len(therm_bits)})"
+        )
+    t_i = therm_bits[lane_index]
+    t_next = therm_bits[lane_index + 1] if lane_index + 1 < len(therm_bits) else 0
+    if t_i == 0:
+        return [1] * len(lrg_row)  # my level is lower: inhibit the whole lane
+    if t_next == 0:
+        return list(lrg_row)  # my level: tie-break by LRG
+    return [0] * len(lrg_row)  # my level is higher: I lose here
+
+
+def gl_discharge_decision(
+    gl_request: bool,
+    gb_decision: Sequence[int],
+) -> List[int]:
+    """Fig. 3's modified decision for a GB lane.
+
+    "In the presence of a GL request, all bitlines in GB class lanes will
+    be discharged" — the input's own GL request forces all-ones onto every
+    GB lane, overriding whatever the GB circuit decided.
+    """
+    _check_vector(gb_decision, "gb_decision")
+    if gl_request:
+        return [1] * len(gb_decision)
+    return list(gb_decision)

@@ -1,0 +1,174 @@
+"""One output's complete wire-level arbitration (paper Fig. 1(c)).
+
+The fabric owns the repurposed bus bitlines for one output: ``levels`` GB
+lanes (one per thermometer position) plus one dedicated GL lane. An
+arbitration cycle proceeds exactly as in hardware:
+
+1. precharge all lanes;
+2. every requesting input drives its discharge decisions — all-ones on GB
+   lanes below it, its LRG row on its own lane, nothing above it; GL
+   requesters force all-ones onto every GB lane and their LRG row onto the
+   GL lane (Fig. 3);
+3. every requester senses the single wire at (its lane, its position);
+   exactly one wire remains charged — its owner wins.
+
+The bus must be wide enough: ``(levels + 1) * radix`` bitlines. Section 4.4
+derives the same constraint as ``num_lanes = output bus width / radix``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.lrg import LRGState
+from ..core.thermometer import ThermometerCode
+from ..errors import ArbitrationError, CircuitError
+from .bitline import Lane
+from .discharge import discharge_decision, gl_discharge_decision
+from .sense_amp import SenseAmpMux
+
+
+@dataclass(frozen=True)
+class FabricRequest:
+    """One input's request presented to the fabric.
+
+    Attributes:
+        input_port: the requesting input.
+        thermometer: its crosspoint's thermometer code register (ignored
+            for GL requests, which use the dedicated lane).
+        is_gl: True when the head packet is Guaranteed Latency class.
+    """
+
+    input_port: int
+    thermometer: Optional[ThermometerCode] = None
+    is_gl: bool = False
+
+    def __post_init__(self) -> None:
+        if self.input_port < 0:
+            raise CircuitError(f"input_port must be >= 0, got {self.input_port}")
+        if not self.is_gl and self.thermometer is None:
+            raise CircuitError("GB requests must carry a thermometer code")
+
+
+class ArbitrationFabric:
+    """Wire-level single-cycle arbitration for one output.
+
+    Args:
+        radix: number of inputs (bitlines per lane).
+        levels: number of GB thermometer levels (GB lanes).
+        lrg: the output's LRG state; its priority rows are replicated into
+            every crosspoint, exactly as in hardware.
+    """
+
+    def __init__(self, radix: int, levels: int, lrg: Optional[LRGState] = None) -> None:
+        if radix < 1:
+            raise CircuitError(f"radix must be >= 1, got {radix}")
+        if levels < 1:
+            raise CircuitError(f"levels must be >= 1, got {levels}")
+        self.radix = radix
+        self.levels = levels
+        self.lrg = lrg if lrg is not None else LRGState(radix)
+        self.gb_lanes: List[Lane] = [Lane(i, radix) for i in range(levels)]
+        self.gl_lane = Lane(levels, radix)
+        self.sense_muxes: List[SenseAmpMux] = [
+            SenseAmpMux(input_port=p, radix=radix, num_lanes=levels, gl_lane=True)
+            for p in range(radix)
+        ]
+        #: bitline pull-downs in the most recent arbitration (an energy
+        #: activity proxy — each discharge is one C*V^2 event).
+        self.last_discharge_count = 0
+        #: cumulative pull-downs across all arbitrations.
+        self.total_discharge_count = 0
+        #: cumulative precharge events (every precharged wire must be
+        #: recharged after a discharged cycle).
+        self.total_arbitrations = 0
+
+    @property
+    def bus_bits_required(self) -> int:
+        """Bitlines this fabric occupies on the output bus."""
+        return (self.levels + 1) * self.radix
+
+    # ------------------------------------------------------------ arbitration
+
+    def arbitrate(self, requests: Sequence[FabricRequest]) -> int:
+        """Run one arbitration cycle; returns the winning input.
+
+        Raises:
+            ArbitrationError: on an empty request set, duplicates, or —
+                indicating a modelling bug — zero/multiple charged sense
+                wires.
+        """
+        if not requests:
+            raise ArbitrationError("fabric arbitration requires at least one request")
+        ports = [r.input_port for r in requests]
+        if len(set(ports)) != len(ports):
+            raise ArbitrationError(f"duplicate requesting ports: {sorted(ports)}")
+        for request in requests:
+            if request.input_port >= self.radix:
+                raise ArbitrationError(
+                    f"input {request.input_port} out of range [0, {self.radix})"
+                )
+            if (
+                request.thermometer is not None
+                and request.thermometer.positions != self.levels
+            ):
+                raise ArbitrationError(
+                    f"thermometer has {request.thermometer.positions} positions, "
+                    f"fabric has {self.levels} GB lanes"
+                )
+
+        # 1. Precharge.
+        for lane in self.gb_lanes:
+            lane.precharge()
+        self.gl_lane.precharge()
+
+        # 2. Discharge.
+        discharges = 0
+        for request in requests:
+            port = request.input_port
+            lrg_row = self.lrg.priority_row(port)
+            if request.is_gl:
+                for lane in self.gb_lanes:
+                    lane.apply_discharge([1] * self.radix, port)
+                    discharges += self.radix
+                self.gl_lane.apply_discharge(lrg_row, port)
+                discharges += sum(lrg_row)
+                continue
+            therm_bits = list(request.thermometer.bits)  # type: ignore[union-attr]
+            for lane in self.gb_lanes:
+                bits = discharge_decision(lane.lane_index, therm_bits, lrg_row)
+                bits = gl_discharge_decision(False, bits)
+                lane.apply_discharge(bits, port)
+                discharges += sum(bits)
+        self.last_discharge_count = discharges
+        self.total_discharge_count += discharges
+        self.total_arbitrations += 1
+
+        # 3. Sense: each input reads one wire.
+        winners: Dict[int, FabricRequest] = {}
+        for request in requests:
+            port = request.input_port
+            # The mux before the sense amp (Fig. 2) selects the wire from
+            # the counter's MSBs — or the GL lane for GL requests; with a
+            # GL request present a GB input's wire was force-discharged
+            # and it reads a loss.
+            level = 0 if request.is_gl else request.thermometer.level  # type: ignore[union-attr]
+            wire = self.sense_muxes[port].select(level, gl_request=request.is_gl)
+            lane_index, position = divmod(wire, self.radix)
+            lane = self.gl_lane if lane_index == self.levels else self.gb_lanes[lane_index]
+            charged = lane.sense(position, port)
+            if charged:
+                winners[port] = request
+        if len(winners) != 1:
+            raise ArbitrationError(
+                f"inhibit arbitration must leave exactly one charged sense wire, "
+                f"got {sorted(winners)}"
+            )
+        return next(iter(winners))
+
+    def arbitrate_and_grant(self, requests: Sequence[FabricRequest]) -> int:
+        """Arbitrate and update the LRG state with the winner."""
+        winner = self.arbitrate(requests)
+        self.lrg.grant(winner)
+        return winner

@@ -1,0 +1,94 @@
+"""The lane-select multiplexer before the sense amp (paper Fig. 2).
+
+"The most significant bits of the auxVC counter [have] two purposes: 1) to
+determine the thermometer code bits and 2) to select the wire to be sensed
+by the sense amp." For input ``n`` of a radix-``R`` switch, the candidate
+wires are positions ``n, n + R, n + 2R, ...`` — one per lane — and the
+counter's MSB value picks among them through a tree of 2:1 muxes. This mux
+is the component that extends the switch's critical path, producing the
+Table 2 slowdown; its depth here is the same ``ceil(log2(num_lanes))``
+the timing model charges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..errors import CircuitError
+
+
+class SenseAmpMux:
+    """Lane-select mux for one input's sense amp.
+
+    Args:
+        input_port: the input whose wire positions this mux serves.
+        radix: bitlines per lane (== number of inputs).
+        num_lanes: selectable lanes (GB levels, plus optionally the GL
+            lane when ``gl_lane`` is True — hardware needs "additional
+            modifications to the sense amp circuit" for it, modeled as one
+            extra mux input).
+    """
+
+    def __init__(
+        self,
+        input_port: int,
+        radix: int,
+        num_lanes: int,
+        gl_lane: bool = False,
+    ) -> None:
+        if radix < 1:
+            raise CircuitError(f"radix must be >= 1, got {radix}")
+        if not 0 <= input_port < radix:
+            raise CircuitError(f"input_port {input_port} out of range [0, {radix})")
+        if num_lanes < 1:
+            raise CircuitError(f"num_lanes must be >= 1, got {num_lanes}")
+        self.input_port = input_port
+        self.radix = radix
+        self.num_lanes = num_lanes
+        self.gl_lane = gl_lane
+
+    @property
+    def selectable_inputs(self) -> int:
+        """Wires the mux chooses among (GB lanes + optional GL lane)."""
+        return self.num_lanes + (1 if self.gl_lane else 0)
+
+    @property
+    def depth(self) -> int:
+        """2:1 mux stages on the sense path — the Table 2 delay driver."""
+        if self.selectable_inputs <= 1:
+            return 0
+        return int(math.ceil(math.log2(self.selectable_inputs)))
+
+    def candidate_wires(self) -> List[int]:
+        """Bus wire indices this input can sense, lane by lane.
+
+        Matches the paper's example: "If N = 2, the sense amp will sense
+        wires 2, 10, 18, 26, 34, 42, 50, and 58" on a radix-8, 64-bit bus.
+        """
+        wires = [lane * self.radix + self.input_port for lane in range(self.num_lanes)]
+        if self.gl_lane:
+            wires.append(self.num_lanes * self.radix + self.input_port)
+        return wires
+
+    def select(self, level: int, gl_request: bool = False) -> int:
+        """Bus wire index sensed for the given counter MSB value.
+
+        Args:
+            level: the auxVC MSB value (thermometer level).
+            gl_request: sense the dedicated GL lane instead (Fig. 3's
+                "additional modifications").
+
+        Raises:
+            CircuitError: if the GL lane is requested but not fitted, or
+                the level exceeds the fitted lanes.
+        """
+        if gl_request:
+            if not self.gl_lane:
+                raise CircuitError("this sense amp has no GL lane input")
+            return self.num_lanes * self.radix + self.input_port
+        if not 0 <= level < self.num_lanes:
+            raise CircuitError(
+                f"level {level} out of range [0, {self.num_lanes})"
+            )
+        return level * self.radix + self.input_port

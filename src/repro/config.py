@@ -1,0 +1,237 @@
+"""Validated configuration objects for the switch, QoS logic, and policers.
+
+These dataclasses are the single source of truth for hardware parameters:
+the behavioral simulator, the wire-level circuit model, and the hardware
+cost models (area/timing/storage) all consume the same ``SwitchConfig`` so
+experiments cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+from .types import CounterMode
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class QoSConfig:
+    """Parameters of the SSVC (Swizzle Switch Virtual Clock) logic.
+
+    Attributes:
+        sig_bits: number of most-significant auxVC bits compared during
+            arbitration. The thermometer code has ``2**sig_bits`` levels,
+            each mapped to one arbitration lane (paper Fig. 1). The paper's
+            Fig. 4 experiment uses 4 significant bits.
+        frac_bits: number of low-order auxVC bits below the compared range;
+            one coarse level spans ``2**frac_bits`` cycles (the *quantum*).
+        vtick_bits: width of the per-crosspoint Vtick register (Table 1
+            uses 8 bits). Only used by the storage model and for validating
+            that configured rates are representable.
+        counter_mode: finite-counter management policy (paper Section 3.1).
+    """
+
+    sig_bits: int = 4
+    frac_bits: int = 8
+    vtick_bits: int = 8
+    counter_mode: CounterMode = CounterMode.SUBTRACT
+
+    def __post_init__(self) -> None:
+        _require(1 <= self.sig_bits <= 16, f"sig_bits must be in [1, 16], got {self.sig_bits}")
+        _require(0 <= self.frac_bits <= 24, f"frac_bits must be in [0, 24], got {self.frac_bits}")
+        _require(1 <= self.vtick_bits <= 32, f"vtick_bits must be in [1, 32], got {self.vtick_bits}")
+        _require(
+            isinstance(self.counter_mode, CounterMode),
+            f"counter_mode must be a CounterMode, got {self.counter_mode!r}",
+        )
+
+    @property
+    def levels(self) -> int:
+        """Number of coarse priority levels (thermometer code positions)."""
+        return 1 << self.sig_bits
+
+    @property
+    def quantum(self) -> int:
+        """Cycles spanned by one coarse level (``2**frac_bits``)."""
+        return 1 << self.frac_bits
+
+    @property
+    def counter_bits(self) -> int:
+        """Total auxVC register width (significant + fractional bits)."""
+        return self.sig_bits + self.frac_bits
+
+    @property
+    def saturation(self) -> int:
+        """auxVC value (in cycles) at which the counter saturates."""
+        return self.levels * self.quantum
+
+
+@dataclass(frozen=True)
+class GLPolicerConfig:
+    """Policing of the Guaranteed Latency class (paper Sections 3.2-3.4).
+
+    The GL class has absolute priority, so the paper reserves only "a small
+    fraction of bandwidth" for it and tracks usage "by a counter similar to
+    the auxVC counters" that "increments by a tick count proportional to the
+    reserved rate". We gate GL priority on that counter staying within
+    ``burst_window`` cycles of real time: a GL source that exceeds its
+    reservation for long enough loses its absolute priority (its packets are
+    still delivered, but arbitrated like GB traffic) until the counter
+    catches back down.
+
+    Attributes:
+        reserved_rate: fraction of each output channel's bandwidth reserved
+            for the GL class as a whole (shared by all inputs).
+        burst_window: slack, in cycles, by which the GL usage counter may
+            run ahead of real time before policing engages. ``None``
+            disables policing (used by the ablation bench).
+    """
+
+    reserved_rate: float = 0.05
+    burst_window: "int | None" = 2048
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 <= self.reserved_rate < 1.0,
+            f"GL reserved_rate must be in [0, 1), got {self.reserved_rate}",
+        )
+        if self.burst_window is not None:
+            _require(
+                self.burst_window > 0,
+                f"GL burst_window must be positive or None, got {self.burst_window}",
+            )
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Top-level description of one Swizzle Switch instance.
+
+    Attributes:
+        radix: number of input ports == number of output ports.
+        channel_bits: width of each output data bus in bits. Arbitration
+            lanes are carved out of this bus, so ``channel_bits // radix``
+            lanes are available (paper Section 4.4).
+        flit_bytes: payload bytes per flit (Table 1 uses 64-byte flits).
+        be_buffer_flits: per-input Best-Effort buffer depth in flits.
+        gb_buffer_flits: per-input, per-output Guaranteed Bandwidth buffer
+            depth in flits (the GB class uses virtual output queues).
+        gl_buffer_flits: per-input Guaranteed Latency buffer depth in flits.
+        arbitration_cycles: cycles consumed by (re-)arbitration before the
+            winner's first flit moves. The Swizzle Switch arbitrates in a
+            single cycle (paper Section 2.2 / 3.1), giving the
+            ``L/(L+1)`` saturation ceiling visible in Fig. 4. The DAC'12
+            fixed-priority baseline needs two cycles.
+        packet_chaining: enable the paper's suggested mitigation for the
+            re-arbitration bubble (Section 4.2, citing Michelogiannakis et
+            al.): when the input that just released an output wins the next
+            arbitration for it *again*, back-to-back, the grant is chained
+            and the arbitration cycle is skipped. Because the normal
+            arbiter still picks the winner, chaining never changes *who*
+            is served — only when — so all QoS guarantees are preserved.
+        max_chain_length: packets a single input may chain before paying a
+            full arbitration cycle again (bounds the latency a chained
+            stream can add for a requester that arrives mid-chain).
+        qos: SSVC arbitration parameters.
+        gl_policer: GL-class policing parameters.
+    """
+
+    radix: int = 8
+    channel_bits: int = 128
+    flit_bytes: int = 64
+    be_buffer_flits: int = 4
+    gb_buffer_flits: int = 16
+    gl_buffer_flits: int = 4
+    arbitration_cycles: int = 1
+    packet_chaining: bool = False
+    max_chain_length: int = 4
+    qos: QoSConfig = field(default_factory=QoSConfig)
+    gl_policer: GLPolicerConfig = field(default_factory=GLPolicerConfig)
+
+    def __post_init__(self) -> None:
+        _require(2 <= self.radix <= 1024, f"radix must be in [2, 1024], got {self.radix}")
+        _require(
+            self.radix & (self.radix - 1) == 0,
+            f"radix must be a power of two (hardware lane mapping), got {self.radix}",
+        )
+        _require(self.channel_bits >= self.radix, "channel must be at least one lane wide")
+        _require(
+            self.channel_bits % self.radix == 0,
+            f"channel_bits ({self.channel_bits}) must be a multiple of radix ({self.radix}) "
+            "so lanes align with LRG vectors",
+        )
+        _require(self.flit_bytes > 0, f"flit_bytes must be positive, got {self.flit_bytes}")
+        for name in ("be_buffer_flits", "gb_buffer_flits", "gl_buffer_flits"):
+            _require(getattr(self, name) >= 1, f"{name} must be >= 1")
+        _require(
+            self.arbitration_cycles >= 0,
+            f"arbitration_cycles must be >= 0, got {self.arbitration_cycles}",
+        )
+        _require(
+            self.max_chain_length >= 1,
+            f"max_chain_length must be >= 1, got {self.max_chain_length}",
+        )
+
+    @property
+    def num_lanes(self) -> int:
+        """Arbitration lanes available on the output bus (paper Eq. in 4.4).
+
+        Each lane needs exactly ``radix`` bitlines so a full LRG vector fits,
+        hence ``num_lanes = channel_bits / radix``.
+        """
+        return self.channel_bits // self.radix
+
+    @property
+    def supports_three_classes(self) -> bool:
+        """True when at least 3 lanes exist (one GL + one GB + one BE lane)."""
+        return self.num_lanes >= 3
+
+    @property
+    def gb_lanes(self) -> int:
+        """Lanes usable by GB thermometer levels (one is set aside for GL).
+
+        The paper (Section 3.2) dedicates one lane to the GL class, "leaving
+        one fewer lane for the GB class".
+        """
+        return max(self.num_lanes - 1, 1)
+
+    def effective_levels(self) -> int:
+        """Coarse GB priority levels actually usable by this switch.
+
+        The thermometer code has ``qos.levels`` positions, but the bus can
+        only host ``gb_lanes`` of them; the hardware would be configured
+        with ``sig_bits = log2(min(...))``.
+        """
+        return min(self.qos.levels, self.gb_lanes)
+
+    def with_qos(self, **kwargs: object) -> "SwitchConfig":
+        """Return a copy of this config with QoS fields replaced."""
+        return replace(self, qos=replace(self.qos, **kwargs))
+
+
+#: Default configuration matching the paper's Fig. 4 experiment:
+#: 8 inputs, 128-bit output channel, 8-flit packets (set on the workload),
+#: 16-flit GB buffers, 4 significant auxVC bits, GB traffic only (no GL
+#: reservation — the paper's reserved fractions sum to 100%).
+FIG4_CONFIG = SwitchConfig(
+    radix=8,
+    channel_bits=128,
+    gb_buffer_flits=16,
+    qos=QoSConfig(sig_bits=4, frac_bits=8),
+    gl_policer=GLPolicerConfig(reserved_rate=0.0),
+)
+
+#: Largest configuration in the paper: 64x64 switch with 512-bit buses
+#: (Table 1's storage worst case).
+TABLE1_CONFIG = SwitchConfig(
+    radix=64,
+    channel_bits=512,
+    be_buffer_flits=4,
+    gb_buffer_flits=4,
+    gl_buffer_flits=4,
+    qos=QoSConfig(sig_bits=3, frac_bits=8),
+)

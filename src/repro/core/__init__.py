@@ -1,0 +1,38 @@
+"""Core QoS algorithms of the paper.
+
+This package holds the algorithmic heart of the reproduction, independent of
+both the cycle-level simulator (``repro.switch``) and the wire-level circuit
+model (``repro.circuit``):
+
+* :mod:`repro.core.virtual_clock` — auxVC counters and Vtick derivation.
+* :mod:`repro.core.thermometer` — thermometer-code registers (Fig. 1a).
+* :mod:`repro.core.lrg` — least-recently-granted priority state.
+* :mod:`repro.core.ssvc` — the SSVC coarse-grained Virtual Clock core with
+  the three finite-counter management policies.
+* :mod:`repro.core.bandwidth` — per-output bandwidth reservation/admission.
+* :mod:`repro.core.gl_bound` — Guaranteed Latency bound math (Eqs. 1-3).
+* :mod:`repro.core.arbitration` — request/grant value types shared by all
+  arbiters.
+"""
+
+from .arbitration import Grant, Request
+from .bandwidth import BandwidthAllocator, Reservation
+from .gl_bound import burst_budgets, gl_latency_bound
+from .lrg import LRGState
+from .ssvc import SSVCCore
+from .thermometer import ThermometerCode
+from .virtual_clock import VirtualClockCounter, compute_vtick
+
+__all__ = [
+    "BandwidthAllocator",
+    "Grant",
+    "LRGState",
+    "Request",
+    "Reservation",
+    "SSVCCore",
+    "ThermometerCode",
+    "VirtualClockCounter",
+    "burst_budgets",
+    "compute_vtick",
+    "gl_latency_bound",
+]

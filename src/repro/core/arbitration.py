@@ -1,0 +1,87 @@
+"""Value types exchanged between the simulator and arbiters.
+
+A :class:`Request` is what an input port presents to an output channel's
+arbiter in one arbitration cycle; a :class:`Grant` records the outcome. Both
+are deliberately free of simulator internals so the arbiters in
+:mod:`repro.qos` can be unit-tested with hand-built requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types import TrafficClass
+
+
+@dataclass(frozen=True)
+class Request:
+    """One input's head-of-line candidate for a given output.
+
+    Attributes:
+        input_port: index of the requesting input.
+        traffic_class: class of the head packet (selects the arbitration
+            plane: GL beats GB beats BE).
+        packet_flits: length of the head packet in flits (the winner holds
+            the channel this many cycles).
+        queued_flits: total flits the input currently has buffered for this
+            output and class; informational, used by work-conserving
+            baselines such as DWRR.
+        arrival_cycle: cycle the head packet reached the head of its queue;
+            informational, used by arrival-stamping arbiters (original
+            Virtual Clock semantics) and by tests.
+    """
+
+    input_port: int
+    traffic_class: TrafficClass
+    packet_flits: int
+    queued_flits: int = 0
+    arrival_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_port < 0:
+            raise ValueError(f"input_port must be >= 0, got {self.input_port}")
+        if self.packet_flits <= 0:
+            raise ValueError(f"packet_flits must be positive, got {self.packet_flits}")
+
+
+@dataclass(frozen=True)
+class Grant:
+    """Outcome of one arbitration: which request won and when.
+
+    Attributes:
+        request: the winning request.
+        cycle: cycle at which arbitration completed.
+        via_gl_lane: True when the grant was decided in the dedicated GL
+            lane (Fig. 3), i.e. the winner pre-empted all GB/BE requesters.
+    """
+
+    request: Request
+    cycle: int
+    via_gl_lane: bool = False
+
+    @property
+    def input_port(self) -> int:
+        """Convenience accessor for the winning input index."""
+        return self.request.input_port
+
+
+def split_by_class(requests: "list[Request] | tuple[Request, ...]") -> "dict[TrafficClass, list[Request]]":
+    """Group requests by traffic class (always returns all three keys)."""
+    groups: "dict[TrafficClass, list[Request]]" = {
+        TrafficClass.BE: [],
+        TrafficClass.GB: [],
+        TrafficClass.GL: [],
+    }
+    for req in requests:
+        groups[req.traffic_class].append(req)
+    return groups
+
+
+def highest_present_class(requests: "list[Request] | tuple[Request, ...]") -> Optional[TrafficClass]:
+    """The highest-priority class present among ``requests`` (or None)."""
+    best: Optional[TrafficClass] = None
+    for req in requests:
+        if best is None or req.traffic_class > best:
+            best = req.traffic_class
+    return best

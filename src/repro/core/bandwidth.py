@@ -1,0 +1,134 @@
+"""Per-output bandwidth reservation and admission control (paper Section 3.3).
+
+"In the GB class, each individual input may request a fraction of the output
+channel's bandwidth; therefore, there can be as many GB flows per output as
+there are inputs. For the GL class, the output reserves a small fraction of
+bandwidth for any GL packet injected from any input to that output. Then,
+for each output channel, the sum of bandwidth allocated to all GB flows and
+the GL class should be less than or equal to the total bandwidth capacity of
+the output channel."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import AdmissionError, ConfigError
+from .virtual_clock import compute_vtick
+
+#: Tolerance for floating-point rate sums: reservations summing to 1.0 via
+#: repeated fractions (0.1 + 0.2 + ...) must still be admissible.
+_RATE_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """An admitted GB reservation at one output.
+
+    Attributes:
+        input_port: the reserving input.
+        rate: reserved fraction of the output channel's bandwidth.
+        packet_flits: the flow's average packet length (determines Vtick).
+        vtick: derived virtual-clock increment in cycles per packet.
+    """
+
+    input_port: int
+    rate: float
+    packet_flits: int
+    vtick: float
+
+
+class BandwidthAllocator:
+    """Tracks and validates reservations for a single output channel.
+
+    Args:
+        num_inputs: switch radix (bounds valid input indices).
+        gl_reserved_rate: fraction set aside for the GL class as a whole.
+
+    Raises:
+        ConfigError: on invalid constructor arguments.
+    """
+
+    def __init__(self, num_inputs: int, gl_reserved_rate: float = 0.0) -> None:
+        if num_inputs < 1:
+            raise ConfigError(f"num_inputs must be >= 1, got {num_inputs}")
+        if not 0.0 <= gl_reserved_rate < 1.0:
+            raise ConfigError(
+                f"gl_reserved_rate must be in [0, 1), got {gl_reserved_rate}"
+            )
+        self.num_inputs = num_inputs
+        self.gl_reserved_rate = gl_reserved_rate
+        self._reservations: Dict[int, Reservation] = {}
+
+    # ------------------------------------------------------------- admission
+
+    def reserve(self, input_port: int, rate: float, packet_flits: int) -> Reservation:
+        """Admit (or update) a GB reservation.
+
+        Args:
+            input_port: the reserving input.
+            rate: requested fraction of the channel, in (0, 1].
+            packet_flits: average packet length of the flow in flits.
+
+        Returns:
+            The admitted :class:`Reservation` including its Vtick.
+
+        Raises:
+            AdmissionError: if the request is malformed or would push the
+                channel (GB reservations + GL reservation) over capacity.
+        """
+        if not 0 <= input_port < self.num_inputs:
+            raise AdmissionError(
+                f"input_port {input_port} out of range [0, {self.num_inputs})"
+            )
+        if not 0.0 < rate <= 1.0:
+            raise AdmissionError(f"rate must be in (0, 1], got {rate}")
+        if packet_flits <= 0:
+            raise AdmissionError(f"packet_flits must be positive, got {packet_flits}")
+        other = sum(r.rate for p, r in self._reservations.items() if p != input_port)
+        total = other + rate + self.gl_reserved_rate
+        if total > 1.0 + _RATE_EPSILON:
+            raise AdmissionError(
+                f"cannot reserve {rate:.4f} for input {input_port}: channel would be "
+                f"oversubscribed ({total:.4f} > 1.0 including GL share "
+                f"{self.gl_reserved_rate:.4f})"
+            )
+        reservation = Reservation(
+            input_port=input_port,
+            rate=rate,
+            packet_flits=packet_flits,
+            vtick=compute_vtick(rate, packet_flits),
+        )
+        self._reservations[input_port] = reservation
+        return reservation
+
+    def release(self, input_port: int) -> None:
+        """Drop a reservation; a no-op if the input holds none."""
+        self._reservations.pop(input_port, None)
+
+    # ----------------------------------------------------------------- views
+
+    def reservation(self, input_port: int) -> Optional[Reservation]:
+        """The input's reservation, or ``None``."""
+        return self._reservations.get(input_port)
+
+    @property
+    def reservations(self) -> List[Reservation]:
+        """All admitted reservations, ordered by input index."""
+        return [self._reservations[p] for p in sorted(self._reservations)]
+
+    @property
+    def reserved_total(self) -> float:
+        """Sum of admitted GB rates (excluding the GL share)."""
+        return sum(r.rate for r in self._reservations.values())
+
+    @property
+    def leftover(self) -> float:
+        """Unreserved channel fraction available to best-effort traffic.
+
+        Virtual Clock (unlike TDM/WRR) also redistributes *unused* reserved
+        bandwidth at runtime; this figure is only the statically
+        unreserved part.
+        """
+        return max(1.0 - self.reserved_total - self.gl_reserved_rate, 0.0)

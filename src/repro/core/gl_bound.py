@@ -1,0 +1,111 @@
+"""Guaranteed Latency class bound math (paper Section 3.4, Eqs. 1-3).
+
+Equation 1 bounds the waiting time of a buffered GL packet at the switch:
+
+    tau_GL <= l_max + N_GL,o * (b + b / l_min)
+
+where ``l_max``/``l_min`` are the maximum/minimum packet lengths in flits,
+``N_GL,o`` the number of inputs injecting GL traffic toward output ``o``,
+and ``b`` the GL buffer depth in flits. The three terms account for channel
+release (a packet already holding the channel), transmit latency of all
+buffered GL flits, and per-packet arbitration latency of those flits.
+
+Equations 2-3 invert the bound into per-input *burst budgets*: given inputs
+ordered from tightest to loosest latency constraint ``L_1 <= ... <= L_N``,
+the maximum burst (in packets) each may inject while every constraint still
+holds. The paper's typography is ambiguous about grouping; we implement
+
+    sigma_1 = (L_1 - l_max) / ((l_max + 1) * N)
+    sigma_n = sigma_(n-1) + (L_n - L_(n-1)) / ((l_max + 1) * (N - n))   n < N
+    sigma_N = sigma_(N-1) + (L_N - L_(N-1)) / (l_max + 1)
+
+i.e. the flow with the n-th tightest constraint "can burst as many flits as
+the flow with the L_(n-1) constraint but has to compete with the remaining
+N - n flows" — and the loosest flow competes with no one for its marginal
+budget. Tests validate internal consistency (monotonicity, reduction to the
+single-input case) rather than the paper's worked numbers, which the
+available text garbles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigError
+
+
+def _validate_lengths(l_max: int, l_min: int) -> None:
+    if l_min <= 0:
+        raise ConfigError(f"l_min must be positive, got {l_min}")
+    if l_max < l_min:
+        raise ConfigError(f"l_max ({l_max}) must be >= l_min ({l_min})")
+
+
+def gl_latency_bound(l_max: int, l_min: int, n_gl: int, buffer_flits: int) -> float:
+    """Worst-case waiting time of a buffered GL packet (Eq. 1).
+
+    Args:
+        l_max: maximum packet length in flits (any class — the channel may
+            be held by a GB/BE packet when the GL packet arrives).
+        l_min: minimum packet length in flits.
+        n_gl: number of inputs injecting GL traffic toward this output.
+        buffer_flits: GL buffer depth ``b`` per input, in flits.
+
+    Returns:
+        The bound ``tau_GL`` in cycles.
+    """
+    _validate_lengths(l_max, l_min)
+    if n_gl < 0:
+        raise ConfigError(f"n_gl must be >= 0, got {n_gl}")
+    if buffer_flits <= 0:
+        raise ConfigError(f"buffer_flits must be positive, got {buffer_flits}")
+    return float(l_max) + n_gl * (buffer_flits + buffer_flits / l_min)
+
+
+def burst_budgets(latency_bounds: Sequence[float], l_max: int) -> List[float]:
+    """Per-input GL burst budgets sigma_n in packets (Eqs. 2-3).
+
+    Args:
+        latency_bounds: each GL input's latency constraint in cycles,
+            in any order; they are sorted from tightest to loosest
+            internally and budgets returned in that sorted order.
+        l_max: maximum packet length in flits.
+
+    Returns:
+        ``sigma`` values aligned with the *sorted* (ascending) bounds.
+
+    Raises:
+        ConfigError: if no bounds are given, any bound is not positive, or
+            the tightest bound is too small to admit even channel release
+            (``L_1 <= l_max`` would yield a negative budget).
+    """
+    if not latency_bounds:
+        raise ConfigError("at least one latency bound is required")
+    if any(b <= 0 for b in latency_bounds):
+        raise ConfigError(f"latency bounds must be positive, got {list(latency_bounds)}")
+    if l_max <= 0:
+        raise ConfigError(f"l_max must be positive, got {l_max}")
+    bounds = sorted(float(b) for b in latency_bounds)
+    n = len(bounds)
+    if bounds[0] <= l_max:
+        raise ConfigError(
+            f"tightest bound {bounds[0]} cannot be met: a maximum-length packet "
+            f"({l_max} flits) may already hold the channel"
+        )
+    budgets: List[float] = [(bounds[0] - l_max) / ((l_max + 1) * n)]
+    for i in range(1, n):
+        competitors = n - (i + 1)  # flows with looser constraints than flow i
+        divisor = (l_max + 1) * (competitors if competitors > 0 else 1)
+        budgets.append(budgets[i - 1] + (bounds[i] - bounds[i - 1]) / divisor)
+    return budgets
+
+
+def max_burst_for_bound(latency_bound: float, l_max: int, n_gl: int) -> float:
+    """Budget for one input when all ``n_gl`` inputs share the same bound.
+
+    Convenience wrapper over :func:`burst_budgets` for the symmetric case
+    the paper uses in its worked examples.
+    """
+    if n_gl < 1:
+        raise ConfigError(f"n_gl must be >= 1, got {n_gl}")
+    return burst_budgets([latency_bound] * n_gl, l_max)[0]

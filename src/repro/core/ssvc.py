@@ -1,0 +1,230 @@
+"""SSVC — the Swizzle Switch Virtual Clock core (paper Section 3.1).
+
+The paper integrates the Virtual Clock algorithm into the Swizzle Switch's
+single-cycle inhibit-based arbitration. The key hardware constraint is that
+auxVC counters cannot be compared at full precision on the bus: only their
+most-significant bits participate, quantized into a thermometer code whose
+level selects an arbitration lane. Ties within one coarse level are broken by
+least-recently-granted (LRG) arbitration. This coarsening is *the* reason
+SSVC improves latency for low-rate flows relative to the original Virtual
+Clock (paper Section 4.3, Fig. 5).
+
+Because the counters are finite, three management policies keep them in
+range (:class:`repro.types.CounterMode`):
+
+* ``SUBTRACT`` — a real-time counter with the granularity of the auxVC LSBs
+  runs alongside; each time it saturates (every *quantum* cycles) every
+  flow's most-significant value drops by one, i.e. all thermometer codes
+  shift down one lane. Combined with the ``max(auxVC, real_time)`` floor,
+  the stored value is the flow's *lead over real time*.
+* ``HALVE`` — when any counter saturates, every counter divides by two.
+* ``RESET`` — when any counter saturates, every counter clears to zero.
+
+This module is deliberately independent of the cycle-level simulator so it
+can be driven directly by unit/property tests and by the wire-level circuit
+model (which consumes :meth:`SSVCCore.thermometer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..config import QoSConfig
+from ..errors import ArbitrationError, ConfigError
+from ..types import CounterMode
+from .lrg import LRGState
+from .thermometer import ThermometerCode
+from .virtual_clock import compute_vtick
+
+
+@dataclass
+class _FlowState:
+    """Per-(input, output) crosspoint QoS state.
+
+    ``value`` is the auxVC register content in cycles. Its meaning depends
+    on the counter mode: in SUBTRACT mode it is the flow's lead over the
+    real-time window (decays by one quantum per quantum of real time); in
+    HALVE/RESET modes it is an accumulated relative value.
+    """
+
+    vtick: float
+    reserved_rate: float
+    packet_flits: int
+    value: float = 0.0
+    epoch: int = 0
+    transmit_count: int = field(default=0, repr=False)
+
+
+class SSVCCore:
+    """Coarse-grained Virtual Clock state and selection for one output.
+
+    Args:
+        qos: quantization and counter-management parameters.
+        lrg: the output's LRG state used for tie-breaking. SSVC replicates
+            the LRG logic at each crosspoint in hardware; behaviorally a
+            single shared state per output is equivalent. If ``None`` a
+            fresh state sized lazily at first registration is created.
+        num_inputs: switch radix (sizes the lazily created LRG state).
+
+    The core is *pure selection + explicit commit*: :meth:`select` inspects
+    counters without mutating them, :meth:`commit` performs the grant-time
+    updates. This split lets the simulator abandon a tentative decision
+    (e.g. when a GL request pre-empts the GB plane) without corrupting
+    state, and makes the class easy to test.
+    """
+
+    def __init__(
+        self,
+        qos: QoSConfig,
+        num_inputs: int,
+        lrg: Optional[LRGState] = None,
+    ) -> None:
+        if num_inputs < 1:
+            raise ConfigError(f"num_inputs must be >= 1, got {num_inputs}")
+        self.qos = qos
+        self.num_inputs = num_inputs
+        self.lrg = lrg if lrg is not None else LRGState(num_inputs)
+        if self.lrg.n != num_inputs:
+            raise ConfigError(
+                f"LRG state sized for {self.lrg.n} inputs, switch has {num_inputs}"
+            )
+        self._flows: Dict[int, _FlowState] = {}
+        #: statistics exposed for tests and the experiment harness
+        self.halve_events = 0
+        self.reset_events = 0
+        self.window_shifts = 0
+
+    # ---------------------------------------------------------- registration
+
+    def register_flow(self, input_port: int, reserved_rate: float, packet_flits: int) -> float:
+        """Configure the crosspoint for a GB flow and return its Vtick.
+
+        Each crosspoint serves one flow ``(In_i, Out_o)`` (paper Section
+        3.1), so re-registering an input overwrites its previous
+        reservation.
+        """
+        if not 0 <= input_port < self.num_inputs:
+            raise ConfigError(
+                f"input_port {input_port} out of range [0, {self.num_inputs})"
+            )
+        vtick = compute_vtick(reserved_rate, packet_flits)
+        self._flows[input_port] = _FlowState(
+            vtick=vtick, reserved_rate=reserved_rate, packet_flits=packet_flits
+        )
+        return vtick
+
+    def is_registered(self, input_port: int) -> bool:
+        """True when the input holds a GB reservation at this output."""
+        return input_port in self._flows
+
+    @property
+    def registered_inputs(self) -> List[int]:
+        """Inputs with GB reservations, ascending."""
+        return sorted(self._flows)
+
+    # -------------------------------------------------------------- counters
+
+    def _sync(self, flow: _FlowState, now: int) -> None:
+        """Apply lazy real-time decay (SUBTRACT mode only)."""
+        if self.qos.counter_mode is not CounterMode.SUBTRACT:
+            return
+        epoch = now // self.qos.quantum
+        if epoch > flow.epoch:
+            decay = (epoch - flow.epoch) * self.qos.quantum
+            if flow.value > 0 and flow.value - decay <= 0:
+                pass  # floored below; counted as shifts for visibility
+            flow.value = max(flow.value - decay, 0.0)
+            self.window_shifts += epoch - flow.epoch
+            flow.epoch = epoch
+
+    def counter_value(self, input_port: int, now: int) -> float:
+        """Current auxVC register content (relative cycles) for a flow."""
+        flow = self._flow(input_port)
+        self._sync(flow, now)
+        return flow.value
+
+    def level(self, input_port: int, now: int) -> int:
+        """Coarse priority level of the flow at ``now`` (0 = highest)."""
+        value = self.counter_value(input_port, now)
+        return min(int(value // self.qos.quantum), self.qos.levels - 1)
+
+    def thermometer(self, input_port: int, now: int) -> ThermometerCode:
+        """Thermometer-code register content for the wire-level model."""
+        return ThermometerCode(positions=self.qos.levels, level=self.level(input_port, now))
+
+    def vtick(self, input_port: int) -> float:
+        """The flow's configured Vtick in cycles per packet."""
+        return self._flow(input_port).vtick
+
+    # --------------------------------------------------------- select/commit
+
+    def select(self, candidates: Iterable[int], now: int) -> int:
+        """Pick the winner among requesting inputs (pure).
+
+        The SSVC decision (paper Section 3.1): the smallest thermometer
+        level wins outright; ties within a level are broken by LRG.
+        """
+        cands = list(candidates)
+        if not cands:
+            raise ArbitrationError("SSVC select requires at least one candidate")
+        levels = {i: self.level(i, now) for i in cands}
+        best = min(levels.values())
+        tied = [i for i in cands if levels[i] == best]
+        if len(tied) == 1:
+            return tied[0]
+        return self.lrg.arbitrate(tied)
+
+    def commit(self, winner: int, now: int) -> None:
+        """Apply grant-time updates for ``winner`` at cycle ``now``.
+
+        Advances the winner's auxVC by its Vtick (with the anti-burst floor
+        already implied by the non-negative relative representation),
+        demotes it in LRG, and runs the configured counter-management
+        policy if the counter saturated.
+        """
+        flow = self._flow(winner)
+        self._sync(flow, now)
+        flow.value += flow.vtick
+        flow.transmit_count += 1
+        self.lrg.grant(winner)
+        self._manage_saturation(now)
+
+    # ----------------------------------------------------- counter management
+
+    def _manage_saturation(self, now: int) -> None:
+        saturation = float(self.qos.saturation)
+        mode = self.qos.counter_mode
+        # The hardware register saturates: it can never hold more than the
+        # saturation value, in any mode, so overflow beyond the window is
+        # forgotten before the management policy runs.
+        saturated = False
+        for flow in self._flows.values():
+            if flow.value >= saturation:
+                flow.value = saturation
+                saturated = True
+        if mode is CounterMode.SUBTRACT or not saturated:
+            # SUBTRACT relies on real-time decay to pull values back down.
+            return
+        if mode is CounterMode.HALVE:
+            for flow in self._flows.values():
+                flow.value /= 2.0
+            self.halve_events += 1
+        elif mode is CounterMode.RESET:
+            for flow in self._flows.values():
+                flow.value = 0.0
+            self.reset_events += 1
+
+    # ---------------------------------------------------------------- helpers
+
+    def _flow(self, input_port: int) -> _FlowState:
+        try:
+            return self._flows[input_port]
+        except KeyError:
+            raise ArbitrationError(
+                f"input {input_port} has no GB reservation at this output"
+            ) from None
+
+    def snapshot(self, now: int) -> Dict[int, float]:
+        """Counter values of all registered flows (for tests/reports)."""
+        return {i: self.counter_value(i, now) for i in sorted(self._flows)}

@@ -1,0 +1,143 @@
+"""Thermometer-code registers (paper Fig. 1a and Section 3.1).
+
+The auxVC counters are too wide to map directly onto the output bus, so the
+hardware exposes only their most-significant bits, encoded as a *thermometer
+code*: a bit vector whose first ``level + 1`` positions are 1 and the rest 0.
+A flow at coarse level ``L`` senses the bitline lane ``L``; smaller levels
+mean smaller auxVC and therefore higher priority.
+
+The register supports exactly the update operations the paper describes:
+
+* *shift up* by one position each time the significant bits of auxVC grow
+  (a packet transmission carried into the MSBs);
+* *shift down* by one position when the real-time clock counter saturates
+  (SUBTRACT management policy);
+* *halve* — "the auxVC register is shifted down by 1 position and the top
+  half of the thermometer code is copied to the bottom half and then reset"
+  (HALVE policy);
+* *reset* to all-zero-level (RESET policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass
+class ThermometerCode:
+    """A thermometer-coded priority level with ``positions`` lanes.
+
+    ``level`` ranges over ``[0, positions - 1]``; bit ``i`` of the vector is
+    1 iff ``i <= level``. Level 0 (vector ``100...0``) is the highest
+    arbitration priority; the first bit is always 1, matching the paper's
+    ``[1, T1, ..., T(n-1)]`` layout.
+    """
+
+    positions: int
+    level: int = 0
+    saturations: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.positions < 1:
+            raise ConfigError(f"positions must be >= 1, got {self.positions}")
+        if not 0 <= self.level < self.positions:
+            raise ConfigError(
+                f"level must be in [0, {self.positions - 1}], got {self.level}"
+            )
+
+    # ------------------------------------------------------------------ bits
+
+    @property
+    def bits(self) -> Tuple[int, ...]:
+        """The bit vector ``(T0, T1, ..., T(n-1))`` with T0 always 1."""
+        return tuple(1 if i <= self.level else 0 for i in range(self.positions))
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "ThermometerCode":
+        """Decode a bit vector, validating the thermometer property.
+
+        Raises:
+            ConfigError: if the vector is empty, contains values other than
+                0/1, does not start with 1, or has a 1 after a 0.
+        """
+        vec = tuple(bits)
+        if not vec:
+            raise ConfigError("thermometer bit vector must be non-empty")
+        if any(b not in (0, 1) for b in vec):
+            raise ConfigError(f"thermometer bits must be 0/1, got {vec}")
+        if vec[0] != 1:
+            raise ConfigError(f"thermometer bit 0 must be 1, got {vec}")
+        level = 0
+        for i in range(1, len(vec)):
+            if vec[i] == 1:
+                if vec[i - 1] == 0:
+                    raise ConfigError(f"not a thermometer code: {vec}")
+                level = i
+        return cls(positions=len(vec), level=level)
+
+    @classmethod
+    def from_counter(cls, counter_value: float, quantum: int, positions: int) -> "ThermometerCode":
+        """Quantize an auxVC value (in cycles) to a coarse level.
+
+        Values at or above ``positions * quantum`` saturate at the top level
+        — in hardware the finite counter would have triggered a management
+        event; clamping models the instant before that event.
+        """
+        if quantum <= 0:
+            raise ConfigError(f"quantum must be positive, got {quantum}")
+        if counter_value < 0:
+            raise ConfigError(f"counter_value must be >= 0, got {counter_value}")
+        level = min(int(counter_value // quantum), positions - 1)
+        return cls(positions=positions, level=level)
+
+    # --------------------------------------------------------------- updates
+
+    def shift_up(self) -> bool:
+        """Advance one level (significant bits of auxVC grew by one).
+
+        Returns ``True`` if the register saturated (was already at the top
+        level) — the caller should trigger its counter-management policy.
+        """
+        if self.level + 1 >= self.positions:
+            self.saturations += 1
+            return True
+        self.level += 1
+        return False
+
+    def shift_down(self, amount: int = 1) -> None:
+        """Drop ``amount`` levels, flooring at level 0 (SUBTRACT policy)."""
+        if amount < 0:
+            raise ConfigError(f"shift_down amount must be >= 0, got {amount}")
+        self.level = max(self.level - amount, 0)
+
+    def halve(self) -> None:
+        """Divide the encoded level by two (HALVE policy).
+
+        Copying the top half of the vector onto the bottom half and clearing
+        the top is exactly an integer division of the level by two.
+        """
+        self.level //= 2
+
+    def reset(self) -> None:
+        """Clear to the highest-priority level (RESET policy)."""
+        self.level = 0
+
+    # ------------------------------------------------------------ comparison
+
+    def beats(self, other: "ThermometerCode") -> bool:
+        """True when this code wins arbitration outright over ``other``.
+
+        Smaller auxVC (hence smaller level) wins; equal levels are a tie to
+        be broken by LRG.
+        """
+        return self.level < other.level
+
+    def ties(self, other: "ThermometerCode") -> bool:
+        """True when both codes encode the same coarse level."""
+        return self.level == other.level
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "[" + ",".join(str(b) for b in self.bits) + "]"

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class AdmissionError(ReproError):
+    """A bandwidth reservation request cannot be admitted.
+
+    Raised when the sum of reserved rates on an output channel (including the
+    guaranteed-latency reservation) would exceed the channel capacity, or when
+    a single reservation is non-positive / above 1.0.
+    """
+
+
+class ArbitrationError(ReproError):
+    """The arbitration logic reached an inconsistent state.
+
+    This indicates a bug in an arbiter implementation (e.g. the wire-level
+    model produced zero or multiple winners); it should never surface during
+    normal simulation.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state.
+
+    Examples: injecting a packet for an unknown flow, running a simulator
+    whose clock has already been exhausted, or delivering a flit to a
+    mismatched output.
+    """
+
+
+class BufferError_(ReproError):
+    """A buffer operation violated capacity or ordering invariants.
+
+    Named with a trailing underscore to avoid shadowing the ``BufferError``
+    builtin while staying greppable.
+    """
+
+
+class TrafficError(ReproError):
+    """A traffic generator or flow specification is invalid."""
+
+
+class CircuitError(ReproError):
+    """The wire-level circuit model was used inconsistently.
+
+    Examples: sensing a bitline that was never precharged, or configuring a
+    lane whose width does not match the switch radix.
+    """
+
+
+class VerificationError(ReproError):
+    """The circuit model disagreed with the reference arbitration decision."""

@@ -1,0 +1,150 @@
+"""Section 2.2 ablation — why Virtual Clock beats static reservations.
+
+"WRR and DWRR lead to network underutilization as they do not distribute
+leftover bandwidth ... In a true TDM system ... that time slot is wasted."
+The scenario: one input reserves a large share of the output but sits
+*idle*; the remaining inputs are backlogged. A work-conserving clock-based
+scheduler (SSVC, WFQ, original VC) hands the idle share to the backlogged
+flows; TDM and strict WRR waste it.
+
+A second scenario reproduces the fixed-priority critique (Section 2.2's
+three differences from the DAC'12 design): under the 4-level scheme a
+high-priority input starves everyone below it, and its two arbitration
+cycles cost throughput even in the uncontended case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from ..metrics.report import format_table
+from ..traffic.flows import FlowSpec, Workload, gb_flow
+from ..types import FlowId, TrafficClass
+from .common import gb_only_config, run_simulation
+
+#: Policies compared in the idle-reservation scenario.
+IDLE_SCENARIO_POLICIES = ("ssvc", "virtual-clock", "wfq", "dwrr", "wrr-strict", "tdm")
+
+
+@dataclass
+class IdleReservationResult:
+    """Total and per-flow throughput when a reserved flow goes idle.
+
+    Attributes:
+        idle_share: the reservation held by the idle input.
+        totals: output throughput (flits/cycle) per policy.
+        backlogged: combined throughput of the active flows per policy.
+    """
+
+    idle_share: float
+    totals: Dict[str, float] = field(default_factory=dict)
+    backlogged: Dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        rows = [
+            (policy, self.totals[policy], self.backlogged[policy])
+            for policy in self.totals
+        ]
+        return format_table(
+            ["policy", "output total", "backlogged flows"],
+            rows,
+            title=(
+                f"Idle-reservation ablation: input 0 reserves "
+                f"{100 * self.idle_share:.0f}% but sends nothing (flits/cycle)"
+            ),
+        )
+
+
+def run_idle_reservation(
+    idle_share: float = 0.5,
+    policies: Sequence[str] = IDLE_SCENARIO_POLICIES,
+    horizon: int = 60_000,
+    packet_flits: int = 8,
+    seed: int = 41,
+) -> IdleReservationResult:
+    """One idle reserved flow + backlogged others, across policies."""
+    config = gb_only_config(radix=8, sig_bits=4)
+    num_active = 4
+    active_share = (0.95 - idle_share) / num_active
+    result = IdleReservationResult(idle_share=idle_share)
+    for policy in policies:
+        workload = Workload(name=f"idle-reservation-{policy}")
+        workload.add(
+            FlowSpec(
+                flow=FlowId(0, 0, TrafficClass.GB),
+                packet_length=packet_flits,
+                process=None,  # reservation held, no traffic ever
+                reserved_rate=idle_share,
+            )
+        )
+        for src in range(1, 1 + num_active):
+            workload.add(
+                gb_flow(src, 0, active_share, packet_length=packet_flits, inject_rate=None)
+            )
+        sim_result = run_simulation(
+            config, workload, arbiter=policy, horizon=horizon, seed=seed
+        )
+        result.totals[policy] = sim_result.stats.output_throughput(0)
+        result.backlogged[policy] = sum(
+            sim_result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
+            for src in range(1, 1 + num_active)
+        )
+    return result
+
+
+@dataclass
+class FixedPriorityResult:
+    """Starvation and arbitration-cost comparison vs. SSVC.
+
+    Attributes:
+        low_priority_rate: accepted rate of the lowest-priority input under
+            the 4-level scheme (starved) and under SSVC (guaranteed).
+        totals: output throughput per policy (2-cycle arbitration shows).
+    """
+
+    low_priority_rate: Dict[str, float] = field(default_factory=dict)
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        rows = [
+            (policy, self.low_priority_rate[policy], self.totals[policy])
+            for policy in self.low_priority_rate
+        ]
+        return format_table(
+            ["policy", "low-priority flow rate", "output total"],
+            rows,
+            title="Fixed-priority (DAC'12) vs SSVC: starvation and arbitration cost",
+        )
+
+
+def run_fixed_priority_comparison(
+    horizon: int = 60_000,
+    packet_flits: int = 8,
+    seed: int = 43,
+) -> FixedPriorityResult:
+    """Two saturating inputs, one at priority 3, one at priority 0."""
+    config = gb_only_config(radix=8, sig_bits=4)
+    result = FixedPriorityResult()
+    for policy in ("fixed-priority", "ssvc"):
+        workload = Workload(name=f"fixed-priority-{policy}")
+        high = gb_flow(0, 0, 0.5, packet_length=packet_flits, inject_rate=None)
+        low = gb_flow(1, 0, 0.45, packet_length=packet_flits, inject_rate=None)
+        workload.add(FlowSpec(**{**high.__dict__, "priority_level": 3}))
+        workload.add(FlowSpec(**{**low.__dict__, "priority_level": 0}))
+        sim_result = run_simulation(
+            config, workload, arbiter=policy, horizon=horizon, seed=seed
+        )
+        result.low_priority_rate[policy] = sim_result.accepted_rate(
+            FlowId(1, 0, TrafficClass.GB)
+        )
+        result.totals[policy] = sim_result.stats.output_throughput(0)
+    return result
+
+
+def main(fast: bool = False) -> str:
+    """CLI entry: both scenarios."""
+    horizon = 20_000 if fast else 60_000
+    idle = run_idle_reservation(horizon=horizon)
+    fixed = run_fixed_priority_comparison(horizon=horizon)
+    return idle.format() + "\n\n" + fixed.format()

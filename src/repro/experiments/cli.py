@@ -1,0 +1,140 @@
+"""Command-line entry point: ``repro-exp <experiment> [--fast]``.
+
+Runs any of the paper's experiments and prints its report::
+
+    repro-exp fig4          # Fig. 4 (a) and (b)
+    repro-exp fig5          # Fig. 5, steady and bursty
+    repro-exp table1        # storage breakdown
+    repro-exp table2        # frequency model
+    repro-exp rate-adherence
+    repro-exp gl-bound
+    repro-exp gl-burst
+    repro-exp scalability
+    repro-exp circuit
+    repro-exp baselines
+    repro-exp composition   # Section 4.4 multi-switch study (extension)
+    repro-exp all           # everything (slow)
+    repro-exp custom --config exp.json   # run a serialized experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from . import (
+    baseline_comparison,
+    circuit_verification,
+    composition,
+    fig4_bandwidth,
+    fig5_latency_fairness,
+    gl_burst,
+    gl_latency_bound,
+    rate_adherence,
+    scalability,
+    table1_storage,
+    table2_frequency,
+)
+
+#: Experiment name -> its ``main(fast) -> str`` function.
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig4": fig4_bandwidth.main,
+    "fig5": fig5_latency_fairness.main,
+    "table1": table1_storage.main,
+    "table2": table2_frequency.main,
+    "rate-adherence": rate_adherence.main,
+    "gl-bound": gl_latency_bound.main,
+    "gl-burst": gl_burst.main,
+    "scalability": scalability.main,
+    "circuit": circuit_verification.main,
+    "baselines": baseline_comparison.main,
+    "composition": composition.main,
+}
+
+
+def _run_custom(config_path: str, arbiter: str, horizon: int, seed: int) -> str:
+    """Run a JSON-described experiment and return its summary table."""
+    from ..serialization import load_experiment
+    from .common import run_simulation
+
+    config, workload = load_experiment(config_path)
+    result = run_simulation(
+        config, workload, arbiter=arbiter, horizon=horizon, seed=seed
+    )
+    return result.summary_table()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Parse arguments, run the experiment(s), print the report."""
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description=(
+            "Reproduce the evaluation of 'Quality-of-Service for a "
+            "High-Radix Switch' (DAC 2014)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "custom"],
+        help="which table/figure to regenerate ('custom' runs a JSON "
+        "experiment file, see --config)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shorter horizons / fewer cases (for smoke testing)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also append the report(s) to FILE",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="FILE",
+        help="JSON experiment file for 'custom' (config + workload)",
+    )
+    parser.add_argument(
+        "--arbiter",
+        default="three-class",
+        help="arbiter preset for 'custom' (default: three-class)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=50_000,
+        help="cycles to simulate for 'custom' (default: 50000)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="simulation seed for 'custom' (default: 0)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "custom":
+        if not args.config:
+            parser.error("'custom' requires --config FILE")
+        report = _run_custom(args.config, args.arbiter, args.horizon, args.seed)
+        print(report)
+        if args.output:
+            with open(args.output, "a", encoding="utf-8") as fh:
+                fh.write(report + "\n")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    sections = []
+    for name in names:
+        report = EXPERIMENTS[name](args.fast)
+        sections.append(f"=== {name} ===\n{report}\n")
+        print(sections[-1])
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(sections) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

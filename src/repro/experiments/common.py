@@ -1,0 +1,120 @@
+"""Shared experiment plumbing: arbiter presets and run helpers."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Union
+
+from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
+from ..errors import ConfigError
+from ..qos import (
+    ArrivalStampedVCArbiter,
+    CCSPArbiter,
+    DWRRArbiter,
+    FixedPriorityArbiter,
+    GSFArbiter,
+    LRGArbiter,
+    OutputArbiter,
+    PreemptiveVCArbiter,
+    SSVCArbiter,
+    TDMArbiter,
+    ThreeClassArbiter,
+    VirtualClockArbiter,
+    WFQArbiter,
+    WRRArbiter,
+)
+from ..switch.crossbar import ArbiterFactory
+from ..switch.simulator import Simulation, SimulationResult
+from ..traffic.flows import Workload
+from ..types import CounterMode
+
+
+def _ssvc_factory(mode: Optional[CounterMode]) -> ArbiterFactory:
+    def factory(output: int, config: SwitchConfig) -> OutputArbiter:
+        qos = config.qos if mode is None else replace(config.qos, counter_mode=mode)
+        return SSVCArbiter(config.radix, qos=qos)
+
+    return factory
+
+
+def _three_class_factory(output: int, config: SwitchConfig) -> OutputArbiter:
+    return ThreeClassArbiter(
+        config.radix, qos=config.qos, gl_policer_config=config.gl_policer
+    )
+
+
+#: Named arbitration policies usable from the CLI and the benches.
+ARBITER_PRESETS: "dict[str, ArbiterFactory]" = {
+    "lrg": lambda o, c: LRGArbiter(c.radix),
+    "virtual-clock": lambda o, c: VirtualClockArbiter(c.radix),
+    "virtual-clock-arrival": lambda o, c: ArrivalStampedVCArbiter(c.radix),
+    "preemptive-vc": lambda o, c: PreemptiveVCArbiter(c.radix),
+    "ccsp": lambda o, c: CCSPArbiter(c.radix),
+    "ssvc": _ssvc_factory(None),
+    "ssvc-subtract": _ssvc_factory(CounterMode.SUBTRACT),
+    "ssvc-halve": _ssvc_factory(CounterMode.HALVE),
+    "ssvc-reset": _ssvc_factory(CounterMode.RESET),
+    "three-class": _three_class_factory,
+    "fixed-priority": lambda o, c: FixedPriorityArbiter(c.radix),
+    "wrr": lambda o, c: WRRArbiter(c.radix, work_conserving=True),
+    "wrr-strict": lambda o, c: WRRArbiter(c.radix, work_conserving=False),
+    "dwrr": lambda o, c: DWRRArbiter(c.radix),
+    "wfq": lambda o, c: WFQArbiter(c.radix),
+    "tdm": lambda o, c: TDMArbiter(c.radix),
+    "gsf": lambda o, c: GSFArbiter(c.radix),
+}
+
+
+def make_arbiter_factory(preset: Union[str, ArbiterFactory]) -> ArbiterFactory:
+    """Resolve a preset name (or pass a factory through).
+
+    Raises:
+        ConfigError: for unknown preset names, listing the valid ones.
+    """
+    if callable(preset):
+        return preset
+    try:
+        return ARBITER_PRESETS[preset]
+    except KeyError:
+        raise ConfigError(
+            f"unknown arbiter preset {preset!r}; valid: {sorted(ARBITER_PRESETS)}"
+        ) from None
+
+
+def run_simulation(
+    config: SwitchConfig,
+    workload: Workload,
+    arbiter: Union[str, ArbiterFactory] = "three-class",
+    horizon: int = 50_000,
+    seed: int = 0,
+    warmup_cycles: Optional[int] = None,
+    collect_events: bool = False,
+) -> SimulationResult:
+    """Build and run one simulation (the single entry point experiments use)."""
+    sim = Simulation(
+        config,
+        workload,
+        arbiter_factory=make_arbiter_factory(arbiter),
+        seed=seed,
+        warmup_cycles=warmup_cycles,
+        collect_events=collect_events,
+    )
+    return sim.run(horizon)
+
+
+def gb_only_config(
+    radix: int = 8,
+    channel_bits: int = 128,
+    sig_bits: int = 4,
+    frac_bits: int = 8,
+    counter_mode: CounterMode = CounterMode.SUBTRACT,
+    gb_buffer_flits: int = 16,
+) -> SwitchConfig:
+    """A Fig. 4/5-style configuration: GB traffic only, no GL reservation."""
+    return SwitchConfig(
+        radix=radix,
+        channel_bits=channel_bits,
+        gb_buffer_flits=gb_buffer_flits,
+        qos=QoSConfig(sig_bits=sig_bits, frac_bits=frac_bits, counter_mode=counter_mode),
+        gl_policer=GLPolicerConfig(reserved_rate=0.0),
+    )

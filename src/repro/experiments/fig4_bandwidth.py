@@ -1,0 +1,164 @@
+"""Fig. 4 — bandwidth received by flows without and with QoS.
+
+Setup (paper Section 4.2): 8 inputs, 1 output, 128-bit output channel,
+8-flit packets, 16-flit buffers, GB traffic only, 4 significant auxVC bits.
+Each input reserves a fraction of the output's bandwidth
+(40/20/10/10/5/5/5/5 %); the injection rate per input sweeps from light
+load to saturation.
+
+Expected shapes:
+
+* **(a) LRG, no QoS** — every flow's accepted throughput tracks its offered
+  load until congestion, then all flows collapse to an *equal* share; the
+  output tops out at 8/9 = 0.889 flits/cycle (one re-arbitration cycle per
+  8-flit packet).
+* **(b) SSVC** — during congestion flows keep at least their reserved
+  rates (the residual capacity shortfall lands on the largest flow, since
+  0.40+0.20+... = 100 % of the channel but only 88.9 % is achievable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.report import format_table
+from ..traffic.patterns import FIG4_RESERVED_RATES
+from ..types import FlowId, TrafficClass
+from .common import gb_only_config, run_simulation
+
+#: Injection rates (flits/input/cycle) swept along Fig. 4's x-axis.
+DEFAULT_SWEEP = (0.02, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.40, 0.60, 0.80, 1.0)
+
+
+@dataclass
+class Fig4Result:
+    """Accepted-throughput curves for one arbitration policy.
+
+    Attributes:
+        arbiter: preset name ("lrg" or "ssvc").
+        reserved_rates: per-input reserved fractions.
+        injection_rates: swept x-axis values (1.0 == saturating sources).
+        accepted: ``accepted[inject_rate][input] ->`` flits/cycle.
+        total_throughput: output throughput per injection rate.
+    """
+
+    arbiter: str
+    reserved_rates: Tuple[float, ...]
+    injection_rates: Tuple[float, ...]
+    accepted: Dict[float, List[float]] = field(default_factory=dict)
+    total_throughput: Dict[float, float] = field(default_factory=dict)
+
+    @property
+    def saturation_shares(self) -> List[float]:
+        """Per-flow accepted rates at the highest injection point."""
+        return self.accepted[self.injection_rates[-1]]
+
+    def format(self) -> str:
+        """Fig. 4 as an ASCII table (rows = injection rates)."""
+        headers = ["inject"] + [
+            f"flow{i} (r={r:.2f})" for i, r in enumerate(self.reserved_rates)
+        ] + ["total"]
+        rows = []
+        for rate in self.injection_rates:
+            rows.append(
+                [rate] + list(self.accepted[rate]) + [self.total_throughput[rate]]
+            )
+        return format_table(
+            headers,
+            rows,
+            title=f"Fig.4 accepted throughput (flits/cycle) — {self.arbiter}",
+        )
+
+    def chart(self, flows: "tuple[int, ...]" = (0, 1, 4)) -> str:
+        """The figure's curves for selected flows, as an ASCII chart."""
+        from ..metrics.ascii_plot import line_chart
+
+        series = {
+            f"flow{i} r={self.reserved_rates[i]:.2f}": [
+                self.accepted[rate][i] for rate in self.injection_rates
+            ]
+            for i in flows
+        }
+        return line_chart(
+            series,
+            [f"{r:g}" for r in self.injection_rates],
+            title=f"Fig.4 shape — {self.arbiter} (x: injection, y: accepted)",
+            y_label="fl/cy",
+        )
+
+
+def run_fig4(
+    arbiter: str,
+    injection_rates: Sequence[float] = DEFAULT_SWEEP,
+    horizon: int = 60_000,
+    packet_flits: int = 8,
+    reserved_rates: Sequence[float] = FIG4_RESERVED_RATES,
+    seed: int = 11,
+    arbitration_cycles: Optional[int] = None,
+) -> Fig4Result:
+    """Run one Fig. 4 panel (``arbiter="lrg"`` for (a), ``"ssvc"`` for (b)).
+
+    Args:
+        arbiter: arbitration preset.
+        injection_rates: swept per-input flit rates; 1.0 uses saturating
+            sources (pure congestion).
+        horizon: cycles per point.
+        packet_flits: packet size (paper: 8).
+        reserved_rates: per-input reserved fractions (paper's mix).
+        seed: RNG seed.
+        arbitration_cycles: override of the re-arbitration bubble (the
+            bubble ablation passes 0).
+    """
+    config = gb_only_config(radix=8, channel_bits=128, sig_bits=4)
+    if arbitration_cycles is not None:
+        from dataclasses import replace
+
+        config = replace(config, arbitration_cycles=arbitration_cycles)
+    result = Fig4Result(
+        arbiter=arbiter,
+        reserved_rates=tuple(reserved_rates),
+        injection_rates=tuple(injection_rates),
+    )
+    from ..traffic.patterns import single_output_workload
+
+    for rate in injection_rates:
+        inject = None if rate >= 1.0 else rate
+        workload = single_output_workload(
+            num_inputs=len(reserved_rates),
+            output=0,
+            reserved_rates=list(reserved_rates),
+            packet_length=packet_flits,
+            inject_rate=inject,
+        )
+        sim_result = run_simulation(
+            config, workload, arbiter=arbiter, horizon=horizon, seed=seed
+        )
+        per_flow = [
+            sim_result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
+            for src in range(len(reserved_rates))
+        ]
+        result.accepted[rate] = per_flow
+        result.total_throughput[rate] = sim_result.stats.output_throughput(0)
+    return result
+
+
+def run_both_panels(
+    injection_rates: Sequence[float] = DEFAULT_SWEEP,
+    horizon: int = 60_000,
+) -> Tuple[Fig4Result, Fig4Result]:
+    """Run Fig. 4(a) (LRG) and Fig. 4(b) (SSVC)."""
+    return (
+        run_fig4("lrg", injection_rates, horizon),
+        run_fig4("ssvc", injection_rates, horizon),
+    )
+
+
+def main(fast: bool = False) -> str:
+    """CLI entry: run both panels and return the formatted report."""
+    horizon = 20_000 if fast else 60_000
+    sweep = (0.05, 0.10, 0.20, 0.40, 1.0) if fast else DEFAULT_SWEEP
+    lrg, ssvc = run_both_panels(sweep, horizon)
+    return "\n\n".join(
+        [lrg.format(), lrg.chart(), ssvc.format(), ssvc.chart()]
+    )

@@ -1,0 +1,27 @@
+"""Hardware cost models: storage, area, timing, lane feasibility.
+
+These models regenerate the paper's Table 1 (SSVC storage), Table 2
+(frequency with/without SSVC), the Section 4.5 area-overhead claims, and
+the Section 4.4 lane-count scalability analysis. Storage and lane counts
+are exact closed forms; area and timing are analytic models calibrated to
+the paper's disclosed anchors (the paper's absolute numbers come from SPICE
+on a 32 nm process we cannot rerun — see DESIGN.md Section 5).
+"""
+
+from .area import AreaModel, crosspoint_area_overhead
+from .lanes import lane_feasibility_table, max_gb_levels, num_lanes, required_bus_width
+from .storage import StorageBreakdown, storage_breakdown
+from .timing import TimingModel, frequency_table
+
+__all__ = [
+    "AreaModel",
+    "StorageBreakdown",
+    "TimingModel",
+    "crosspoint_area_overhead",
+    "frequency_table",
+    "lane_feasibility_table",
+    "max_gb_levels",
+    "num_lanes",
+    "required_bus_width",
+    "storage_breakdown",
+]

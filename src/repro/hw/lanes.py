@@ -1,0 +1,93 @@
+"""Arbitration lane feasibility (paper Section 4.4).
+
+Each arbitration lane needs as many bitlines as the switch has inputs (one
+LRG vector), so the output bus hosts
+
+    num_lanes = output_bus_width / radix
+
+lanes. Supporting all three traffic classes needs at least three lanes (one
+BE, one GB, one GL); more lanes mean more GB thermometer levels and hence a
+finer-grained — more accurate — SSVC comparison. The paper's summary:
+128-bit buses suffice through radix 32; a radix-64 switch needs 256-bit
+buses; and the technique does not scale beyond one switch (64 nodes)
+without the multi-hop complications Section 4.4 describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigError
+
+#: Lanes consumed by the non-GB classes: one BE lane + one GL lane.
+RESERVED_CLASS_LANES = 2
+
+#: Minimum lanes to support all three traffic classes.
+MIN_LANES_THREE_CLASSES = 3
+
+
+def num_lanes(bus_width_bits: int, radix: int) -> int:
+    """Lanes available on a bus (``width / radix``, floored)."""
+    if bus_width_bits < 1 or radix < 1:
+        raise ConfigError(
+            f"bus width and radix must be positive, got {bus_width_bits}, {radix}"
+        )
+    return bus_width_bits // radix
+
+
+def max_gb_levels(bus_width_bits: int, radix: int) -> int:
+    """Thermometer levels available to the GB class.
+
+    One lane each is set aside for the BE and GL classes; the rest carry
+    GB thermometer levels. Returns 0 when three classes do not fit.
+    """
+    lanes = num_lanes(bus_width_bits, radix)
+    return max(lanes - RESERVED_CLASS_LANES, 0)
+
+
+def supports_three_classes(bus_width_bits: int, radix: int) -> bool:
+    """Can this bus/radix combination host BE + GB + GL arbitration?"""
+    return num_lanes(bus_width_bits, radix) >= MIN_LANES_THREE_CLASSES
+
+
+def required_bus_width(
+    radix: int,
+    standard_widths: Sequence[int] = (128, 256, 512),
+    min_lanes: int = MIN_LANES_THREE_CLASSES,
+) -> int:
+    """Smallest standard bus width supporting ``min_lanes`` lanes.
+
+    Raises:
+        ConfigError: when no standard width suffices (the paper's "not
+            scalable beyond 64 nodes" regime).
+    """
+    for width in sorted(standard_widths):
+        if num_lanes(width, radix) >= min_lanes:
+            return width
+    raise ConfigError(
+        f"no standard bus width {list(standard_widths)} provides {min_lanes} "
+        f"lanes at radix {radix}; compose multiple switches instead (Section 4.4)"
+    )
+
+
+def lane_feasibility_table(
+    radices: Sequence[int] = (8, 16, 32, 64),
+    widths: Sequence[int] = (128, 256, 512),
+) -> List[Tuple[int, int, int, bool, int]]:
+    """Section 4.4's scalability analysis as rows.
+
+    Returns:
+        Rows of (radix, bus width, lanes, three classes supported,
+        GB thermometer levels).
+    """
+    return [
+        (
+            radix,
+            width,
+            num_lanes(width, radix),
+            supports_three_classes(width, radix),
+            max_gb_levels(width, radix),
+        )
+        for radix in radices
+        for width in widths
+    ]

@@ -1,0 +1,104 @@
+"""SSVC storage model (paper Table 1).
+
+Closed-form accounting of every bit the QoS extension stores:
+
+* per-input buffering — BE (one queue), GB (one queue **per output**:
+  virtual output queues), GL (one queue);
+* per-crosspoint state — the auxVC counter (``sig + frac`` bits), the
+  thermometer code register (one bit per level), the Vtick register, and
+  the replicated LRG row (``radix - 1`` bits).
+
+For the paper's worst case — a 64x64 switch with 512-bit buses, 64-byte
+flits and 4-flit buffers — this model reproduces Table 1 exactly:
+1,056 KB of input buffering + 45 KB of crosspoint state = 1,101 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SwitchConfig
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """All storage quantities of Table 1, in bytes unless noted.
+
+    Attributes mirror the table's rows; totals are derived properties.
+    """
+
+    config: SwitchConfig
+    be_buffer_per_input: float
+    gb_buffer_per_input: float
+    gl_buffer_per_input: float
+    auxvc_per_crosspoint: float
+    thermometer_per_crosspoint: float
+    vtick_per_crosspoint: float
+    lrg_per_crosspoint: float
+
+    @property
+    def buffering_per_input(self) -> float:
+        """Total buffer bytes at one input port."""
+        return self.be_buffer_per_input + self.gb_buffer_per_input + self.gl_buffer_per_input
+
+    @property
+    def total_buffering(self) -> float:
+        """Buffer bytes across all inputs."""
+        return self.buffering_per_input * self.config.radix
+
+    @property
+    def state_per_crosspoint(self) -> float:
+        """QoS state bytes at one crosspoint."""
+        return (
+            self.auxvc_per_crosspoint
+            + self.thermometer_per_crosspoint
+            + self.vtick_per_crosspoint
+            + self.lrg_per_crosspoint
+        )
+
+    @property
+    def num_crosspoints(self) -> int:
+        """Crosspoints in the switch (radix squared)."""
+        return self.config.radix * self.config.radix
+
+    @property
+    def total_crosspoint_state(self) -> float:
+        """QoS state bytes across all crosspoints."""
+        return self.state_per_crosspoint * self.num_crosspoints
+
+    @property
+    def total(self) -> float:
+        """Total switch storage (buffering + crosspoint state) in bytes."""
+        return self.total_buffering + self.total_crosspoint_state
+
+    def rows(self) -> list:
+        """Table 1-style rows: (item, bytes)."""
+        return [
+            ("BE buffer / input", self.be_buffer_per_input),
+            ("GB buffers / input (VOQs)", self.gb_buffer_per_input),
+            ("GL buffer / input", self.gl_buffer_per_input),
+            ("Total buffering (all inputs)", self.total_buffering),
+            ("auxVC / crosspoint", self.auxvc_per_crosspoint),
+            ("Thermometer / crosspoint", self.thermometer_per_crosspoint),
+            ("Vtick / crosspoint", self.vtick_per_crosspoint),
+            ("LRG / crosspoint", self.lrg_per_crosspoint),
+            ("Total crosspoint state", self.total_crosspoint_state),
+            ("Total switch storage", self.total),
+        ]
+
+
+def storage_breakdown(config: SwitchConfig) -> StorageBreakdown:
+    """Compute the Table 1 storage breakdown for any configuration."""
+    flit = config.flit_bytes
+    radix = config.radix
+    qos = config.qos
+    return StorageBreakdown(
+        config=config,
+        be_buffer_per_input=config.be_buffer_flits * flit,
+        gb_buffer_per_input=config.gb_buffer_flits * radix * flit,
+        gl_buffer_per_input=config.gl_buffer_flits * flit,
+        auxvc_per_crosspoint=qos.counter_bits / 8.0,
+        thermometer_per_crosspoint=qos.levels / 8.0,
+        vtick_per_crosspoint=qos.vtick_bits / 8.0,
+        lrg_per_crosspoint=(radix - 1) / 8.0,
+    )

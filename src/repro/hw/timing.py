@@ -1,0 +1,110 @@
+"""Switch frequency model with and without SSVC (paper Table 2).
+
+The paper's absolute frequencies come from SPICE on a 32 nm industrial
+process; we cannot rerun SPICE, so this is an analytic delay model with the
+paper's *structure* and calibrated constants (DESIGN.md Section 5):
+
+* base cycle time grows with radix (arbitration wire spans all inputs) and
+  with bus width (wider crosspoints, longer output wires):
+  ``t_SS = A + B * radix + C * width``;
+* SSVC extends the critical path by "the multiplexer before the sense amp"
+  (Fig. 2) that selects one of the ``num_lanes = width / radix`` lanes — a
+  tree of ``log2(num_lanes)`` mux stages: ``t_SSVC = t_SS + D * stages``.
+
+Calibration anchors from the paper: the Swizzle Switch runs at 1.5 GHz at
+radix 64 (Section 1, 128-bit JETCAS configuration), and the worst SSVC
+slowdown over the Table 2 grid is 8.4 % at the 8x8, 256-bit point
+(Section 4.5). The constants below hit both anchors and keep the 8x8
+256-bit point the grid maximum. Relative trends (who slows down most,
+where SSVC is free) are the reproduction target; absolute GHz are not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigError
+from .lanes import num_lanes
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Analytic cycle-time model.
+
+    Attributes:
+        base_ns: fixed logic delay (sense amps, precharge control).
+        per_port_ns: wire delay per input spanned by the arbitration lines.
+        per_bit_ns: delay per bus bit (crosspoint width / output loading).
+        per_mux_stage_ns: delay of one 2:1 mux stage on the sense path.
+    """
+
+    base_ns: float = 0.22
+    per_port_ns: float = 0.006
+    per_bit_ns: float = 0.0005
+    per_mux_stage_ns: float = 0.00726
+
+    def cycle_time_ss(self, radix: int, width_bits: int) -> float:
+        """Cycle time of the baseline Swizzle Switch, in ns."""
+        if radix < 1 or width_bits < 1:
+            raise ConfigError(f"invalid radix {radix} / width {width_bits}")
+        return self.base_ns + self.per_port_ns * radix + self.per_bit_ns * width_bits
+
+    def mux_stages(self, radix: int, width_bits: int) -> int:
+        """2:1 mux stages needed to select among the arbitration lanes."""
+        lanes = num_lanes(width_bits, radix)
+        if lanes < 1:
+            raise ConfigError(
+                f"bus of {width_bits} bits cannot host one lane at radix {radix}"
+            )
+        return int(math.ceil(math.log2(lanes))) if lanes > 1 else 0
+
+    def cycle_time_ssvc(self, radix: int, width_bits: int) -> float:
+        """Cycle time with the SSVC lane-select mux on the critical path."""
+        return self.cycle_time_ss(radix, width_bits) + (
+            self.per_mux_stage_ns * self.mux_stages(radix, width_bits)
+        )
+
+    def frequency_ss(self, radix: int, width_bits: int) -> float:
+        """Baseline frequency in GHz."""
+        return 1.0 / self.cycle_time_ss(radix, width_bits)
+
+    def frequency_ssvc(self, radix: int, width_bits: int) -> float:
+        """SSVC frequency in GHz."""
+        return 1.0 / self.cycle_time_ssvc(radix, width_bits)
+
+    def slowdown(self, radix: int, width_bits: int) -> float:
+        """Fractional frequency loss from SSVC (0.084 == 8.4 %)."""
+        t_ss = self.cycle_time_ss(radix, width_bits)
+        return (self.cycle_time_ssvc(radix, width_bits) - t_ss) / self.cycle_time_ssvc(
+            radix, width_bits
+        )
+
+
+#: Grid of Table 2: radix x channel width.
+TABLE2_RADICES = (8, 16, 32, 64)
+TABLE2_WIDTHS = (128, 256, 512)
+
+
+def frequency_table(
+    model: TimingModel = TimingModel(),
+    radices: Sequence[int] = TABLE2_RADICES,
+    widths: Sequence[int] = TABLE2_WIDTHS,
+) -> List[Tuple[int, int, float, float, float]]:
+    """Table 2 rows: (radix, width, f_SS GHz, f_SSVC GHz, slowdown %)."""
+    rows = []
+    for radix in radices:
+        for width in widths:
+            if num_lanes(width, radix) < 1:
+                continue
+            rows.append(
+                (
+                    radix,
+                    width,
+                    model.frequency_ss(radix, width),
+                    model.frequency_ssvc(radix, width),
+                    100.0 * model.slowdown(radix, width),
+                )
+            )
+    return rows

@@ -1,0 +1,23 @@
+"""Measurement: per-flow throughput/latency statistics and report tables.
+
+* :mod:`repro.metrics.latency` — streaming latency statistics with exact
+  percentiles.
+* :mod:`repro.metrics.counters` — the per-flow/per-output collector the
+  simulator feeds.
+* :mod:`repro.metrics.throughput` — time-windowed throughput series.
+* :mod:`repro.metrics.report` — ASCII tables for the experiment harness,
+  formatted like the paper's tables.
+"""
+
+from .counters import FlowStats, StatsCollector
+from .latency import LatencyStats
+from .report import format_table
+from .throughput import ThroughputWindow
+
+__all__ = [
+    "FlowStats",
+    "LatencyStats",
+    "StatsCollector",
+    "ThroughputWindow",
+    "format_table",
+]

@@ -1,0 +1,100 @@
+"""Plain-text charts for the figure-regenerating experiments.
+
+The paper's Fig. 4/5 are line charts; the harness renders their shapes as
+ASCII so a terminal (or CI log) shows the crossovers at a glance without a
+plotting dependency. Resolution is deliberately coarse — these are shape
+checks, the exact values live in the accompanying tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 12,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more aligned series as an ASCII line chart.
+
+    Args:
+        series: name -> y values; all series must share ``x_labels``'s
+            length. Values may contain ``None`` for gaps.
+        x_labels: tick labels along the x axis.
+        height: chart rows (y resolution).
+        title: optional caption.
+        y_label: unit label printed on the y axis.
+
+    Returns:
+        The chart as a string (no trailing newline).
+    """
+    if not series:
+        raise ConfigError("at least one series is required")
+    if height < 2:
+        raise ConfigError(f"height must be >= 2, got {height}")
+    width = len(x_labels)
+    for name, values in series.items():
+        if len(values) != width:
+            raise ConfigError(
+                f"series {name!r} has {len(values)} points, expected {width}"
+            )
+    flat = [
+        v for values in series.values() for v in values if v is not None
+    ]
+    if not flat:
+        raise ConfigError("all series are empty")
+    lo, hi = min(flat), max(flat)
+    if hi == lo:
+        hi = lo + 1.0  # flat line: render mid-chart
+
+    def row_of(value: float) -> int:
+        frac = (value - lo) / (hi - lo)
+        return min(int(frac * (height - 1)), height - 1)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x, value in enumerate(values):
+            if value is None:
+                continue
+            y = row_of(value)
+            cell = grid[y][x]
+            grid[y][x] = glyph if cell == " " else "!"  # collision marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    axis_width = max(len(f"{hi:.3g}"), len(f"{lo:.3g}"), len(y_label))
+    for row in range(height - 1, -1, -1):
+        if row == height - 1:
+            label = f"{hi:.3g}"
+        elif row == 0:
+            label = f"{lo:.3g}"
+        elif row == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_width}} |" + "".join(grid[row]))
+    lines.append(" " * axis_width + "-+" + "-" * width)
+    # X labels, vertical-ish: print first/mid/last to stay narrow.
+    if width >= 3:
+        first, mid, last = x_labels[0], x_labels[width // 2], x_labels[-1]
+        gap_a = max(width // 2 - len(first), 1)
+        gap_b = max(width - 1 - width // 2 - len(mid), 1)
+        lines.append(
+            " " * (axis_width + 2) + first + " " * gap_a + mid + " " * gap_b + last
+        )
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend + "   (! = overlap)")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Per-flow and per-output statistics collection.
+
+The simulator feeds this collector on every packet creation and delivery.
+A warmup horizon discards transient samples: deliveries granted before
+``warmup_cycles`` contribute to neither throughput nor latency, matching
+standard NoC measurement methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import SimulationError
+from ..switch.flit import Packet
+from ..types import FlowId, TrafficClass
+from .latency import LatencyStats
+from .throughput import ThroughputWindow
+
+
+@dataclass
+class FlowStats:
+    """Everything measured for one flow.
+
+    Attributes:
+        flow: the flow identity.
+        offered_packets/offered_flits: creations inside the measurement
+            window (offered load).
+        delivered_packets/delivered_flits: deliveries whose grant fell
+            inside the measurement window.
+        latency: creation-to-delivery statistics.
+        waiting: injection-to-grant statistics (Eq. 1's quantity).
+        windowed: per-window delivered-flit series.
+    """
+
+    flow: FlowId
+    offered_packets: int = 0
+    offered_flits: int = 0
+    delivered_packets: int = 0
+    delivered_flits: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    waiting: LatencyStats = field(default_factory=LatencyStats)
+    windowed: ThroughputWindow = field(default_factory=ThroughputWindow)
+
+    def accepted_rate(self, measured_cycles: int) -> float:
+        """Delivered flits per cycle over the measurement window."""
+        if measured_cycles <= 0:
+            raise SimulationError(f"measured_cycles must be positive, got {measured_cycles}")
+        return self.delivered_flits / measured_cycles
+
+    def offered_rate(self, measured_cycles: int) -> float:
+        """Created flits per cycle over the measurement window."""
+        if measured_cycles <= 0:
+            raise SimulationError(f"measured_cycles must be positive, got {measured_cycles}")
+        return self.offered_flits / measured_cycles
+
+
+class StatsCollector:
+    """Collects flow and output statistics for one simulation run.
+
+    Args:
+        warmup_cycles: samples at cycles below this are discarded.
+        window_cycles: width of the windowed-throughput buckets.
+    """
+
+    def __init__(self, warmup_cycles: int = 0, window_cycles: int = 1024) -> None:
+        if warmup_cycles < 0:
+            raise SimulationError(f"warmup_cycles must be >= 0, got {warmup_cycles}")
+        self.warmup_cycles = warmup_cycles
+        self.window_cycles = window_cycles
+        self._flows: Dict[FlowId, FlowStats] = {}
+        self.total_delivered_flits = 0
+        self.horizon: Optional[int] = None
+
+    def _stats(self, flow: FlowId) -> FlowStats:
+        stats = self._flows.get(flow)
+        if stats is None:
+            stats = FlowStats(flow=flow, windowed=ThroughputWindow(self.window_cycles))
+            self._flows[flow] = stats
+        return stats
+
+    # -------------------------------------------------------------- feeding
+
+    def on_created(self, packet: Packet) -> None:
+        """Record a packet creation (offered load)."""
+        if packet.created_cycle < self.warmup_cycles:
+            return
+        stats = self._stats(packet.flow)
+        stats.offered_packets += 1
+        stats.offered_flits += packet.flits
+
+    def on_delivered(self, packet: Packet) -> None:
+        """Record a delivery; filtered by the warmup horizon."""
+        if packet.grant_cycle is None or packet.delivered_cycle is None:
+            raise SimulationError(f"packet {packet.packet_id} delivered without timestamps")
+        if packet.grant_cycle < self.warmup_cycles:
+            return
+        stats = self._stats(packet.flow)
+        stats.delivered_packets += 1
+        stats.delivered_flits += packet.flits
+        stats.latency.add(packet.latency)
+        stats.waiting.add(packet.waiting_time)
+        stats.windowed.add(packet.delivered_cycle, packet.flits)
+        self.total_delivered_flits += packet.flits
+
+    def finish(self, horizon: int) -> None:
+        """Freeze the run length for rate computations."""
+        if horizon <= self.warmup_cycles:
+            raise SimulationError(
+                f"horizon {horizon} must exceed warmup {self.warmup_cycles}"
+            )
+        self.horizon = horizon
+
+    # ---------------------------------------------------------------- views
+
+    @property
+    def measured_cycles(self) -> int:
+        """Cycles inside the measurement window.
+
+        Raises:
+            SimulationError: before :meth:`finish` was called.
+        """
+        if self.horizon is None:
+            raise SimulationError("collector not finished; call finish(horizon)")
+        return self.horizon - self.warmup_cycles
+
+    def flow_stats(self, flow: FlowId) -> FlowStats:
+        """Stats for one flow (zeroed if it never created a packet)."""
+        return self._stats(flow)
+
+    @property
+    def flows(self) -> Dict[FlowId, FlowStats]:
+        """All per-flow stats keyed by flow."""
+        return dict(self._flows)
+
+    def accepted_rate(self, flow: FlowId) -> float:
+        """Flow's delivered flits/cycle over the measurement window."""
+        return self._stats(flow).accepted_rate(self.measured_cycles)
+
+    def output_throughput(self, output: int) -> float:
+        """Total delivered flits/cycle at one output."""
+        total = sum(
+            s.delivered_flits for f, s in self._flows.items() if f.dst == output
+        )
+        return total / self.measured_cycles
+
+    def class_throughput(self, traffic_class: TrafficClass) -> float:
+        """Total delivered flits/cycle for one traffic class."""
+        total = sum(
+            s.delivered_flits
+            for f, s in self._flows.items()
+            if f.traffic_class is traffic_class
+        )
+        return total / self.measured_cycles

@@ -1,0 +1,112 @@
+"""Latency statistics with exact percentiles.
+
+Samples are retained (simulations here deliver at most a few hundred
+thousand packets) so percentiles are exact rather than approximated; the
+running sum/min/max make the common mean/max queries O(1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class LatencyStats:
+    """Streaming collector of latency samples (cycles)."""
+
+    def __init__(self) -> None:
+        self._samples: List[int] = []
+        self._sum = 0
+        self._min: Optional[int] = None
+        self._max: Optional[int] = None
+
+    def add(self, latency: int) -> None:
+        """Record one sample.
+
+        Raises:
+            SimulationError: for negative latencies (always a caller bug).
+        """
+        if latency < 0:
+            raise SimulationError(f"negative latency {latency}")
+        self._samples.append(latency)
+        self._sum += latency
+        if self._min is None or latency < self._min:
+            self._min = latency
+        if self._max is None or latency > self._max:
+            self._max = latency
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Average latency; 0.0 when empty (callers check ``count``)."""
+        return self._sum / len(self._samples) if self._samples else 0.0
+
+    @property
+    def minimum(self) -> int:
+        """Smallest sample.
+
+        Raises:
+            SimulationError: when no samples were recorded.
+        """
+        if self._min is None:
+            raise SimulationError("no latency samples recorded")
+        return self._min
+
+    @property
+    def maximum(self) -> int:
+        """Largest sample.
+
+        Raises:
+            SimulationError: when no samples were recorded.
+        """
+        if self._max is None:
+            raise SimulationError("no latency samples recorded")
+        return self._max
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile ``q`` in [0, 100].
+
+        Raises:
+            SimulationError: when empty or ``q`` out of range.
+        """
+        if not self._samples:
+            raise SimulationError("no latency samples recorded")
+        if not 0.0 <= q <= 100.0:
+            raise SimulationError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(99.0)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (0.0 for fewer than two samples)."""
+        if len(self._samples) < 2:
+            return 0.0
+        return float(np.std(np.asarray(self._samples), ddof=1))
+
+    def samples(self) -> np.ndarray:
+        """All samples as an array (a copy)."""
+        return np.asarray(self._samples, dtype=np.int64)

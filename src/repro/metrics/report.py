@@ -1,0 +1,59 @@
+"""ASCII table formatting for the experiment harness.
+
+The harness prints the same rows/series the paper's tables and figures
+report; this module renders them in aligned plain text so benchmark logs
+are directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell, float_format: str) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return format(cell, float_format)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_format: str = ".3f",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: cell values; floats are formatted with ``float_format``,
+            ``None`` renders as ``-``.
+        title: optional caption printed above the table.
+        float_format: format spec applied to float cells.
+
+    Returns:
+        The table as a string (no trailing newline).
+    """
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        rendered.append([_render(cell, float_format) for cell in row])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(rendered[0], widths)))
+    lines.append(sep)
+    for row in rendered[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Time-windowed throughput series.
+
+Used to check *sustained* rate adherence (the paper's "flows receive their
+reserved rate during congestion") rather than only end-of-run averages: a
+policy could starve a flow for half the run and still look fine on the
+average, but not on the windowed series.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import SimulationError
+
+
+class ThroughputWindow:
+    """Accumulates delivered flits into fixed-size cycle windows.
+
+    Args:
+        window_cycles: width of each window.
+    """
+
+    def __init__(self, window_cycles: int = 1024) -> None:
+        if window_cycles < 1:
+            raise SimulationError(f"window_cycles must be >= 1, got {window_cycles}")
+        self.window_cycles = window_cycles
+        self._windows: List[int] = []
+
+    def add(self, cycle: int, flits: int) -> None:
+        """Credit ``flits`` delivered at ``cycle`` to its window."""
+        if cycle < 0 or flits < 0:
+            raise SimulationError(f"invalid sample cycle={cycle} flits={flits}")
+        index = cycle // self.window_cycles
+        while len(self._windows) <= index:
+            self._windows.append(0)
+        self._windows[index] += flits
+
+    @property
+    def num_windows(self) -> int:
+        """Windows touched so far."""
+        return len(self._windows)
+
+    def rates(self) -> List[float]:
+        """Per-window throughput in flits/cycle."""
+        return [w / self.window_cycles for w in self._windows]
+
+    def sustained_minimum(self, skip_first: int = 1, skip_last: int = 1) -> float:
+        """Lowest complete-window rate, ignoring edge windows.
+
+        The first window(s) contain warmup, the last may be partial; both
+        are excluded by default.
+
+        Raises:
+            SimulationError: if no complete interior windows remain.
+        """
+        interior = self._windows[skip_first : len(self._windows) - skip_last or None]
+        if not interior:
+            raise SimulationError(
+                f"no interior windows (have {len(self._windows)}, "
+                f"skip {skip_first}+{skip_last})"
+            )
+        return min(interior) / self.window_cycles

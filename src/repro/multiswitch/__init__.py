@@ -1,0 +1,31 @@
+"""Two-stage switch composition — the paper's Section 4.4 frontier.
+
+"Scaling to more nodes involves composing multiple switches, which makes
+the QoS technique more complex. Crosspoints will have to be shared by
+several flows, requiring more per-flow state storage. In addition,
+composing multiple switches introduces conflicts in buffers at the input
+port. It becomes increasingly difficult to maintain separation between
+flows in buffers."
+
+This package builds that composed network so the claims can be *measured*
+rather than asserted: a two-stage Clos of Swizzle Switches
+(:mod:`repro.multiswitch.topology`), a cycle-accurate two-hop simulator
+with credit backpressure (:mod:`repro.multiswitch.simulator`), an
+aggregate-reservation QoS plane (crosspoints shared by every flow in a
+(host, destination-group) aggregate), and a storage model for the extra
+per-flow state (:mod:`repro.multiswitch.storage`). The companion
+experiment (:mod:`repro.experiments.composition`) contrasts a single
+high-radix switch against the composition on the same workload and shows
+the interference the paper predicts.
+"""
+
+from .simulator import MultiStageResult, MultiStageSimulation
+from .storage import composed_storage_overhead
+from .topology import ClosTopology
+
+__all__ = [
+    "ClosTopology",
+    "MultiStageResult",
+    "MultiStageSimulation",
+    "composed_storage_overhead",
+]

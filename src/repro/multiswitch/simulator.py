@@ -1,0 +1,467 @@
+"""Cycle-accurate two-hop simulator for the composed network.
+
+Faithful to the single-switch kernel's timing (1-cycle re-arbitration,
+``L`` data cycles per packet) with the composition-specific mechanics the
+paper's Section 4.4 calls out:
+
+* **Aggregate QoS state** — each ingress crosspoint serves every flow from
+  its host to an entire destination group, so SSVC reservations exist only
+  per (host, destination-group) aggregate; flows inside an aggregate are
+  *not* isolated from each other. Likewise each egress output reserves per
+  source-group downlink.
+* **Shared downlink buffers** — an egress input port is one FIFO shared by
+  every flow arriving over that downlink ("it becomes increasingly
+  difficult to maintain separation between flows in buffers"); its head can
+  block packets behind it that target other outputs.
+* **Credit backpressure** — an ingress uplink may only grant a packet when
+  the destination egress FIFO has space reserved for it, so the shared
+  buffer conflicts propagate back into ingress arbitration.
+
+Only Guaranteed Bandwidth traffic is modeled — the composition's QoS
+behaviour is the question; BE/GL compose exactly as in the single switch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import QoSConfig
+from ..core.ssvc import SSVCCore
+from ..errors import SimulationError, TrafficError
+from ..metrics.counters import StatsCollector
+from ..switch.flit import Packet
+from ..types import FlowId, TrafficClass
+from .topology import ClosTopology
+
+
+@dataclass(frozen=True)
+class ComposedFlow:
+    """One end-to-end GB flow through the composition.
+
+    Attributes:
+        src: source host.
+        dst: destination host.
+        rate: end-to-end reserved fraction (of a one-flit/cycle channel).
+        packet_flits: packet length.
+        inject_rate: offered flits/cycle; ``None`` saturates.
+    """
+
+    src: int
+    dst: int
+    rate: float
+    packet_flits: int = 8
+    inject_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise TrafficError(f"rate must be in (0, 1], got {self.rate}")
+        if self.packet_flits < 1:
+            raise TrafficError(f"packet_flits must be >= 1, got {self.packet_flits}")
+
+    @property
+    def flow_id(self) -> FlowId:
+        """The flow's identity (always GB class)."""
+        return FlowId(self.src, self.dst, TrafficClass.GB)
+
+
+@dataclass
+class MultiStageResult:
+    """Outcome of a composed-network run.
+
+    Attributes:
+        stats: per-flow statistics (latency is end-to-end, creation to
+            final egress delivery).
+        horizon: simulated cycles.
+        grants_ingress / grants_egress: arbitration grants per stage.
+        hol_blocked_cycles: cycles egress arbitration found a downlink head
+            blocked behind a busy output while other outputs sat idle —
+            the measurable footprint of the shared-buffer conflict.
+    """
+
+    stats: StatsCollector
+    horizon: int
+    grants_ingress: int
+    grants_egress: int
+    hol_blocked_cycles: int
+
+    def accepted_rate(self, src: int, dst: int) -> float:
+        """End-to-end delivered flits/cycle for one flow."""
+        return self.stats.accepted_rate(FlowId(src, dst, TrafficClass.GB))
+
+    def mean_latency(self, src: int, dst: int) -> float:
+        """End-to-end mean latency for one flow."""
+        return self.stats.flow_stats(FlowId(src, dst, TrafficClass.GB)).latency.mean
+
+
+class _HostPort:
+    """Ingress-side host port: one VOQ per uplink, plus a source queue."""
+
+    def __init__(self, num_uplinks: int, voq_capacity: int) -> None:
+        self.voqs: List[Deque[Packet]] = [deque() for _ in range(num_uplinks)]
+        self.voq_flits = [0] * num_uplinks
+        self.voq_capacity = voq_capacity
+        self.source_queue: Deque[Packet] = deque()
+        self.busy_until = 0
+
+    def try_inject(self, packet: Packet, uplink: int, now: int) -> bool:
+        if self.voq_flits[uplink] + packet.flits > self.voq_capacity:
+            return False
+        packet.injected_cycle = now
+        self.voqs[uplink].append(packet)
+        self.voq_flits[uplink] += packet.flits
+        return True
+
+    def pop(self, uplink: int) -> Packet:
+        packet = self.voqs[uplink].popleft()
+        self.voq_flits[uplink] -= packet.flits
+        return packet
+
+
+class _DownlinkPort:
+    """Egress-side input: one *shared* FIFO (no per-flow separation)."""
+
+    def __init__(self, capacity_flits: int) -> None:
+        self.fifo: Deque[Packet] = deque()
+        self.occupancy = 0  # includes space reserved for in-flight packets
+        self.capacity = capacity_flits
+        self.busy_until = 0
+
+    def reserve(self, flits: int) -> bool:
+        if self.occupancy + flits > self.capacity:
+            return False
+        self.occupancy += flits
+        return True
+
+    def deliver(self, packet: Packet) -> None:
+        self.fifo.append(packet)
+
+    def pop(self) -> Packet:
+        packet = self.fifo.popleft()
+        self.occupancy -= packet.flits
+        return packet
+
+
+class MultiStageSimulation:
+    """Simulate GB flows through a two-stage Clos of Swizzle Switches.
+
+    Args:
+        topology: network shape.
+        flows: end-to-end flows. Aggregate reservations are derived by
+            summing flow rates per ingress crosspoint and per egress
+            (source-group, output) pair; oversubscribed aggregates raise.
+        qos: SSVC parameters used at both stages.
+        voq_capacity_flits: ingress per-uplink VOQ depth.
+        downlink_capacity_flits: shared egress FIFO depth per downlink.
+        seed: RNG seed for scheduled sources.
+    """
+
+    def __init__(
+        self,
+        topology: ClosTopology,
+        flows: List[ComposedFlow],
+        qos: Optional[QoSConfig] = None,
+        voq_capacity_flits: int = 32,
+        downlink_capacity_flits: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if not flows:
+            raise TrafficError("at least one flow is required")
+        seen = set()
+        for flow in flows:
+            topology.group_of(flow.src)  # validates range
+            topology.group_of(flow.dst)
+            key = (flow.src, flow.dst)
+            if key in seen:
+                raise TrafficError(f"duplicate flow {key}")
+            seen.add(key)
+        self.topology = topology
+        self.flows = list(flows)
+        self.qos = qos if qos is not None else QoSConfig()
+        self.voq_capacity = voq_capacity_flits
+        self.downlink_capacity = downlink_capacity_flits
+        self.seed = seed
+        self._build_qos_state()
+
+    # ----------------------------------------------------------------- setup
+
+    def _build_qos_state(self) -> None:
+        topo = self.topology
+        # Ingress: one SSVC core per (group, uplink) output, arbitrating
+        # among the group's host ports. Reservation = aggregate of the
+        # host's flows toward the uplink's destination group.
+        self.ingress_cores: List[List[SSVCCore]] = [
+            [SSVCCore(self.qos, topo.hosts_per_group) for _ in range(topo.groups)]
+            for _ in range(topo.groups)
+        ]
+        # Egress: one SSVC core per (group, host output), arbitrating among
+        # downlink ports. Reservation = aggregate per source group.
+        self.egress_cores: List[List[SSVCCore]] = [
+            [SSVCCore(self.qos, topo.groups) for _ in range(topo.hosts_per_group)]
+            for _ in range(topo.groups)
+        ]
+        ingress_agg: Dict[Tuple[int, int, int], float] = {}
+        egress_agg: Dict[Tuple[int, int, int], float] = {}
+        packet_flits: Dict[Tuple[int, int, int], int] = {}
+        for flow in self.flows:
+            gs, gd = topo.group_of(flow.src), topo.group_of(flow.dst)
+            local_src = topo.local_index(flow.src)
+            local_dst = topo.local_index(flow.dst)
+            key_in = (gs, gd, local_src)
+            key_eg = (gd, local_dst, gs)
+            ingress_agg[key_in] = ingress_agg.get(key_in, 0.0) + flow.rate
+            egress_agg[key_eg] = egress_agg.get(key_eg, 0.0) + flow.rate
+            packet_flits[key_in] = flow.packet_flits
+            packet_flits[key_eg] = flow.packet_flits
+        for (gs, gd, local_src), rate in ingress_agg.items():
+            if rate > 1.0 + 1e-9:
+                raise TrafficError(
+                    f"ingress aggregate host {local_src} of group {gs} -> group "
+                    f"{gd} oversubscribed ({rate:.3f})"
+                )
+            self.ingress_cores[gs][gd].register_flow(
+                local_src, min(rate, 1.0), packet_flits[(gs, gd, local_src)]
+            )
+        for (gd, local_dst, gs), rate in egress_agg.items():
+            if rate > 1.0 + 1e-9:
+                raise TrafficError(
+                    f"egress aggregate group {gs} -> host output {local_dst} of "
+                    f"group {gd} oversubscribed ({rate:.3f})"
+                )
+            self.egress_cores[gd][local_dst].register_flow(
+                gs, min(rate, 1.0), packet_flits[(gd, local_dst, gs)]
+            )
+
+    def _build_arrivals(self, horizon: int):
+        """Per-flow arrival schedules (geometric, matching BernoulliInjection)."""
+        heap: List[Tuple[int, int]] = []  # (time, flow index)
+        schedules: List[Deque[int]] = []
+        seeds = np.random.SeedSequence(self.seed).spawn(len(self.flows))
+        for idx, (flow, child) in enumerate(zip(self.flows, seeds)):
+            if flow.inject_rate is None:
+                schedules.append(deque())  # saturating: handled by top-up
+                continue
+            rng = np.random.default_rng(child)
+            p = min(flow.inject_rate / flow.packet_flits, 1.0)
+            expected = int(horizon * p * 1.2) + 16
+            gaps = rng.geometric(p, size=expected)
+            times = np.cumsum(gaps) - 1
+            while times.size and times[-1] < horizon:
+                times = np.concatenate(
+                    [times, times[-1] + np.cumsum(rng.geometric(p, size=expected))]
+                )
+            schedule = deque(int(t) for t in times[times < horizon])
+            schedules.append(schedule)
+            if schedule:
+                heapq.heappush(heap, (schedule[0], idx))
+        return heap, schedules
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, horizon: int, warmup_cycles: Optional[int] = None) -> MultiStageResult:
+        """Simulate ``horizon`` cycles end-to-end."""
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        warmup = warmup_cycles if warmup_cycles is not None else horizon // 10
+        topo = self.topology
+        stats = StatsCollector(warmup_cycles=warmup)
+
+        host_ports = [
+            [_HostPort(topo.groups, self.voq_capacity) for _ in range(topo.hosts_per_group)]
+            for _ in range(topo.groups)
+        ]
+        uplink_busy = [[0] * topo.groups for _ in range(topo.groups)]
+        downlinks = [
+            [_DownlinkPort(self.downlink_capacity) for _ in range(topo.groups)]
+            for _ in range(topo.groups)
+        ]
+        egress_out_busy = [[0] * topo.hosts_per_group for _ in range(topo.groups)]
+
+        arrival_heap, schedules = self._build_arrivals(horizon)
+        # Saturating flows grouped by the VOQ they feed, so flows sharing a
+        # queue interleave their packets instead of the first one in flow
+        # order monopolizing the buffer.
+        saturating_by_voq: Dict[Tuple[int, int, int], List[int]] = {}
+        for i, f in enumerate(self.flows):
+            if f.inject_rate is None:
+                key = (
+                    topo.group_of(f.src),
+                    topo.local_index(f.src),
+                    topo.uplink_for(f.dst),
+                )
+                saturating_by_voq.setdefault(key, []).append(i)
+        # Round-robin cursor so queue-sharing saturating flows interleave
+        # fairly across refills (one packet slot per refill would otherwise
+        # always go to the first flow in list order).
+        sat_cursor = {key: 0 for key in saturating_by_voq}
+        link_heap: List[Tuple[int, int, Packet, int, int]] = []  # (t, seq, pkt, gd, gs)
+        link_seq = 0
+
+        grants_ingress = 0
+        grants_egress = 0
+        hol_blocked = 0
+
+        wake_heap: List[int] = [0]
+        pending = {0}
+
+        def wake(t: int) -> None:
+            if t < horizon and t not in pending:
+                heapq.heappush(wake_heap, t)
+                pending.add(t)
+
+        for t0, _ in arrival_heap:
+            wake(t0)
+
+        def make_packet(flow: ComposedFlow, created: int) -> Packet:
+            return Packet(flow=flow.flow_id, flits=flow.packet_flits, created_cycle=created)
+
+        def refill(now: int) -> None:
+            """Admit waiting packets, then saturating traffic, into VOQs.
+
+            Source-queued packets (scheduled flows that found their VOQ
+            full) drain *before* saturating flows top up, so a saturating
+            aggressor sharing a VOQ cannot permanently lock a scheduled
+            flow out of the switch.
+            """
+            for group in host_ports:
+                for port in group:
+                    while port.source_queue:
+                        head = port.source_queue[0]
+                        if not port.try_inject(head, topo.uplink_for(head.dst), now):
+                            break
+                        port.source_queue.popleft()
+            for key, indices in saturating_by_voq.items():
+                gs, local, uplink = key
+                port = host_ports[gs][local]
+                progress = True
+                while progress:
+                    progress = False
+                    start = sat_cursor[key]
+                    for step in range(len(indices)):
+                        pos = (start + step) % len(indices)
+                        flow = self.flows[indices[pos]]
+                        if port.voq_flits[uplink] + flow.packet_flits > port.voq_capacity:
+                            continue
+                        packet = make_packet(flow, now)
+                        stats.on_created(packet)
+                        port.try_inject(packet, uplink, now)
+                        sat_cursor[key] = (pos + 1) % len(indices)
+                        progress = True
+
+        while wake_heap:
+            now = heapq.heappop(wake_heap)
+            pending.discard(now)
+            if now >= horizon:
+                continue
+
+            # 1. Scheduled host arrivals.
+            while arrival_heap and arrival_heap[0][0] <= now:
+                _, idx = heapq.heappop(arrival_heap)
+                flow = self.flows[idx]
+                schedules[idx].popleft()
+                packet = make_packet(flow, now)
+                stats.on_created(packet)
+                port = host_ports[topo.group_of(flow.src)][topo.local_index(flow.src)]
+                uplink = topo.uplink_for(flow.dst)
+                if not port.try_inject(packet, uplink, now):
+                    port.source_queue.append(packet)
+                if schedules[idx]:
+                    heapq.heappush(arrival_heap, (schedules[idx][0], idx))
+                    wake(schedules[idx][0])
+
+            # 2. Link deliveries reaching egress FIFOs.
+            while link_heap and link_heap[0][0] <= now:
+                _, _, packet, gd, gs = heapq.heappop(link_heap)
+                downlinks[gd][gs].deliver(packet)
+
+            # 3. Admit waiting and saturating traffic into the VOQs.
+            refill(now)
+
+            # 4. Ingress arbitration: per (group, uplink).
+            for gs in range(topo.groups):
+                for gd in range(topo.groups):
+                    if uplink_busy[gs][gd] > now:
+                        continue
+                    core = self.ingress_cores[gs][gd]
+                    candidates = []
+                    heads = {}
+                    for local in range(topo.hosts_per_group):
+                        port = host_ports[gs][local]
+                        if port.busy_until > now or not port.voqs[gd]:
+                            continue
+                        head = port.voqs[gd][0]
+                        if not core.is_registered(local):
+                            continue
+                        # Credit check: space in the egress shared FIFO.
+                        if downlinks[gd][gs].occupancy + head.flits > downlinks[gd][gs].capacity:
+                            continue
+                        candidates.append(local)
+                        heads[local] = head
+                    if not candidates:
+                        continue
+                    winner = core.select(candidates, now)
+                    core.commit(winner, now)
+                    packet = host_ports[gs][winner].pop(gd)
+                    delivered = now + 1 + packet.flits  # 1-cycle arbitration
+                    uplink_busy[gs][gd] = delivered
+                    host_ports[gs][winner].busy_until = delivered
+                    downlinks[gd][gs].reserve(packet.flits)
+                    link_seq += 1
+                    arrive = delivered + topo.link_latency
+                    heapq.heappush(link_heap, (arrive, link_seq, packet, gd, gs))
+                    wake(delivered)
+                    wake(arrive)
+                    grants_ingress += 1
+
+            # 5. Egress arbitration: per (group, host output). Downlink
+            #    heads request only their own target output; a head bound
+            #    for a busy output blocks everything behind it (HoL).
+            for gd in range(topo.groups):
+                requesting: Dict[int, List[int]] = {}
+                for gs in range(topo.groups):
+                    port = downlinks[gd][gs]
+                    if port.busy_until > now or not port.fifo:
+                        continue
+                    head = port.fifo[0]
+                    out = topo.local_index(head.dst)
+                    if egress_out_busy[gd][out] > now:
+                        if any(
+                            egress_out_busy[gd][o] <= now
+                            for o in range(topo.hosts_per_group)
+                        ):
+                            hol_blocked += 1
+                        continue
+                    requesting.setdefault(out, []).append(gs)
+                for out, sources in requesting.items():
+                    core = self.egress_cores[gd][out]
+                    eligible = [gs for gs in sources if core.is_registered(gs)]
+                    if not eligible:
+                        continue
+                    winner = core.select(eligible, now)
+                    core.commit(winner, now)
+                    packet = downlinks[gd][winner].pop()
+                    delivered = now + 1 + packet.flits
+                    egress_out_busy[gd][out] = delivered
+                    downlinks[gd][winner].busy_until = delivered
+                    packet.grant_cycle = now
+                    packet.delivered_cycle = delivered
+                    stats.on_delivered(packet)
+                    wake(delivered)
+                    grants_egress += 1
+                    # Freed FIFO space may unblock an ingress grant; the
+                    # credit update is visible from the next cycle.
+                    wake(now + 1)
+            refill(now)
+
+        stats.finish(horizon)
+        return MultiStageResult(
+            stats=stats,
+            horizon=horizon,
+            grants_ingress=grants_ingress,
+            grants_egress=grants_egress,
+            hol_blocked_cycles=hol_blocked,
+        )

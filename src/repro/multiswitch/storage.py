@@ -1,0 +1,101 @@
+"""Storage cost of composing switches (paper Section 4.4's state argument).
+
+"Crosspoints will have to be shared by several flows, requiring more
+per-flow state storage." In a single switch, one crosspoint serves exactly
+one (input, output) flow and holds one auxVC/thermometer/Vtick set. In the
+two-stage composition, restoring per-flow isolation at an ingress
+crosspoint would need one counter set *per destination host in the
+downstream group*, and an egress input would need per-flow queues instead
+of one shared FIFO. This model quantifies that growth for a given topology
+so the single-switch design point can be compared against the composition
+at equal host count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import QoSConfig
+from .topology import ClosTopology
+
+
+@dataclass(frozen=True)
+class ComposedStorage:
+    """Per-flow QoS state of the composition vs. a single switch.
+
+    All quantities in bytes. ``aggregate_*`` is what the composition
+    actually implements (one counter set per crosspoint, flows share);
+    ``isolated_*`` is what restoring single-switch-grade per-flow isolation
+    would cost.
+    """
+
+    single_switch_state: float
+    aggregate_state: float
+    isolated_state: float
+
+    @property
+    def isolation_overhead_factor(self) -> float:
+        """How much more state per-flow isolation needs vs. a single switch.
+
+        Note this can drop *below* 1 at large host counts: the monolithic
+        switch's state grows quadratically (N^2 crosspoints with N-wide LRG
+        rows), so the composition is cheaper in raw bits — the paper's
+        complexity argument is the *premium* below, plus the mechanism
+        complexity the extra state implies.
+        """
+        return self.isolated_state / self.single_switch_state
+
+    @property
+    def isolation_premium(self) -> float:
+        """State multiplier to restore per-flow isolation *within* the
+        composition (isolated vs. the aggregate design actually built).
+
+        This is the paper's "requiring more per-flow state storage" figure;
+        it grows linearly with the number of flows sharing a crosspoint.
+        """
+        return self.isolated_state / self.aggregate_state
+
+
+def _crosspoint_state_bytes(qos: QoSConfig, radix: int) -> float:
+    """One crosspoint's QoS state (auxVC + thermometer + Vtick + LRG row)."""
+    bits = qos.counter_bits + qos.levels + qos.vtick_bits + (radix - 1)
+    return bits / 8.0
+
+
+def composed_storage_overhead(
+    topology: ClosTopology, qos: QoSConfig = QoSConfig()
+) -> ComposedStorage:
+    """Compare QoS state of one big switch vs. the two-stage composition.
+
+    Args:
+        topology: composition shape; the single-switch reference has radix
+            equal to the composition's host count.
+
+    Returns:
+        The three state totals and the isolation overhead factor.
+    """
+    hosts = topology.num_hosts
+    single = hosts * hosts * _crosspoint_state_bytes(qos, hosts)
+
+    g, h = topology.groups, topology.hosts_per_group
+    ingress_xpoints = g * h * g  # per group: hosts x uplinks
+    egress_xpoints = g * g * h  # per group: downlinks x host outputs
+    aggregate = (
+        ingress_xpoints * _crosspoint_state_bytes(qos, h)
+        + egress_xpoints * _crosspoint_state_bytes(qos, g)
+    )
+
+    # Isolation: every flow multiplexed onto a crosspoint gets its own
+    # counter set (the LRG row stays shared — it orders inputs, not flows).
+    # An ingress crosspoint carries one flow per destination host in the
+    # uplink's group (h flows); an egress crosspoint carries one flow per
+    # source host in the downlink's group (h flows).
+    per_flow_bytes = (qos.counter_bits + qos.levels + qos.vtick_bits) / 8.0
+    extra_sets = (ingress_xpoints + egress_xpoints) * (h - 1)
+    isolated = aggregate + extra_sets * per_flow_bytes
+
+    return ComposedStorage(
+        single_switch_state=single,
+        aggregate_state=aggregate,
+        isolated_state=isolated,
+    )

@@ -1,0 +1,97 @@
+"""Two-stage Clos composition of Swizzle Switches.
+
+``groups`` ingress switches each serve ``hosts_per_group`` hosts and own one
+dedicated uplink to every egress switch; ``groups`` egress switches each
+receive one downlink from every ingress switch and serve the same hosts on
+the destination side. Host ``n`` lives in group ``n // hosts_per_group``.
+
+A packet from host *s* to host *d* therefore crosses exactly two switches:
+
+    s ->(ingress of group(s), uplink toward group(d))
+      -> link -> (egress of group(d), output toward d)
+
+The ingress crosspoint ``(s, uplink_to(group(d)))`` is shared by every flow
+from *s* to *any* host in that destination group, and the egress input port
+``from group(s)`` is shared by every flow originating in *s*'s group — the
+two sharing effects Section 4.4 warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ClosTopology:
+    """Shape of the two-stage composition.
+
+    Attributes:
+        groups: number of ingress (and egress) switches.
+        hosts_per_group: hosts attached to each switch on each side.
+        link_latency: cycles a packet spends on an ingress->egress link.
+    """
+
+    groups: int = 4
+    hosts_per_group: int = 4
+    link_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.groups < 2:
+            raise ConfigError(f"a composition needs >= 2 groups, got {self.groups}")
+        if self.hosts_per_group < 1:
+            raise ConfigError(
+                f"hosts_per_group must be >= 1, got {self.hosts_per_group}"
+            )
+        if self.link_latency < 0:
+            raise ConfigError(f"link_latency must be >= 0, got {self.link_latency}")
+
+    @property
+    def num_hosts(self) -> int:
+        """Total hosts reachable through the composition."""
+        return self.groups * self.hosts_per_group
+
+    @property
+    def ingress_radix(self) -> int:
+        """Ports of one ingress switch: host inputs x uplink outputs."""
+        return max(self.hosts_per_group, self.groups)
+
+    @property
+    def egress_radix(self) -> int:
+        """Ports of one egress switch: downlink inputs x host outputs."""
+        return max(self.groups, self.hosts_per_group)
+
+    # ------------------------------------------------------------- addressing
+
+    def group_of(self, host: int) -> int:
+        """The group (ingress/egress switch index) a host belongs to."""
+        self._check_host(host)
+        return host // self.hosts_per_group
+
+    def local_index(self, host: int) -> int:
+        """The host's port index within its switch."""
+        self._check_host(host)
+        return host % self.hosts_per_group
+
+    def uplink_for(self, dst_host: int) -> int:
+        """The ingress output port a packet to ``dst_host`` must take."""
+        return self.group_of(dst_host)
+
+    def flows_sharing_ingress_crosspoint(self) -> int:
+        """Flows multiplexed onto one ingress crosspoint (Section 4.4).
+
+        A crosspoint ``(host, uplink)`` carries one flow per destination
+        host in the uplink's group.
+        """
+        return self.hosts_per_group
+
+    def flows_sharing_egress_input(self) -> int:
+        """Flows multiplexed through one egress downlink input port."""
+        return self.hosts_per_group * self.hosts_per_group
+
+    def _check_host(self, host: int) -> None:
+        if not 0 <= host < self.num_hosts:
+            raise ConfigError(
+                f"host {host} out of range [0, {self.num_hosts})"
+            )

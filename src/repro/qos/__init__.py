@@ -1,0 +1,62 @@
+"""Output arbitration policies.
+
+Each arbiter governs one output channel and implements the two-phase
+:class:`~repro.qos.base.OutputArbiter` interface (pure ``select`` followed by
+``commit``). The paper's mechanisms:
+
+* :class:`~repro.qos.lrg_arbiter.LRGArbiter` — the Swizzle Switch's default
+  least-recently-granted policy (the "No QoS" baseline of Fig. 4a).
+* :class:`~repro.qos.virtual_clock_arbiter.VirtualClockArbiter` — the
+  original fine-grained Virtual Clock (Fig. 5's "Original Virtual Clock").
+* :class:`~repro.qos.ssvc_arbiter.SSVCArbiter` — the paper's contribution:
+  coarse thermometer-code comparison + LRG tie-break, with SUBTRACT / HALVE
+  / RESET counter management.
+* :class:`~repro.qos.three_class.ThreeClassArbiter` — the full BE/GB/GL
+  stack with GL policing (Sections 3.2-3.4).
+
+Baselines discussed in Sections 2.2 and 5, implemented for the comparison
+and ablation benches:
+
+* :class:`~repro.qos.fixed_priority.FixedPriorityArbiter` — the DAC'12
+  4-level message-based scheme (two arbitration cycles, starvation-prone).
+* :class:`~repro.qos.weighted_round_robin.WRRArbiter` and
+  :class:`~repro.qos.deficit_round_robin.DWRRArbiter`.
+* :class:`~repro.qos.fair_queuing.WFQArbiter` — finish-time fair queuing.
+* :class:`~repro.qos.tdm.TDMArbiter` — static time-division multiplexing.
+* :class:`~repro.qos.gsf.GSFArbiter` — frame-based injection control in the
+  spirit of Globally Synchronized Frames.
+"""
+
+from .arrival_stamped_vc import ArrivalStampedVCArbiter
+from .base import OutputArbiter
+from .ccsp import CCSPArbiter
+from .deficit_round_robin import DWRRArbiter
+from .fair_queuing import WFQArbiter
+from .fixed_priority import FixedPriorityArbiter
+from .gl_policer import GLPolicer
+from .gsf import GSFArbiter
+from .lrg_arbiter import LRGArbiter
+from .preemptive_vc import PreemptiveVCArbiter
+from .ssvc_arbiter import SSVCArbiter
+from .tdm import TDMArbiter
+from .three_class import ThreeClassArbiter
+from .virtual_clock_arbiter import VirtualClockArbiter
+from .weighted_round_robin import WRRArbiter
+
+__all__ = [
+    "ArrivalStampedVCArbiter",
+    "CCSPArbiter",
+    "DWRRArbiter",
+    "FixedPriorityArbiter",
+    "GLPolicer",
+    "GSFArbiter",
+    "LRGArbiter",
+    "OutputArbiter",
+    "PreemptiveVCArbiter",
+    "SSVCArbiter",
+    "TDMArbiter",
+    "ThreeClassArbiter",
+    "VirtualClockArbiter",
+    "WFQArbiter",
+    "WRRArbiter",
+]

@@ -1,0 +1,62 @@
+"""Common interface for output-channel arbiters."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from ..core.arbitration import Request
+from ..errors import ArbitrationError
+
+
+class OutputArbiter(abc.ABC):
+    """Arbitration policy for a single output channel.
+
+    The interface is split into a *pure* selection phase and an explicit
+    commit phase. The simulator calls :meth:`select` with the head-of-line
+    requests of all inputs that are free to transmit; if it can honour the
+    decision (the winning input is still free, the channel is idle) it calls
+    :meth:`commit`, which is where state such as LRG order and auxVC
+    counters advances. Tests may call :meth:`arbitrate` to do both at once.
+
+    Class attribute ``arbitration_cycles`` lets a policy override the
+    switch-level re-arbitration latency: the Swizzle Switch arbitrates in a
+    single cycle (the paper's contribution includes fitting SSVC into that
+    cycle), while the DAC'12 fixed-priority baseline needs two.
+    """
+
+    #: Override of SwitchConfig.arbitration_cycles; ``None`` keeps the
+    #: switch default.
+    arbitration_cycles: Optional[int] = None
+
+    #: Human-readable policy name used in reports.
+    name: str = "arbiter"
+
+    @abc.abstractmethod
+    def select(self, requests: Sequence[Request], now: int) -> Optional[Request]:
+        """Choose a winner among ``requests`` without mutating state.
+
+        Returns ``None`` when the policy declines to grant anyone this
+        cycle (e.g. TDM with an idle slot owner) even though requests are
+        pending — this is how non-work-conserving policies waste slots.
+        """
+
+    @abc.abstractmethod
+    def commit(self, winner: Request, now: int) -> None:
+        """Commit a grant previously returned by :meth:`select`."""
+
+    def arbitrate(self, requests: Sequence[Request], now: int) -> Optional[Request]:
+        """Convenience: select and, if someone won, commit."""
+        winner = self.select(requests, now)
+        if winner is not None:
+            self.commit(winner, now)
+        return winner
+
+    # ------------------------------------------------------------- utilities
+
+    @staticmethod
+    def _validate(requests: Sequence[Request]) -> None:
+        """Reject duplicate input ports — an input has one head of line."""
+        ports = [r.input_port for r in requests]
+        if len(set(ports)) != len(ports):
+            raise ArbitrationError(f"duplicate requesting ports: {sorted(ports)}")

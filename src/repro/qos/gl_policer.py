@@ -1,0 +1,77 @@
+"""Policing of the Guaranteed Latency class (paper Section 3.4).
+
+"The bandwidth usage of the GL class is tracked by a counter similar to the
+auxVC counters of the GB class and increments by a tick count proportional
+to the reserved rate." The GL class has absolute priority, so without
+policing a misbehaving source could deny service to the GB class entirely;
+the paper therefore reserves only a small bandwidth fraction for GL and
+keeps "safeguards in place to prevent its abuse".
+
+We realise the safeguard as a leaky-bucket-style usage clock: each GL packet
+transmission advances the shared GL clock by ``packet_flits /
+reserved_rate`` cycles (one virtual tick at the reserved rate). While the
+clock runs ahead of real time by more than ``burst_window`` cycles the GL
+class has exhausted its reservation and *loses its absolute priority*; its
+packets are then demoted to best-effort arbitration until the clock catches
+back down. The ablation bench ``bench_gl_bound`` shows what the safeguard
+buys: with policing disabled, a saturating GL source starves the GB class.
+"""
+
+from __future__ import annotations
+
+from ..config import GLPolicerConfig
+from ..errors import ConfigError
+
+
+class GLPolicer:
+    """Shared GL usage clock for one output channel.
+
+    Args:
+        config: reservation fraction and burst window. A ``burst_window``
+            of ``None`` disables policing (GL is always eligible); a
+            ``reserved_rate`` of 0 with policing enabled means GL traffic
+            is never granted absolute priority.
+
+    :meth:`eligible` is pure so arbiters may consult it during selection;
+    throttling statistics are recorded explicitly via :meth:`note_throttled`.
+    """
+
+    def __init__(self, config: GLPolicerConfig) -> None:
+        self.config = config
+        self._clock = 0.0
+        #: number of arbitration decisions where GL priority was withheld
+        self.throttle_events = 0
+
+    @property
+    def usage_clock(self) -> float:
+        """Current GL usage clock value in cycles (absolute)."""
+        return self._clock
+
+    def lead(self, now: int) -> float:
+        """How far GL usage runs ahead of its reservation, in cycles."""
+        return max(self._clock - now, 0.0)
+
+    def eligible(self, now: int) -> bool:
+        """May GL traffic claim absolute priority at cycle ``now``? (pure)"""
+        if self.config.burst_window is None:
+            return True
+        if self.config.reserved_rate <= 0.0:
+            return False
+        return self.lead(now) <= self.config.burst_window
+
+    def note_throttled(self) -> None:
+        """Record that a pending GL request was denied absolute priority."""
+        self.throttle_events += 1
+
+    def on_transmit(self, packet_flits: int, now: int) -> None:
+        """Charge one GL packet against the reservation.
+
+        Raises:
+            ConfigError: if called while the reserved rate is zero — the
+                caller should have demoted the packet instead.
+        """
+        if packet_flits <= 0:
+            raise ConfigError(f"packet_flits must be positive, got {packet_flits}")
+        if self.config.reserved_rate <= 0.0:
+            raise ConfigError("GL transmission charged while GL reservation is zero")
+        self._clock = max(self._clock, float(now)) + packet_flits / self.config.reserved_rate

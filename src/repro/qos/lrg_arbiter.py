@@ -1,0 +1,40 @@
+"""Least-recently-granted arbitration — the Swizzle Switch default.
+
+This is the "No QoS" baseline of Fig. 4a: all requests are treated equally,
+so during congestion every input converges to an equal share of the output
+bandwidth regardless of how much it actually needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.arbitration import Request
+from ..core.lrg import LRGState
+from .base import OutputArbiter
+
+
+class LRGArbiter(OutputArbiter):
+    """Pure LRG arbitration over all requests, class-blind.
+
+    Args:
+        num_inputs: switch radix.
+        lrg: optional shared LRG state (the three-class arbiter passes its
+            own so BE traffic shares the hardware's priority order).
+    """
+
+    name = "lrg"
+
+    def __init__(self, num_inputs: int, lrg: Optional[LRGState] = None) -> None:
+        self.num_inputs = num_inputs
+        self.lrg = lrg if lrg is not None else LRGState(num_inputs)
+
+    def select(self, requests: Sequence[Request], now: int) -> Optional[Request]:
+        if not requests:
+            return None
+        self._validate(requests)
+        winner_port = self.lrg.arbitrate(r.input_port for r in requests)
+        return next(r for r in requests if r.input_port == winner_port)
+
+    def commit(self, winner: Request, now: int) -> None:
+        self.lrg.grant(winner.input_port)

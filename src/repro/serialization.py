@@ -1,0 +1,205 @@
+"""JSON (de)serialization for configurations and workloads.
+
+Experiments become reproducible artifacts: a switch configuration and a
+workload round-trip through plain JSON, so a run can be described in a
+file, checked into a repo, and replayed bit-identically (processes carry
+their parameters; the simulation seed is supplied at run time).
+
+Example document::
+
+    {
+      "config": {"radix": 8, "channel_bits": 128,
+                 "qos": {"sig_bits": 4, "counter_mode": "subtract"},
+                 "gl_policer": {"reserved_rate": 0.0}},
+      "workload": {"name": "mine", "flows": [
+          {"src": 0, "dst": 0, "class": "GB", "rate": 0.4,
+           "packet_length": 8, "process": {"kind": "saturating"}}
+      ]}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .config import GLPolicerConfig, QoSConfig, SwitchConfig
+from .errors import ConfigError
+from .traffic.flows import FlowSpec, Workload
+from .traffic.generators import (
+    BernoulliInjection,
+    BurstyInjection,
+    InjectionProcess,
+    SaturatingInjection,
+    TraceInjection,
+)
+from .types import CounterMode, FlowId, TrafficClass
+
+# --------------------------------------------------------------------- config
+
+
+def config_to_dict(config: SwitchConfig) -> Dict[str, Any]:
+    """SwitchConfig -> plain dict (JSON-ready)."""
+    return {
+        "radix": config.radix,
+        "channel_bits": config.channel_bits,
+        "flit_bytes": config.flit_bytes,
+        "be_buffer_flits": config.be_buffer_flits,
+        "gb_buffer_flits": config.gb_buffer_flits,
+        "gl_buffer_flits": config.gl_buffer_flits,
+        "arbitration_cycles": config.arbitration_cycles,
+        "packet_chaining": config.packet_chaining,
+        "max_chain_length": config.max_chain_length,
+        "qos": {
+            "sig_bits": config.qos.sig_bits,
+            "frac_bits": config.qos.frac_bits,
+            "vtick_bits": config.qos.vtick_bits,
+            "counter_mode": config.qos.counter_mode.value,
+        },
+        "gl_policer": {
+            "reserved_rate": config.gl_policer.reserved_rate,
+            "burst_window": config.gl_policer.burst_window,
+        },
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> SwitchConfig:
+    """Plain dict -> SwitchConfig (validation via the dataclasses).
+
+    Unknown keys are rejected so typos fail loudly.
+    """
+    data = dict(data)
+    qos_data = dict(data.pop("qos", {}))
+    policer_data = dict(data.pop("gl_policer", {}))
+    if "counter_mode" in qos_data:
+        qos_data["counter_mode"] = CounterMode.from_name(qos_data["counter_mode"])
+    known = {
+        "radix", "channel_bits", "flit_bytes", "be_buffer_flits",
+        "gb_buffer_flits", "gl_buffer_flits", "arbitration_cycles",
+        "packet_chaining", "max_chain_length",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(f"unknown SwitchConfig keys: {sorted(unknown)}")
+    return SwitchConfig(
+        qos=QoSConfig(**qos_data),
+        gl_policer=GLPolicerConfig(**policer_data),
+        **data,
+    )
+
+
+# ------------------------------------------------------------------ processes
+
+
+def process_to_dict(process: Optional[InjectionProcess]) -> Optional[Dict[str, Any]]:
+    """Injection process -> tagged dict; None passes through."""
+    if process is None:
+        return None
+    if isinstance(process, BernoulliInjection):
+        return {"kind": "bernoulli", "rate_flits": process.rate_flits}
+    if isinstance(process, BurstyInjection):
+        return {
+            "kind": "bursty",
+            "rate_flits": process.rate_flits,
+            "burst_packets": process.burst_packets,
+            "on_rate_flits": process.on_rate_flits,
+        }
+    if isinstance(process, SaturatingInjection):
+        return {"kind": "saturating"}
+    if isinstance(process, TraceInjection):
+        return {"kind": "trace", "times": [int(t) for t in process.times]}
+    raise ConfigError(f"cannot serialize process type {type(process).__name__}")
+
+
+def process_from_dict(data: Optional[Dict[str, Any]]) -> Optional[InjectionProcess]:
+    """Tagged dict -> injection process."""
+    if data is None:
+        return None
+    kind = data.get("kind")
+    if kind == "bernoulli":
+        return BernoulliInjection(data["rate_flits"])
+    if kind == "bursty":
+        return BurstyInjection(
+            data["rate_flits"],
+            burst_packets=data.get("burst_packets", 4.0),
+            on_rate_flits=data.get("on_rate_flits", 1.0),
+        )
+    if kind == "saturating":
+        return SaturatingInjection()
+    if kind == "trace":
+        return TraceInjection(data["times"])
+    raise ConfigError(f"unknown process kind {kind!r}")
+
+
+# ------------------------------------------------------------------- workload
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """Workload -> plain dict."""
+    flows = []
+    for spec in workload:
+        length = spec.packet_length
+        flows.append(
+            {
+                "src": spec.flow.src,
+                "dst": spec.flow.dst,
+                "class": spec.flow.traffic_class.short_name,
+                "rate": spec.reserved_rate,
+                "packet_length": list(length) if isinstance(length, tuple) else length,
+                "process": process_to_dict(spec.process),
+                "priority_level": spec.priority_level,
+            }
+        )
+    return {"name": workload.name, "flows": flows}
+
+
+def workload_from_dict(data: Dict[str, Any]) -> Workload:
+    """Plain dict -> Workload (flow-level validation via FlowSpec)."""
+    workload = Workload(name=data.get("name", "workload"))
+    for raw in data.get("flows", []):
+        length = raw.get("packet_length", 8)
+        if isinstance(length, list):
+            length = tuple(length)
+        workload.add(
+            FlowSpec(
+                flow=FlowId(
+                    raw["src"], raw["dst"], TrafficClass[raw.get("class", "GB")]
+                ),
+                packet_length=length,
+                process=process_from_dict(raw.get("process")),
+                reserved_rate=raw.get("rate"),
+                priority_level=raw.get("priority_level", 0),
+            )
+        )
+    return workload
+
+
+# --------------------------------------------------------------------- files
+
+
+def save_experiment(
+    path: Union[str, Path], config: SwitchConfig, workload: Workload
+) -> None:
+    """Write a config + workload document to a JSON file."""
+    document = {
+        "config": config_to_dict(config),
+        "workload": workload_to_dict(workload),
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def load_experiment(path: Union[str, Path]) -> "tuple[SwitchConfig, Workload]":
+    """Read a config + workload document from a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"malformed experiment file {path}: {exc}") from exc
+    if "config" not in document or "workload" not in document:
+        raise ConfigError(
+            f"experiment file {path} needs 'config' and 'workload' sections"
+        )
+    return (
+        config_from_dict(document["config"]),
+        workload_from_dict(document["workload"]),
+    )

@@ -1,0 +1,37 @@
+"""Cycle-accurate model of a single-stage Swizzle Switch crossbar.
+
+The paper evaluates SSVC with "a custom, cycle-accurate simulator for the
+Swizzle Switch" — this package is that simulator. It models:
+
+* packets/flits (:mod:`repro.switch.flit`),
+* per-input buffering with GB virtual output queues
+  (:mod:`repro.switch.buffers`),
+* output channels with single-cycle re-arbitration
+  (:mod:`repro.switch.output_channel`),
+* the crossbar tying ports to per-output arbiters
+  (:mod:`repro.switch.crossbar`), and
+* an event-driven simulation kernel with cycle-exact semantics
+  (:mod:`repro.switch.simulator`).
+"""
+
+from .buffers import FlitBuffer, InputPort
+from .crossbar import SwizzleSwitch
+from .events import GrantEvent, PacketDelivered
+from .flit import Flit, Packet
+from .flit_kernel import FlitLevelSimulation
+from .output_channel import OutputChannel
+from .simulator import Simulation, SimulationResult
+
+__all__ = [
+    "Flit",
+    "FlitBuffer",
+    "FlitLevelSimulation",
+    "GrantEvent",
+    "InputPort",
+    "OutputChannel",
+    "Packet",
+    "PacketDelivered",
+    "Simulation",
+    "SimulationResult",
+    "SwizzleSwitch",
+]

@@ -1,0 +1,208 @@
+"""Input-port buffering (paper Sections 3.2, 3.3 and Table 1).
+
+Each input port buffers the three classes separately:
+
+* **BE** — one queue per input (Table 1: 4 flits);
+* **GB** — one virtual output queue *per output* (Table 1: 4 flits per
+  output), so GB flows to different outputs never head-of-line block each
+  other and "separation between flows in buffers" is maintained;
+* **GL** — one queue per input ("GL class packets should be buffered
+  separately from GB class packets", Section 3.2).
+
+Capacities are in flits; a packet is admitted only if it fits entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..config import SwitchConfig
+from ..errors import BufferError_, SimulationError
+from ..types import TrafficClass
+from .flit import Packet
+
+
+class FlitBuffer:
+    """A FIFO of whole packets with a flit-denominated capacity.
+
+    Args:
+        capacity_flits: maximum total flits buffered; ``None`` means
+            unbounded (used for source-side queues).
+    """
+
+    def __init__(self, capacity_flits: Optional[int] = None) -> None:
+        if capacity_flits is not None and capacity_flits < 1:
+            raise BufferError_(f"capacity_flits must be >= 1, got {capacity_flits}")
+        self.capacity_flits = capacity_flits
+        self._queue: Deque[Packet] = deque()
+        self._occupancy = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    @property
+    def occupancy_flits(self) -> int:
+        """Flits currently buffered."""
+        return self._occupancy
+
+    def fits(self, packet: Packet) -> bool:
+        """Would ``packet`` fit entirely right now?"""
+        if self.capacity_flits is None:
+            return True
+        return self._occupancy + packet.flits <= self.capacity_flits
+
+    def push(self, packet: Packet) -> None:
+        """Append a packet.
+
+        Raises:
+            BufferError_: if the packet does not fit (callers must check
+                :meth:`fits` — backpressure is explicit, never silent).
+        """
+        if not self.fits(packet):
+            raise BufferError_(
+                f"packet of {packet.flits} flits does not fit "
+                f"({self._occupancy}/{self.capacity_flits} flits occupied)"
+            )
+        self._queue.append(packet)
+        self._occupancy += packet.flits
+        if self._occupancy > self.peak_occupancy:
+            self.peak_occupancy = self._occupancy
+
+    def head(self) -> Optional[Packet]:
+        """The packet at the head, or ``None`` when empty."""
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> Packet:
+        """Remove and return the head packet.
+
+        Raises:
+            BufferError_: when empty.
+        """
+        if not self._queue:
+            raise BufferError_("pop from empty buffer")
+        packet = self._queue.popleft()
+        self._occupancy -= packet.flits
+        return packet
+
+
+class InputPort:
+    """Per-input buffering for all three classes.
+
+    Args:
+        port: input index.
+        config: switch configuration (buffer depths, radix).
+    """
+
+    def __init__(self, port: int, config: SwitchConfig) -> None:
+        if not 0 <= port < config.radix:
+            raise SimulationError(f"input port {port} out of range [0, {config.radix})")
+        self.port = port
+        self.config = config
+        self.be_queue = FlitBuffer(config.be_buffer_flits)
+        self.gl_queue = FlitBuffer(config.gl_buffer_flits)
+        self.gb_queues: Dict[int, FlitBuffer] = {
+            out: FlitBuffer(config.gb_buffer_flits) for out in range(config.radix)
+        }
+        #: cycle until which this input's channel is held by a transmission
+        self.busy_until = 0
+
+    # ------------------------------------------------------------- admission
+
+    def queue_for(self, packet: Packet) -> FlitBuffer:
+        """The buffer a packet of this class/destination lands in."""
+        if packet.traffic_class is TrafficClass.GB:
+            try:
+                return self.gb_queues[packet.dst]
+            except KeyError:
+                raise SimulationError(
+                    f"packet destination {packet.dst} out of range [0, {self.config.radix})"
+                ) from None
+        if packet.traffic_class is TrafficClass.GL:
+            return self.gl_queue
+        return self.be_queue
+
+    def try_inject(self, packet: Packet, now: int) -> bool:
+        """Admit a packet if its class buffer has room.
+
+        Sets ``packet.injected_cycle`` on success. Returns ``False`` (and
+        leaves the packet untouched) when the buffer is full — the caller
+        keeps it in its source queue.
+        """
+        if packet.src != self.port:
+            raise SimulationError(
+                f"packet from input {packet.src} offered to port {self.port}"
+            )
+        queue = self.queue_for(packet)
+        if not queue.fits(packet):
+            return False
+        packet.injected_cycle = now
+        queue.push(packet)
+        return True
+
+    # -------------------------------------------------------------- requests
+
+    def head_for_output(self, output: int, allow_gl: bool = True) -> Optional[Packet]:
+        """Highest-priority head-of-line packet destined for ``output``.
+
+        Priority order GL > GB > BE, matching the hardware where an input
+        raises its request with its most urgent packet. BE and GL use one
+        queue per input, so their heads only request the output they are
+        addressed to (head-of-line blocking is real and modeled).
+
+        Args:
+            output: the output being arbitrated.
+            allow_gl: when ``False`` (the output's GL policer has revoked
+                the class's priority), the GL head is offered *last* —
+                GB and BE traffic at this input is no longer masked by a
+                throttled GL queue, and the GL packet is only presented
+                when nothing else wants the output (best-effort demotion).
+        """
+        gl_head = self.gl_queue.head()
+        if allow_gl and gl_head is not None and gl_head.dst == output:
+            return gl_head
+        gb_head = self.gb_queues[output].head()
+        if gb_head is not None:
+            return gb_head
+        be_head = self.be_queue.head()
+        if be_head is not None and be_head.dst == output:
+            return be_head
+        if gl_head is not None and gl_head.dst == output:
+            return gl_head  # throttled GL rides along as best-effort
+        return None
+
+    def requested_outputs(self) -> List[int]:
+        """Outputs this input currently has a head-of-line packet for."""
+        outputs = {out for out, q in self.gb_queues.items() if q}
+        gl_head = self.gl_queue.head()
+        if gl_head is not None:
+            outputs.add(gl_head.dst)
+        be_head = self.be_queue.head()
+        if be_head is not None:
+            outputs.add(be_head.dst)
+        return sorted(outputs)
+
+    def pop_packet(self, packet: Packet) -> None:
+        """Remove a granted packet, which must be at the head of its queue.
+
+        Raises:
+            SimulationError: if the packet is not the head (arbitration and
+                buffering disagree — a bug, not a recoverable condition).
+        """
+        queue = self.queue_for(packet)
+        head = queue.head()
+        if head is not packet:
+            raise SimulationError(
+                f"granted packet {packet.packet_id} is not at the head of its queue"
+            )
+        queue.pop()
+
+    @property
+    def total_occupancy_flits(self) -> int:
+        """Flits buffered across all classes at this input."""
+        gb = sum(q.occupancy_flits for q in self.gb_queues.values())
+        return gb + self.be_queue.occupancy_flits + self.gl_queue.occupancy_flits

@@ -1,0 +1,60 @@
+"""Simulation event records for tracing and test introspection.
+
+The simulator can optionally record every grant and delivery; tests use
+these to hand-check schedules against the paper's arbitration rules, and
+the trace tooling in :mod:`repro.traffic.trace` serializes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import FlowId, TrafficClass
+
+
+@dataclass(frozen=True)
+class GrantEvent:
+    """One arbitration grant.
+
+    Attributes:
+        cycle: cycle arbitration completed.
+        output: output channel granted.
+        input_port: winning input.
+        flow: winning flow.
+        packet_id: winning packet.
+        packet_flits: its length.
+        contenders: number of inputs that were requesting this output.
+    """
+
+    cycle: int
+    output: int
+    input_port: int
+    flow: FlowId
+    packet_id: int
+    packet_flits: int
+    contenders: int
+
+    @property
+    def traffic_class(self) -> TrafficClass:
+        """Class of the granted packet."""
+        return self.flow.traffic_class
+
+
+@dataclass(frozen=True)
+class PacketDelivered:
+    """A packet's tail flit left its output channel.
+
+    Attributes:
+        cycle: delivery cycle.
+        flow: the packet's flow.
+        packet_id: the packet.
+        latency: creation-to-delivery cycles.
+        waiting_time: injection-to-grant cycles (Eq. 1's bounded quantity
+            for GL packets).
+    """
+
+    cycle: int
+    flow: FlowId
+    packet_id: int
+    latency: int
+    waiting_time: int

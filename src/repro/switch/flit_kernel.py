@@ -1,0 +1,330 @@
+"""Flit-granular simulation engine (validation-grade).
+
+The production kernel (:mod:`repro.switch.simulator`) is packet-granular
+with flit-accurate *timing*; its one documented simplification is that a
+granted packet's buffer space frees all at once instead of one flit per
+cycle (DESIGN.md Section 8). This engine removes that simplification: it
+marches cycle by cycle and drains each transmitted packet's flits from its
+input buffer individually, so buffer occupancy — and therefore
+backpressure — is exact at flit resolution.
+
+Use it to validate the fast kernel (their grant schedules are identical
+whenever backpressure never binds — see
+``tests/test_flit_kernel.py``) or when a study genuinely depends on
+intra-packet buffer occupancy. It is 10-50x slower and supports scheduled
+(non-saturating) GB/BE traffic without packet chaining.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..config import SwitchConfig
+from ..core.arbitration import Request
+from ..errors import SimulationError, TrafficError
+from ..metrics.counters import StatsCollector
+from ..switch.crossbar import ArbiterFactory, SwizzleSwitch
+from ..switch.events import GrantEvent
+from ..switch.flit import Packet
+from ..types import TrafficClass
+
+if False:  # TYPE_CHECKING — runtime import would be circular
+    from ..traffic.flows import Workload
+
+
+@dataclass
+class _QueuedPacket:
+    """A packet in a flit queue, tracking how many flits remain buffered."""
+
+    packet: Packet
+    flits_remaining: int
+
+
+class _FlitQueue:
+    """FIFO of packets whose flits drain individually.
+
+    ``occupancy`` counts buffered flits, including the not-yet-drained
+    remainder of a packet currently on the wire.
+    """
+
+    def __init__(self, capacity_flits: int) -> None:
+        self.capacity = capacity_flits
+        self.entries: Deque[_QueuedPacket] = deque()
+        self.occupancy = 0
+        #: the entry currently transmitting (already popped from `entries`)
+        self.draining: Optional[_QueuedPacket] = None
+
+    def fits(self, packet: Packet) -> bool:
+        return self.occupancy + packet.flits <= self.capacity
+
+    def push(self, packet: Packet) -> None:
+        self.entries.append(_QueuedPacket(packet, packet.flits))
+        self.occupancy += packet.flits
+
+    def head(self) -> Optional[Packet]:
+        """The next packet eligible for arbitration (not yet granted)."""
+        return self.entries[0].packet if self.entries else None
+
+    def start_drain(self, packet: Packet) -> None:
+        entry = self.entries.popleft()
+        if entry.packet is not packet:
+            raise SimulationError("granted packet is not the queue head")
+        self.draining = entry
+
+    def drain_one_flit(self) -> None:
+        """One flit crossed the crossbar: free its buffer slot."""
+        if self.draining is None:
+            raise SimulationError("drain without an active transmission")
+        self.draining.flits_remaining -= 1
+        self.occupancy -= 1
+        if self.draining.flits_remaining == 0:
+            self.draining = None
+
+
+class _FlitInput:
+    """Per-input state: per-class flit queues plus a source overflow queue."""
+
+    def __init__(self, port: int, config: SwitchConfig) -> None:
+        self.port = port
+        self.config = config
+        self.gb: Dict[int, _FlitQueue] = {
+            out: _FlitQueue(config.gb_buffer_flits) for out in range(config.radix)
+        }
+        self.be = _FlitQueue(config.be_buffer_flits)
+        self.gl = _FlitQueue(config.gl_buffer_flits)
+        self.source: Deque[Packet] = deque()
+        self.busy_until = 0
+
+    def queue_for(self, packet: Packet) -> _FlitQueue:
+        if packet.traffic_class is TrafficClass.GB:
+            return self.gb[packet.dst]
+        if packet.traffic_class is TrafficClass.GL:
+            return self.gl
+        return self.be
+
+    def try_inject(self, packet: Packet, now: int) -> bool:
+        queue = self.queue_for(packet)
+        if not queue.fits(packet):
+            return False
+        packet.injected_cycle = now
+        queue.push(packet)
+        return True
+
+    def head_for_output(self, output: int, allow_gl: bool = True) -> Optional[Packet]:
+        gl_head = self.gl.head()
+        if allow_gl and gl_head is not None and gl_head.dst == output:
+            return gl_head
+        gb_head = self.gb[output].head()
+        if gb_head is not None:
+            return gb_head
+        be_head = self.be.head()
+        if be_head is not None and be_head.dst == output:
+            return be_head
+        if gl_head is not None and gl_head.dst == output:
+            return gl_head
+        return None
+
+
+@dataclass
+class _Transmission:
+    packet: Packet
+    queue: _FlitQueue
+    #: cycles at which flits cross (first_flit_cycle .. last inclusive)
+    first_flit_cycle: int
+    last_flit_cycle: int
+
+
+class FlitLevelSimulation:
+    """Per-cycle flit-granular engine with the fast kernel's interface.
+
+    Args:
+        config: switch parameters (``packet_chaining`` unsupported).
+        workload: scheduled flows only (saturating sources would need the
+            fast kernel's top-up machinery; use it instead).
+        arbiter_factory: per-output policy, as for ``Simulation``.
+        seed: source RNG seed.
+        warmup_cycles: measurement start (default horizon // 10 at run).
+        collect_events: record grant events for differential tests.
+    """
+
+    def __init__(
+        self,
+        config: SwitchConfig,
+        workload: "Workload",
+        arbiter_factory: Optional[ArbiterFactory] = None,
+        seed: int = 0,
+        warmup_cycles: Optional[int] = None,
+        collect_events: bool = False,
+    ) -> None:
+        if config.packet_chaining:
+            raise SimulationError("the flit-level engine does not model chaining")
+        for spec in workload:
+            if spec.process is not None and spec.process.saturating:
+                raise TrafficError(
+                    "the flit-level engine supports scheduled sources only"
+                )
+        workload.validate(config.radix, config.gl_policer.reserved_rate)
+        self.config = config
+        self.workload = workload
+        self.switch = SwizzleSwitch(config, arbiter_factory)
+        self.seed = seed
+        self._warmup_override = warmup_cycles
+        self.collect_events = collect_events
+
+    def _arrivals(self, horizon: int) -> Dict[int, List[Packet]]:
+        from ..traffic.generators import FlowSource
+
+        seeds = np.random.SeedSequence(self.seed).spawn(len(self.workload.flows))
+        by_cycle: Dict[int, List[Packet]] = {}
+        for spec, child in zip(self.workload, seeds):
+            if spec.process is None:
+                continue
+            source = FlowSource(
+                flow=spec.flow,
+                process=spec.process,
+                packet_length=spec.packet_length,
+                horizon=horizon,
+                rng=np.random.default_rng(child),
+            )
+            while source.peek_time() is not None:
+                packet = source.pop_scheduled()
+                by_cycle.setdefault(packet.created_cycle, []).append(packet)
+        return by_cycle
+
+    def run(self, horizon: int):
+        """Simulate ``horizon`` cycles; returns a ``SimulationResult``."""
+        from .simulator import SimulationResult
+
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        warmup = (
+            self._warmup_override
+            if self._warmup_override is not None
+            else horizon // 10
+        )
+        for spec in self.workload:
+            if spec.reserved_rate is not None:
+                self.switch.reserve_gb(
+                    spec.flow.src, spec.flow.dst, spec.reserved_rate,
+                    max(int(round(spec.mean_packet_flits)), 1),
+                )
+        stats = StatsCollector(warmup_cycles=warmup)
+        radix = self.config.radix
+        inputs = [_FlitInput(i, self.config) for i in range(radix)]
+        out_busy = [0] * radix
+        active: Dict[int, _Transmission] = {}
+        arrivals = self._arrivals(horizon)
+        for packets in arrivals.values():
+            for packet in packets:
+                stats.on_created(packet)
+        events: List[object] = []
+        grants = 0
+        out_flits = [0] * radix
+
+        for now in range(horizon):
+            # 1. Flits cross the crossbar and free their buffer slots.
+            for o, tx in list(active.items()):
+                if tx.first_flit_cycle <= now <= tx.last_flit_cycle:
+                    tx.queue.drain_one_flit()
+                if now == tx.last_flit_cycle:
+                    del active[o]
+            # 2. Arrivals, behind any overflowed packet of the same flow.
+            for packet in arrivals.get(now, ()):  # noqa: B905
+                port = inputs[packet.src]
+                blocked = any(
+                    p.flow == packet.flow for p in port.source
+                )
+                if blocked or not port.try_inject(packet, now):
+                    port.source.append(packet)
+            # 3. Drain source queues in FIFO order.
+            for port in inputs:
+                still_blocked: Deque[Packet] = deque()
+                while port.source:
+                    head = port.source.popleft()
+                    if any(p.flow == head.flow for p in still_blocked):
+                        still_blocked.append(head)
+                    elif not port.try_inject(head, now):
+                        still_blocked.append(head)
+                port.source = still_blocked
+            # 4. Arbitration, rotating start to match the fast kernel.
+            for k in range(radix):
+                o = (now + k) % radix
+                if out_busy[o] > now:
+                    continue
+                arbiter = self.switch.arbiters[o]
+                policer = getattr(arbiter, "gl_policer", None)
+                allow_gl = policer is None or policer.eligible(now)
+                requests = []
+                for port in inputs:
+                    if port.busy_until > now:
+                        continue
+                    head = port.head_for_output(o, allow_gl=allow_gl)
+                    if head is None:
+                        continue
+                    requests.append(
+                        Request(
+                            input_port=port.port,
+                            traffic_class=head.traffic_class,
+                            packet_flits=head.flits,
+                            arrival_cycle=(
+                                head.injected_cycle
+                                if head.injected_cycle is not None
+                                else head.created_cycle
+                            ),
+                        )
+                    )
+                if not requests:
+                    continue
+                winner = arbiter.select(requests, now)
+                if winner is None:
+                    continue
+                arbiter.commit(winner, now)
+                port = inputs[winner.input_port]
+                packet = port.head_for_output(o, allow_gl=allow_gl)
+                queue = port.queue_for(packet)
+                queue.start_drain(packet)
+                arb = self.switch.arbitration_cycles_for(o)
+                delivered = now + arb + packet.flits
+                packet.grant_cycle = now
+                packet.delivered_cycle = delivered
+                out_busy[o] = delivered
+                port.busy_until = delivered
+                active[o] = _Transmission(
+                    packet=packet,
+                    queue=queue,
+                    first_flit_cycle=now + arb + 1,
+                    last_flit_cycle=delivered,
+                )
+                stats.on_delivered(packet)
+                grants += 1
+                out_flits[o] += packet.flits
+                if self.collect_events:
+                    events.append(
+                        GrantEvent(
+                            cycle=now,
+                            output=o,
+                            input_port=winner.input_port,
+                            flow=packet.flow,
+                            packet_id=packet.packet_id,
+                            packet_flits=packet.flits,
+                            contenders=len(requests),
+                        )
+                    )
+
+        stats.finish(horizon)
+        return SimulationResult(
+            config=self.config,
+            workload_name=self.workload.name,
+            horizon=horizon,
+            warmup_cycles=warmup,
+            stats=stats,
+            output_utilization={
+                o: out_flits[o] / horizon for o in range(radix)
+            },
+            grants=grants,
+            events=events,
+        )

@@ -1,0 +1,81 @@
+"""Output channel state: occupancy and release timing.
+
+An output channel moves one flit per cycle. When idle and requested, its
+arbiter resolves a winner; the winner then holds the channel for
+``arbitration_cycles + packet_flits`` cycles (the Swizzle Switch arbitrates
+in a single cycle, which is why a saturated channel tops out at
+``L / (L + 1)`` flits/cycle — the 0.89 ceiling of Fig. 4 for 8-flit
+packets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError
+from .flit import Packet
+
+
+class OutputChannel:
+    """One output port's data bus.
+
+    Args:
+        port: output index.
+        arbitration_cycles: default re-arbitration latency in cycles
+            (arbiters may override via their ``arbitration_cycles``
+            attribute).
+    """
+
+    def __init__(self, port: int, arbitration_cycles: int = 1) -> None:
+        if port < 0:
+            raise SimulationError(f"output port must be >= 0, got {port}")
+        if arbitration_cycles < 0:
+            raise SimulationError(
+                f"arbitration_cycles must be >= 0, got {arbitration_cycles}"
+            )
+        self.port = port
+        self.arbitration_cycles = arbitration_cycles
+        self.busy_until = 0
+        self.current_packet: Optional[Packet] = None
+        #: totals for utilization accounting
+        self.flits_delivered = 0
+        self.packets_delivered = 0
+        self.busy_cycles = 0
+
+    def is_idle(self, now: int) -> bool:
+        """May a new arbitration be performed at cycle ``now``?"""
+        return now >= self.busy_until
+
+    def start_transmission(self, packet: Packet, now: int, arbitration_cycles: int) -> int:
+        """Grant the channel to ``packet`` at cycle ``now``.
+
+        Returns the delivery cycle (when the tail flit leaves). The channel
+        (and the sending input) are busy until then.
+
+        Raises:
+            SimulationError: if the channel is still busy or the packet is
+                addressed elsewhere.
+        """
+        if not self.is_idle(now):
+            raise SimulationError(
+                f"output {self.port} busy until {self.busy_until}, granted at {now}"
+            )
+        if packet.dst != self.port:
+            raise SimulationError(
+                f"packet for output {packet.dst} granted on output {self.port}"
+            )
+        delivered = now + arbitration_cycles + packet.flits
+        packet.grant_cycle = now
+        packet.delivered_cycle = delivered
+        self.busy_until = delivered
+        self.current_packet = packet
+        self.flits_delivered += packet.flits
+        self.packets_delivered += 1
+        self.busy_cycles += arbitration_cycles + packet.flits
+        return delivered
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Delivered flits per cycle over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            raise SimulationError(f"elapsed_cycles must be positive, got {elapsed_cycles}")
+        return self.flits_delivered / elapsed_cycles

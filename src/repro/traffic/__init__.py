@@ -1,0 +1,60 @@
+"""Workload generation: flows, injection processes, and traffic patterns.
+
+* :mod:`repro.traffic.flows` — :class:`FlowSpec` (what a flow is: endpoints,
+  class, reservation, injection behaviour) and :class:`Workload` bundles.
+* :mod:`repro.traffic.generators` — injection processes (Bernoulli, bursty
+  on/off, saturating, explicit trace) and the runtime sources the simulator
+  draws packets from.
+* :mod:`repro.traffic.patterns` — destination patterns (single hotspot,
+  uniform random, permutation, transpose, bit-complement) expanded into
+  per-(src, dst) flows, since a Virtual Clock flow is an (input, output)
+  pair.
+* :mod:`repro.traffic.trace` — record/replay of packet traces.
+"""
+
+from .flows import FlowSpec, Workload, be_flow, gb_flow, gl_flow
+from .generators import (
+    BernoulliInjection,
+    BurstyInjection,
+    FlowSource,
+    InjectionProcess,
+    SaturatingInjection,
+    TraceInjection,
+    build_source,
+)
+from .patterns import (
+    FIG4_RESERVED_RATES,
+    bit_complement_workload,
+    fig4_workload,
+    hotspot_workload,
+    permutation_workload,
+    single_output_workload,
+    uniform_random_workload,
+)
+from .trace import TraceRecord, load_trace, save_trace, workload_from_trace
+
+__all__ = [
+    "BernoulliInjection",
+    "BurstyInjection",
+    "FIG4_RESERVED_RATES",
+    "FlowSource",
+    "FlowSpec",
+    "InjectionProcess",
+    "SaturatingInjection",
+    "TraceInjection",
+    "TraceRecord",
+    "Workload",
+    "be_flow",
+    "bit_complement_workload",
+    "build_source",
+    "fig4_workload",
+    "gb_flow",
+    "gl_flow",
+    "hotspot_workload",
+    "load_trace",
+    "permutation_workload",
+    "save_trace",
+    "single_output_workload",
+    "uniform_random_workload",
+    "workload_from_trace",
+]

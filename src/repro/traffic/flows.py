@@ -1,0 +1,221 @@
+"""Flow specifications and workload bundles.
+
+A :class:`FlowSpec` is the complete description of one flow: identity
+(src/dst/class), the bandwidth it reserves (GB flows), and how it injects
+packets. A :class:`Workload` is a validated collection of specs for one
+switch, ready to hand to :class:`repro.switch.simulator.Simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import TrafficError
+from ..types import FlowId, TrafficClass
+from .generators import (
+    BernoulliInjection,
+    InjectionProcess,
+    PacketLength,
+    SaturatingInjection,
+)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow's identity, reservation, and injection behaviour.
+
+    Attributes:
+        flow: (src, dst, class) identity.
+        packet_length: flits per packet — fixed, or an inclusive (min, max)
+            range sampled uniformly per packet.
+        process: injection process; ``None`` means the flow only exists as
+            a reservation (no traffic) — useful for underutilization
+            experiments where a flow reserves bandwidth it never uses.
+        reserved_rate: fraction of the destination output's bandwidth
+            reserved (GB flows only; must be ``None`` for BE, and GL flows
+            share the class-wide reservation instead).
+        priority_level: message priority used only by the DAC'12
+            fixed-priority baseline.
+    """
+
+    flow: FlowId
+    packet_length: PacketLength = 8
+    process: Optional[InjectionProcess] = None
+    reserved_rate: Optional[float] = None
+    priority_level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reserved_rate is not None:
+            if self.flow.traffic_class is not TrafficClass.GB:
+                raise TrafficError(
+                    f"only GB flows take per-flow reservations, got {self.flow}"
+                )
+            if not 0.0 < self.reserved_rate <= 1.0:
+                raise TrafficError(
+                    f"reserved_rate must be in (0, 1], got {self.reserved_rate}"
+                )
+        if self.flow.traffic_class is TrafficClass.GB and self.reserved_rate is None:
+            raise TrafficError(f"GB flow {self.flow} requires a reserved_rate")
+        if not 0 <= self.priority_level <= 3:
+            raise TrafficError(f"priority_level must be in [0, 3], got {self.priority_level}")
+
+    @property
+    def mean_packet_flits(self) -> float:
+        """Average packet length in flits."""
+        if isinstance(self.packet_length, int):
+            return float(self.packet_length)
+        lo, hi = self.packet_length
+        return (lo + hi) / 2.0
+
+    def with_process(self, process: InjectionProcess) -> "FlowSpec":
+        """Copy of this spec with a different injection process."""
+        return replace(self, process=process)
+
+
+def gb_flow(
+    src: int,
+    dst: int,
+    reserved_rate: float,
+    packet_length: PacketLength = 8,
+    inject_rate: Optional[float] = None,
+    process: Optional[InjectionProcess] = None,
+) -> FlowSpec:
+    """Build a Guaranteed Bandwidth flow.
+
+    Args:
+        src: input port.
+        dst: output port.
+        reserved_rate: reserved fraction of the output channel.
+        packet_length: flits per packet.
+        inject_rate: offered load in flits/cycle; defaults to a saturating
+            source when neither this nor ``process`` is given.
+        process: explicit injection process (overrides ``inject_rate``).
+    """
+    if process is None:
+        process = (
+            SaturatingInjection() if inject_rate is None else BernoulliInjection(inject_rate)
+        )
+    return FlowSpec(
+        flow=FlowId(src, dst, TrafficClass.GB),
+        packet_length=packet_length,
+        process=process,
+        reserved_rate=reserved_rate,
+    )
+
+
+def be_flow(
+    src: int,
+    dst: int,
+    packet_length: PacketLength = 8,
+    inject_rate: Optional[float] = None,
+    process: Optional[InjectionProcess] = None,
+) -> FlowSpec:
+    """Build a Best-Effort flow (see :func:`gb_flow` for argument meanings)."""
+    if process is None:
+        process = (
+            SaturatingInjection() if inject_rate is None else BernoulliInjection(inject_rate)
+        )
+    return FlowSpec(
+        flow=FlowId(src, dst, TrafficClass.BE),
+        packet_length=packet_length,
+        process=process,
+    )
+
+
+def gl_flow(
+    src: int,
+    dst: int,
+    packet_length: PacketLength = 1,
+    inject_rate: Optional[float] = None,
+    process: Optional[InjectionProcess] = None,
+) -> FlowSpec:
+    """Build a Guaranteed Latency flow; defaults to single-flit packets.
+
+    GL is "envisioned for sending infrequent, time-critical messages, such
+    as interrupts" — callers should use low injection rates unless testing
+    the policer.
+    """
+    if process is None:
+        process = (
+            SaturatingInjection() if inject_rate is None else BernoulliInjection(inject_rate)
+        )
+    return FlowSpec(
+        flow=FlowId(src, dst, TrafficClass.GL),
+        packet_length=packet_length,
+        process=process,
+    )
+
+
+@dataclass
+class Workload:
+    """A validated set of flows for one switch.
+
+    Attributes:
+        flows: the flow specifications.
+        name: label used in reports.
+    """
+
+    flows: List[FlowSpec] = field(default_factory=list)
+    name: str = "workload"
+
+    def __iter__(self) -> Iterator[FlowSpec]:
+        return iter(self.flows)
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def add(self, spec: FlowSpec) -> "Workload":
+        """Append a flow (fluent)."""
+        self.flows.append(spec)
+        return self
+
+    def extend(self, specs: Iterable[FlowSpec]) -> "Workload":
+        """Append several flows (fluent)."""
+        self.flows.extend(specs)
+        return self
+
+    def validate(self, radix: int, gl_reserved_rate: float = 0.0) -> None:
+        """Check endpoints, duplicates, and per-output reservation sums.
+
+        Raises:
+            TrafficError: on out-of-range ports, duplicate flow identities,
+                or an output whose GB reservations plus the GL share exceed
+                1.0.
+        """
+        seen = set()
+        totals: Dict[int, float] = {}
+        gl_outputs = set()
+        for spec in self.flows:
+            flow = spec.flow
+            if not (0 <= flow.src < radix and 0 <= flow.dst < radix):
+                raise TrafficError(f"flow {flow} endpoints out of range for radix {radix}")
+            if flow in seen:
+                raise TrafficError(f"duplicate flow {flow}")
+            seen.add(flow)
+            if spec.reserved_rate is not None:
+                totals[flow.dst] = totals.get(flow.dst, 0.0) + spec.reserved_rate
+            if flow.traffic_class is TrafficClass.GL:
+                gl_outputs.add(flow.dst)
+        for dst, total in totals.items():
+            budget = 1.0 - (gl_reserved_rate if dst in gl_outputs else 0.0)
+            if total > budget + 1e-9:
+                raise TrafficError(
+                    f"output {dst} oversubscribed: GB reservations sum to {total:.4f} "
+                    f"with GL share {gl_reserved_rate if dst in gl_outputs else 0.0:.4f}"
+                )
+
+    @property
+    def gb_flows(self) -> List[FlowSpec]:
+        """The GB subset."""
+        return [s for s in self.flows if s.flow.traffic_class is TrafficClass.GB]
+
+    @property
+    def gl_flows(self) -> List[FlowSpec]:
+        """The GL subset."""
+        return [s for s in self.flows if s.flow.traffic_class is TrafficClass.GL]
+
+    @property
+    def be_flows(self) -> List[FlowSpec]:
+        """The BE subset."""
+        return [s for s in self.flows if s.flow.traffic_class is TrafficClass.BE]

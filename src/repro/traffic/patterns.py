@@ -1,0 +1,221 @@
+"""Destination patterns expanded into per-(src, dst) flows.
+
+A Virtual Clock flow is a (source, destination) pair, so spatial patterns
+(uniform random, permutation, hotspot, ...) are expressed by building one
+flow per active pair with the appropriate per-pair rate. These builders are
+used by the scalability experiments and the domain examples; the paper's
+own Fig. 4/5 setups use :func:`single_output_workload`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..types import TrafficClass
+from .flows import Workload, be_flow, gb_flow
+from .generators import BernoulliInjection, PacketLength, SaturatingInjection
+
+
+def single_output_workload(
+    num_inputs: int,
+    output: int,
+    reserved_rates: Sequence[float],
+    packet_length: PacketLength = 8,
+    inject_rate: Optional[float] = None,
+    traffic_class: TrafficClass = TrafficClass.GB,
+) -> Workload:
+    """All inputs target one output — the paper's Fig. 4/5 setup.
+
+    Args:
+        num_inputs: number of requesting inputs.
+        output: the shared destination.
+        reserved_rates: per-input reserved fraction (GB only; ignored for
+            BE). Length must equal ``num_inputs``.
+        packet_length: flits per packet.
+        inject_rate: offered flits/cycle per input; ``None`` saturates.
+        traffic_class: GB (reservations honoured) or BE.
+    """
+    if len(reserved_rates) != num_inputs:
+        raise TrafficError(
+            f"need {num_inputs} reserved rates, got {len(reserved_rates)}"
+        )
+    workload = Workload(name=f"single-output->{output}")
+    for src in range(num_inputs):
+        if traffic_class is TrafficClass.GB:
+            workload.add(
+                gb_flow(
+                    src,
+                    output,
+                    reserved_rate=reserved_rates[src],
+                    packet_length=packet_length,
+                    inject_rate=inject_rate,
+                )
+            )
+        elif traffic_class is TrafficClass.BE:
+            workload.add(
+                be_flow(src, output, packet_length=packet_length, inject_rate=inject_rate)
+            )
+        else:
+            raise TrafficError("single_output_workload builds GB or BE flows only")
+    return workload
+
+
+#: Reserved fractions of the paper's Fig. 4 experiment: 40/20/10/10/5/5/5/5 %.
+FIG4_RESERVED_RATES = (0.40, 0.20, 0.10, 0.10, 0.05, 0.05, 0.05, 0.05)
+
+
+def uniform_random_workload(
+    radix: int,
+    inject_rate: float,
+    packet_length: PacketLength = 8,
+    reserved_share: float = 1.0,
+) -> Workload:
+    """Every input spreads its load evenly over all outputs (GB flows).
+
+    Each (src, dst) pair becomes a flow reserving
+    ``reserved_share / radix`` of its output and injecting
+    ``inject_rate / radix`` flits/cycle.
+    """
+    if not 0.0 < reserved_share <= 1.0:
+        raise TrafficError(f"reserved_share must be in (0, 1], got {reserved_share}")
+    workload = Workload(name="uniform-random")
+    per_pair_rate = inject_rate / radix
+    per_pair_reservation = reserved_share / radix
+    for src in range(radix):
+        for dst in range(radix):
+            workload.add(
+                gb_flow(
+                    src,
+                    dst,
+                    reserved_rate=per_pair_reservation,
+                    packet_length=packet_length,
+                    process=BernoulliInjection(per_pair_rate),
+                )
+            )
+    return workload
+
+
+def permutation_workload(
+    radix: int,
+    inject_rate: Optional[float] = None,
+    packet_length: PacketLength = 8,
+    permutation: Optional[Sequence[int]] = None,
+    reserved_rates: Optional[Dict[int, float]] = None,
+    seed: int = 7,
+) -> Workload:
+    """Each input sends to exactly one distinct output.
+
+    Args:
+        permutation: explicit destination per input; a random derangement-
+            free permutation is drawn when omitted.
+        reserved_rates: per-input reservation (defaults to 0.9 — nearly the
+            whole dedicated channel).
+    """
+    if permutation is None:
+        rng = np.random.default_rng(seed)
+        permutation = rng.permutation(radix).tolist()
+    perm = list(permutation)
+    if sorted(perm) != list(range(radix)):
+        raise TrafficError(f"not a permutation of range({radix}): {perm}")
+    workload = Workload(name="permutation")
+    for src, dst in enumerate(perm):
+        rate = (reserved_rates or {}).get(src, 0.9)
+        process = (
+            SaturatingInjection() if inject_rate is None else BernoulliInjection(inject_rate)
+        )
+        workload.add(
+            gb_flow(src, dst, reserved_rate=rate, packet_length=packet_length, process=process)
+        )
+    return workload
+
+
+def transpose_destination(src: int, radix: int) -> int:
+    """Matrix-transpose pattern destination for ``src``."""
+    bits = radix.bit_length() - 1
+    if bits % 2 != 0:
+        raise TrafficError(f"transpose needs an even number of address bits, radix={radix}")
+    half = bits // 2
+    lo = src & ((1 << half) - 1)
+    hi = src >> half
+    return (lo << half) | hi
+
+
+def bit_complement_workload(
+    radix: int,
+    inject_rate: Optional[float] = None,
+    packet_length: PacketLength = 8,
+    reserved_rate: float = 0.9,
+) -> Workload:
+    """Each input ``i`` sends to output ``~i`` (another permutation)."""
+    perm = [(radix - 1) ^ src for src in range(radix)]
+    return permutation_workload(
+        radix,
+        inject_rate=inject_rate,
+        packet_length=packet_length,
+        permutation=perm,
+        reserved_rates={src: reserved_rate for src in range(radix)},
+    )
+
+
+def hotspot_workload(
+    radix: int,
+    hotspot: int,
+    hotspot_fraction: float = 0.5,
+    inject_rate: float = 0.5,
+    packet_length: PacketLength = 8,
+) -> Workload:
+    """Background uniform traffic plus a contended hotspot output.
+
+    Every input sends ``hotspot_fraction`` of its load to ``hotspot`` and
+    spreads the rest uniformly; reservations at the hotspot split the
+    channel equally. This is the memory-controller-style scenario the
+    paper's introduction motivates.
+    """
+    if not 0 <= hotspot < radix:
+        raise TrafficError(f"hotspot {hotspot} out of range [0, {radix})")
+    if not 0.0 < hotspot_fraction <= 1.0:
+        raise TrafficError(f"hotspot_fraction must be in (0, 1], got {hotspot_fraction}")
+    workload = Workload(name=f"hotspot@{hotspot}")
+    hot_reservation = 0.95 / radix
+    other_outputs = [o for o in range(radix) if o != hotspot]
+    background = inject_rate * (1.0 - hotspot_fraction)
+    for src in range(radix):
+        workload.add(
+            gb_flow(
+                src,
+                hotspot,
+                reserved_rate=hot_reservation,
+                packet_length=packet_length,
+                process=BernoulliInjection(inject_rate * hotspot_fraction),
+            )
+        )
+        if other_outputs and background > 0:
+            per_dst = background / len(other_outputs)
+            for dst in other_outputs:
+                workload.add(
+                    be_flow(
+                        src,
+                        dst,
+                        packet_length=packet_length,
+                        process=BernoulliInjection(per_dst),
+                    )
+                )
+    return workload
+
+
+def fig4_workload(
+    inject_rate: Optional[float],
+    packet_length: int = 8,
+    output: int = 0,
+) -> Workload:
+    """The exact Fig. 4 workload: 8 inputs, one output, paper's rate mix."""
+    return single_output_workload(
+        num_inputs=len(FIG4_RESERVED_RATES),
+        output=output,
+        reserved_rates=list(FIG4_RESERVED_RATES),
+        packet_length=packet_length,
+        inject_rate=inject_rate,
+    )

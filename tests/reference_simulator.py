@@ -1,0 +1,122 @@
+"""A deliberately naive per-cycle reference simulator.
+
+Used only by tests: it advances one cycle at a time with no event skipping,
+applying exactly the documented switch semantics — arrivals enqueue (with
+source-side overflow), every idle output arbitrates over the head-of-line
+requests of free inputs in rotating order, a grant occupies channel and
+input for ``arbitration_cycles + flits`` cycles. If the production
+event-driven kernel is cycle-exact, its grant schedule must match this one
+grant for grant.
+
+Saturating sources and packet chaining are intentionally unsupported — the
+reference covers the scheduled-arrival core semantics; chaining and top-up
+behaviours have their own hand-traced tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.config import SwitchConfig
+from repro.core.arbitration import Request
+from repro.qos.base import OutputArbiter
+from repro.switch.buffers import InputPort
+from repro.switch.flit import Packet
+from repro.types import FlowId
+
+#: A grant record: (cycle, output, input, packet_flits).
+GrantRecord = Tuple[int, int, int, int]
+
+
+def naive_simulate(
+    config: SwitchConfig,
+    arrivals: List[Tuple[int, FlowId, int]],
+    arbiters: List[OutputArbiter],
+    horizon: int,
+) -> List[GrantRecord]:
+    """Cycle-by-cycle simulation; returns the grant schedule.
+
+    Args:
+        config: switch parameters (``packet_chaining`` must be off).
+        arrivals: (creation_cycle, flow, flits) triples, any order.
+        arbiters: one arbiter per output (pre-configured/registered).
+        horizon: cycles to simulate.
+    """
+    assert not config.packet_chaining, "reference does not model chaining"
+    radix = config.radix
+    inputs = [InputPort(i, config) for i in range(radix)]
+    out_busy = [0] * radix
+    overflow: Dict[FlowId, Deque[Packet]] = {}
+    grants: List[GrantRecord] = []
+
+    by_cycle: Dict[int, List[Packet]] = {}
+    for created, flow, flits in sorted(arrivals, key=lambda a: (a[0], str(a[1]))):
+        by_cycle.setdefault(created, []).append(
+            Packet(flow=flow, flits=flits, created_cycle=created)
+        )
+
+    for now in range(horizon):
+        # 1. Arrivals (behind any already-overflowed packet of the flow).
+        for packet in by_cycle.get(now, ()):  # noqa: B905
+            port = inputs[packet.src]
+            queue = overflow.get(packet.flow)
+            if queue:
+                queue.append(packet)
+            elif not port.try_inject(packet, now):
+                overflow.setdefault(packet.flow, deque()).append(packet)
+        # 2. Drain overflow.
+        for flow, queue in overflow.items():
+            port = inputs[flow.src]
+            while queue and port.try_inject(queue[0], now):
+                queue.popleft()
+        # 3. Arbitrate idle outputs, rotating start by `now`.
+        for k in range(radix):
+            o = (now + k) % radix
+            if out_busy[o] > now:
+                continue
+            requests = []
+            for port in inputs:
+                if port.busy_until > now:
+                    continue
+                head = port.head_for_output(o)
+                if head is None:
+                    continue
+                requests.append(
+                    Request(
+                        input_port=port.port,
+                        traffic_class=head.traffic_class,
+                        packet_flits=head.flits,
+                        queued_flits=port.total_occupancy_flits,
+                        arrival_cycle=(
+                            head.injected_cycle
+                            if head.injected_cycle is not None
+                            else head.created_cycle
+                        ),
+                    )
+                )
+            if not requests:
+                continue
+            arbiter = arbiters[o]
+            winner = arbiter.select(requests, now)
+            if winner is None:
+                continue
+            arbiter.commit(winner, now)
+            port = inputs[winner.input_port]
+            packet = port.head_for_output(o)
+            port.pop_packet(packet)
+            arb_cycles = (
+                arbiter.arbitration_cycles
+                if arbiter.arbitration_cycles is not None
+                else config.arbitration_cycles
+            )
+            delivered = now + arb_cycles + packet.flits
+            out_busy[o] = delivered
+            port.busy_until = delivered
+            grants.append((now, o, winner.input_port, packet.flits))
+            # 4. Freed buffer space admits overflow immediately.
+            for flow, queue in overflow.items():
+                src_port = inputs[flow.src]
+                while queue and src_port.try_inject(queue[0], now):
+                    queue.popleft()
+    return grants

@@ -1,0 +1,62 @@
+"""Tests for the ASCII line-chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.ascii_plot import line_chart
+
+
+class TestLineChart:
+    def test_renders_single_series(self):
+        chart = line_chart({"a": [0.0, 0.5, 1.0]}, ["0", "1", "2"], height=4)
+        assert "o" in chart
+        assert "legend: o=a" in chart
+
+    def test_extremes_land_on_edge_rows(self):
+        chart = line_chart({"a": [0.0, 1.0]}, ["lo", "hi"], height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in rows[0]  # top row holds the max
+        assert "o" in rows[-1]  # bottom row holds the min
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = line_chart(
+            {"a": [0.0, 1.0], "b": [1.0, 0.0]}, ["x", "y"], height=4
+        )
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_collisions_marked(self):
+        chart = line_chart(
+            {"a": [0.5, 0.5], "b": [0.5, 0.5]}, ["x", "y"], height=4
+        )
+        assert "!" in chart
+
+    def test_none_values_leave_gaps(self):
+        chart = line_chart({"a": [0.0, None, 1.0]}, ["0", "1", "2"], height=4)
+        body = "\n".join(line for line in chart.splitlines() if "|" in line)
+        assert body.count("o") == 2
+
+    def test_flat_series_renders(self):
+        chart = line_chart({"a": [3.0, 3.0, 3.0]}, ["0", "1", "2"], height=4)
+        assert "o" in chart
+
+    def test_title_and_axis_labels(self):
+        chart = line_chart(
+            {"a": [0.0, 2.0]}, ["left", "right"], height=4, title="T",
+            y_label="fl/cy",
+        )
+        assert chart.startswith("T\n")
+        assert "fl/cy" in chart or "2" in chart
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            line_chart({"a": [1.0]}, ["x", "y"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            line_chart({}, ["x"])
+        with pytest.raises(ConfigError):
+            line_chart({"a": [None]}, ["x"])
+
+    def test_rejects_tiny_height(self):
+        with pytest.raises(ConfigError):
+            line_chart({"a": [1.0]}, ["x"], height=1)

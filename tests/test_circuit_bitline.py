@@ -1,0 +1,84 @@
+"""Tests for the bitline/lane wire primitives."""
+
+import pytest
+
+from repro.circuit.bitline import Bitline, Lane
+from repro.errors import CircuitError
+
+
+class TestBitline:
+    def test_sense_before_precharge_raises(self):
+        with pytest.raises(CircuitError):
+            Bitline(0).sense(by_input=1)
+
+    def test_discharge_before_precharge_raises(self):
+        with pytest.raises(CircuitError):
+            Bitline(0).discharge(by_input=1)
+
+    def test_precharged_wire_senses_charged(self):
+        wire = Bitline(0)
+        wire.precharge()
+        assert wire.sense(by_input=0) is True
+
+    def test_discharged_wire_senses_low(self):
+        wire = Bitline(0)
+        wire.precharge()
+        wire.discharge(by_input=1)
+        assert wire.sense(by_input=0) is False
+
+    def test_self_discharge_sense_is_a_modelling_bug(self):
+        wire = Bitline(0)
+        wire.precharge()
+        wire.discharge(by_input=0)
+        with pytest.raises(CircuitError):
+            wire.sense(by_input=0)
+
+    def test_precharge_clears_previous_arbitration(self):
+        wire = Bitline(0)
+        wire.precharge()
+        wire.discharge(by_input=1)
+        wire.precharge()
+        assert wire.sense(by_input=0) is True
+
+    def test_discharged_by_records_inputs(self):
+        wire = Bitline(0)
+        wire.precharge()
+        wire.discharge(by_input=1)
+        wire.discharge(by_input=3)
+        assert wire.discharged_by == {1, 3}
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(CircuitError):
+            Bitline(-1)
+
+
+class TestLane:
+    def test_lane_has_radix_bitlines_with_global_indices(self):
+        lane = Lane(lane_index=2, radix=4)
+        assert [b.index for b in lane.bitlines] == [8, 9, 10, 11]
+
+    def test_apply_discharge_pulls_selected_positions(self):
+        lane = Lane(0, 4)
+        lane.precharge()
+        lane.apply_discharge([0, 1, 0, 1], by_input=2)
+        assert lane.sense(0, by_input=0) is True
+        assert lane.sense(1, by_input=0) is False
+        assert lane.sense(3, by_input=0) is False
+
+    def test_apply_discharge_wrong_width_raises(self):
+        lane = Lane(0, 4)
+        lane.precharge()
+        with pytest.raises(CircuitError):
+            lane.apply_discharge([1, 0], by_input=0)
+
+    def test_sense_position_out_of_range(self):
+        lane = Lane(0, 4)
+        lane.precharge()
+        with pytest.raises(CircuitError):
+            lane.sense(4, by_input=0)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(CircuitError):
+            Lane(-1, 4)
+        with pytest.raises(CircuitError):
+            Lane(0, 0)

@@ -1,0 +1,102 @@
+"""Tests for the register-accurate crosspoint model."""
+
+import pytest
+
+from repro.circuit.crosspoint import CrosspointCircuit
+from repro.config import QoSConfig
+from repro.errors import CircuitError
+from repro.types import CounterMode
+
+
+def make_xpoint(vtick=16, mode=CounterMode.SUBTRACT, sig_bits=3, frac_bits=4):
+    qos = QoSConfig(sig_bits=sig_bits, frac_bits=frac_bits, counter_mode=mode)
+    return CrosspointCircuit(input_port=0, qos=qos, vtick=vtick)
+
+
+class TestTransmit:
+    def test_counter_accumulates_vtick(self):
+        xp = make_xpoint(vtick=16)  # quantum 16
+        xp.on_transmit()
+        assert xp.counter == 16
+        assert xp.level == 1
+
+    def test_thermometer_tracks_msb(self):
+        xp = make_xpoint(vtick=8)
+        xp.on_transmit()  # 8 -> level 0
+        assert xp.level == 0
+        xp.on_transmit()  # 16 -> level 1
+        assert xp.level == 1
+        assert xp.thermometer.bits[:2] == (1, 1)
+
+    def test_saturation_flag_and_clamp(self):
+        xp = make_xpoint(vtick=100, sig_bits=2, frac_bits=2)  # saturation 16
+        assert xp.on_transmit() is True
+        assert xp.counter == xp.qos.saturation
+        assert xp.level == xp.qos.levels - 1
+
+
+class TestManagement:
+    def test_real_time_wrap_shifts_down(self):
+        xp = make_xpoint(vtick=32)  # two quanta per transmit
+        xp.on_transmit()
+        assert xp.level == 2
+        xp.real_time_wrap()
+        assert xp.counter == 16
+        assert xp.level == 1
+
+    def test_real_time_wrap_floors_at_zero(self):
+        xp = make_xpoint()
+        xp.real_time_wrap()
+        assert xp.counter == 0
+
+    def test_wrap_rejected_outside_subtract_mode(self):
+        xp = make_xpoint(mode=CounterMode.HALVE)
+        with pytest.raises(CircuitError):
+            xp.real_time_wrap()
+
+    def test_halve(self):
+        xp = make_xpoint(vtick=40, mode=CounterMode.HALVE)
+        xp.on_transmit()
+        xp.halve()
+        assert xp.counter == 20
+
+    def test_reset(self):
+        xp = make_xpoint(vtick=40, mode=CounterMode.RESET)
+        xp.on_transmit()
+        xp.reset()
+        assert xp.counter == 0
+        assert xp.level == 0
+        assert not xp.saturated_flag
+
+
+class TestValidation:
+    def test_rejects_oversized_vtick(self):
+        qos = QoSConfig(sig_bits=3, frac_bits=4, vtick_bits=4)
+        with pytest.raises(CircuitError):
+            CrosspointCircuit(0, qos, vtick=16 * 16)
+
+    def test_rejects_nonpositive_vtick(self):
+        with pytest.raises(CircuitError):
+            make_xpoint(vtick=0)
+
+    def test_rejects_negative_port(self):
+        with pytest.raises(CircuitError):
+            CrosspointCircuit(-1, QoSConfig(), vtick=8)
+
+
+class TestEquivalenceWithBehavioralCore:
+    def test_levels_match_ssvc_core_on_a_schedule(self):
+        """Register-level and float models agree on integer-vtick schedules."""
+        from repro.core.ssvc import SSVCCore
+
+        qos = QoSConfig(sig_bits=3, frac_bits=4, counter_mode=CounterMode.HALVE)
+        core = SSVCCore(qos, num_inputs=1)
+        core.register_flow(0, 0.5, 8)  # vtick 16, integer
+        xp = CrosspointCircuit(0, qos, vtick=16)
+        for step in range(40):
+            core.commit(0, now=0)
+            xp.on_transmit()
+            if xp.saturated_flag:
+                xp.halve()
+                # The behavioral core halves automatically at commit.
+            assert xp.level == core.level(0, now=0), f"diverged at step {step}"

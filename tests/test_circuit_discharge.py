@@ -1,0 +1,70 @@
+"""Tests for the Fig. 1(b)/Fig. 3 discharge decision circuit."""
+
+import pytest
+
+from repro.circuit.discharge import discharge_decision, gl_discharge_decision
+from repro.core.thermometer import ThermometerCode
+from repro.errors import CircuitError
+
+
+def therm(level, positions=8):
+    return ThermometerCode(positions=positions, level=level).bits
+
+
+class TestTruthTable:
+    """The three cases of the two-adjacent-bit circuit."""
+
+    def test_lane_above_my_level_discharges_everything(self):
+        # Level 2, lane 5: T5 = 0 -> all ones.
+        bits = discharge_decision(5, therm(2), [0, 1, 0, 0])
+        assert bits == [1, 1, 1, 1]
+
+    def test_my_own_lane_discharges_lrg_row(self):
+        # Level 2, lane 2: T2 = 1, T3 = 0 -> the LRG row verbatim.
+        row = [0, 1, 0, 1]
+        assert discharge_decision(2, therm(2), row) == row
+
+    def test_lane_below_my_level_discharges_nothing(self):
+        # Level 5, lane 2: T3 = 1 -> all zeros.
+        assert discharge_decision(2, therm(5), [1, 1, 1, 1]) == [0, 0, 0, 0]
+
+    def test_top_lane_uses_implicit_zero_beyond_vector(self):
+        # Level == last lane: T[last] = 1, T[last+1] implicitly 0 -> LRG row.
+        row = [1, 0, 0, 0]
+        assert discharge_decision(7, therm(7), row) == row
+
+    def test_level_zero_discharges_all_higher_lanes(self):
+        for lane in range(1, 8):
+            assert discharge_decision(lane, therm(0), [0, 0, 0, 0]) == [1, 1, 1, 1]
+
+    def test_paper_fig1_example_level6_lane6(self):
+        """In0 of Fig. 1 (level 6): LRG row in lane 6, all-ones in lane 7."""
+        row = [0, 1, 1, 1, 0, 1, 1, 1]
+        assert discharge_decision(6, therm(6), row) == row
+        assert discharge_decision(7, therm(6), row) == [1] * 8
+
+
+class TestValidation:
+    def test_rejects_lane_out_of_range(self):
+        with pytest.raises(CircuitError):
+            discharge_decision(8, therm(2), [0] * 4)
+
+    def test_rejects_non_binary_therm(self):
+        with pytest.raises(CircuitError):
+            discharge_decision(0, (1, 2, 0), [0, 0])
+
+    def test_rejects_non_binary_lrg(self):
+        with pytest.raises(CircuitError):
+            discharge_decision(0, therm(2), [0, 5])
+
+
+class TestGLOverride:
+    def test_gl_request_forces_all_ones(self):
+        assert gl_discharge_decision(True, [0, 0, 0, 0]) == [1, 1, 1, 1]
+
+    def test_no_gl_passes_through(self):
+        assert gl_discharge_decision(False, [0, 1, 0, 1]) == [0, 1, 0, 1]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(CircuitError):
+            gl_discharge_decision(False, [0, 3])

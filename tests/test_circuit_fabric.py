@@ -1,0 +1,98 @@
+"""Tests for the wire-level arbitration fabric, including Fig. 1's example."""
+
+import pytest
+
+from repro.circuit.fabric import ArbitrationFabric, FabricRequest
+from repro.core.lrg import LRGState
+from repro.core.thermometer import ThermometerCode
+from repro.errors import ArbitrationError, CircuitError
+
+
+def gb(port, level, positions=8):
+    return FabricRequest(
+        input_port=port, thermometer=ThermometerCode(positions=positions, level=level)
+    )
+
+
+def gl(port):
+    return FabricRequest(input_port=port, is_gl=True)
+
+
+class TestPaperFig1Example:
+    """Fig. 1: In0@6, In1@6, In2@4, In5@4, In6@4 requesting; In2 wins.
+
+    (Levels follow the thermometer vectors of Fig. 1(a); LRG must prefer
+    In2 over In5/In6 within lane 4, and In1 over In0 within lane 6.)
+    """
+
+    def test_in2_wins(self):
+        lrg = LRGState(8, initial_order=[1, 2, 5, 6, 0, 3, 4, 7])
+        fabric = ArbitrationFabric(radix=8, levels=8, lrg=lrg)
+        requests = [gb(0, 6), gb(1, 6), gb(2, 4), gb(5, 4), gb(6, 4)]
+        assert fabric.arbitrate(requests) == 2
+
+    def test_lane6_inputs_lose_to_lane4(self):
+        """Any LRG order: the lowest thermometer level wins outright."""
+        for order in ([0, 1, 2, 3, 4, 5, 6, 7], [7, 6, 5, 4, 3, 2, 1, 0]):
+            fabric = ArbitrationFabric(8, 8, lrg=LRGState(8, initial_order=order))
+            winner = fabric.arbitrate([gb(0, 6), gb(1, 6), gb(2, 4), gb(5, 4), gb(6, 4)])
+            assert winner in (2, 5, 6)
+
+
+class TestGBArbitration:
+    def test_single_requester_wins(self):
+        fabric = ArbitrationFabric(4, 4)
+        assert fabric.arbitrate([gb(3, 2, positions=4)]) == 3
+
+    def test_lower_level_wins(self):
+        fabric = ArbitrationFabric(4, 4)
+        assert fabric.arbitrate([gb(0, 3, positions=4), gb(1, 1, positions=4)]) == 1
+
+    def test_tie_uses_lrg(self):
+        lrg = LRGState(4, initial_order=[2, 0, 1, 3])
+        fabric = ArbitrationFabric(4, 4, lrg=lrg)
+        assert fabric.arbitrate([gb(0, 2, positions=4), gb(2, 2, positions=4)]) == 2
+
+    def test_arbitrate_and_grant_updates_lrg(self):
+        fabric = ArbitrationFabric(4, 4)
+        first = fabric.arbitrate_and_grant([gb(0, 0, positions=4), gb(1, 0, positions=4)])
+        second = fabric.arbitrate_and_grant([gb(0, 0, positions=4), gb(1, 0, positions=4)])
+        assert {first, second} == {0, 1}
+
+
+class TestGLLane:
+    def test_gl_preempts_all_gb(self):
+        fabric = ArbitrationFabric(4, 4)
+        winner = fabric.arbitrate([gb(0, 0, positions=4), gb(1, 0, positions=4), gl(2)])
+        assert winner == 2
+
+    def test_gl_vs_gl_uses_lrg(self):
+        lrg = LRGState(4, initial_order=[3, 1, 0, 2])
+        fabric = ArbitrationFabric(4, 4, lrg=lrg)
+        assert fabric.arbitrate([gl(1), gl(3)]) == 3
+
+    def test_bus_width_includes_gl_lane(self):
+        fabric = ArbitrationFabric(radix=8, levels=16)
+        assert fabric.bus_bits_required == (16 + 1) * 8
+
+
+class TestValidation:
+    def test_empty_requests_rejected(self):
+        with pytest.raises(ArbitrationError):
+            ArbitrationFabric(4, 4).arbitrate([])
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(ArbitrationError):
+            ArbitrationFabric(4, 4).arbitrate([gb(0, 0, positions=4), gb(0, 1, positions=4)])
+
+    def test_port_out_of_range_rejected(self):
+        with pytest.raises(ArbitrationError):
+            ArbitrationFabric(4, 4).arbitrate([gb(5, 0, positions=4)])
+
+    def test_wrong_thermometer_width_rejected(self):
+        with pytest.raises(ArbitrationError):
+            ArbitrationFabric(4, 4).arbitrate([gb(0, 0, positions=8)])
+
+    def test_gb_request_without_thermometer_rejected(self):
+        with pytest.raises(CircuitError):
+            FabricRequest(input_port=0, is_gl=False, thermometer=None)

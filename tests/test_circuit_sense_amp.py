@@ -1,0 +1,61 @@
+"""Tests for the Fig. 2 lane-select mux model."""
+
+import pytest
+
+from repro.circuit.sense_amp import SenseAmpMux
+from repro.errors import CircuitError
+from repro.hw.timing import TimingModel
+
+
+class TestCandidateWires:
+    def test_paper_example_input2_radix8_64bit(self):
+        """Fig. 1 caption: input 2 senses wires 2, 10, 18, ..., 58."""
+        mux = SenseAmpMux(input_port=2, radix=8, num_lanes=8)
+        assert mux.candidate_wires() == [2, 10, 18, 26, 34, 42, 50, 58]
+
+    def test_gl_lane_appends_one_wire(self):
+        mux = SenseAmpMux(input_port=0, radix=4, num_lanes=3, gl_lane=True)
+        assert mux.candidate_wires() == [0, 4, 8, 12]
+
+
+class TestSelect:
+    def test_level_selects_lane_wire(self):
+        mux = SenseAmpMux(input_port=3, radix=8, num_lanes=8)
+        assert mux.select(level=6) == 6 * 8 + 3
+
+    def test_gl_request_selects_gl_lane(self):
+        mux = SenseAmpMux(input_port=1, radix=4, num_lanes=4, gl_lane=True)
+        assert mux.select(level=0, gl_request=True) == 4 * 4 + 1
+
+    def test_gl_without_lane_raises(self):
+        mux = SenseAmpMux(input_port=1, radix=4, num_lanes=4)
+        with pytest.raises(CircuitError):
+            mux.select(level=0, gl_request=True)
+
+    def test_level_out_of_range_raises(self):
+        with pytest.raises(CircuitError):
+            SenseAmpMux(0, 4, 4).select(level=4)
+
+
+class TestDepth:
+    @pytest.mark.parametrize("lanes,depth", [(1, 0), (2, 1), (4, 2), (16, 4), (5, 3)])
+    def test_depth_is_log2_of_inputs(self, lanes, depth):
+        assert SenseAmpMux(0, 32, lanes).depth == depth
+
+    def test_depth_matches_timing_model_charge(self):
+        """The mux depth here is exactly what Table 2's model charges."""
+        model = TimingModel()
+        for radix, width in [(8, 128), (8, 256), (64, 256), (32, 512)]:
+            lanes = width // radix
+            mux = SenseAmpMux(0, radix, lanes)
+            assert mux.depth == model.mux_stages(radix, width)
+
+
+class TestValidation:
+    def test_rejects_bad_port(self):
+        with pytest.raises(CircuitError):
+            SenseAmpMux(9, 8, 4)
+
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(CircuitError):
+            SenseAmpMux(0, 8, 0)

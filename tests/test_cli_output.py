@@ -1,0 +1,46 @@
+"""Tests for the CLI --output option."""
+
+from repro.experiments.cli import main
+
+
+class TestOutputOption:
+    def test_report_appended_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        assert main(["table1", "--output", str(out_file)]) == 0
+        content = out_file.read_text()
+        assert "=== table1 ===" in content
+        assert "1101" in content.replace(",", "")
+        # Printed to stdout as well.
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_appends_across_invocations(self, tmp_path):
+        out_file = tmp_path / "results.txt"
+        main(["table1", "--output", str(out_file)])
+        main(["table2", "--output", str(out_file)])
+        content = out_file.read_text()
+        assert "=== table1 ===" in content
+        assert "=== table2 ===" in content
+
+
+class TestCustomTarget:
+    def test_custom_runs_serialized_experiment(self, tmp_path, capsys):
+        import pytest
+
+        from repro import SwitchConfig, Workload, gb_flow, save_experiment
+
+        path = tmp_path / "exp.json"
+        workload = Workload(name="cli-custom")
+        workload.add(gb_flow(0, 0, 0.5, packet_length=8, inject_rate=None))
+        save_experiment(path, SwitchConfig(radix=4, channel_bits=64), workload)
+        rc = main(["custom", "--config", str(path), "--arbiter", "ssvc",
+                   "--horizon", "5000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-custom" in out
+        assert "GB[0->0]" in out
+
+    def test_custom_requires_config(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["custom"])

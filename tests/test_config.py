@@ -1,0 +1,114 @@
+"""Tests for repro.config: validation and derived hardware quantities."""
+
+import pytest
+
+from repro.config import (
+    FIG4_CONFIG,
+    TABLE1_CONFIG,
+    GLPolicerConfig,
+    QoSConfig,
+    SwitchConfig,
+)
+from repro.errors import ConfigError
+from repro.types import CounterMode
+
+
+class TestQoSConfig:
+    def test_defaults(self):
+        qos = QoSConfig()
+        assert qos.levels == 16
+        assert qos.quantum == 256
+        assert qos.counter_bits == 12
+        assert qos.counter_mode is CounterMode.SUBTRACT
+
+    def test_saturation_is_levels_times_quantum(self):
+        qos = QoSConfig(sig_bits=3, frac_bits=4)
+        assert qos.saturation == 8 * 16
+
+    @pytest.mark.parametrize("bad", [0, 17, -1])
+    def test_rejects_bad_sig_bits(self, bad):
+        with pytest.raises(ConfigError):
+            QoSConfig(sig_bits=bad)
+
+    def test_rejects_bad_frac_bits(self):
+        with pytest.raises(ConfigError):
+            QoSConfig(frac_bits=25)
+
+    def test_rejects_bad_vtick_bits(self):
+        with pytest.raises(ConfigError):
+            QoSConfig(vtick_bits=0)
+
+    def test_rejects_non_enum_counter_mode(self):
+        with pytest.raises(ConfigError):
+            QoSConfig(counter_mode="subtract")  # type: ignore[arg-type]
+
+
+class TestGLPolicerConfig:
+    def test_defaults_reserve_small_fraction(self):
+        policer = GLPolicerConfig()
+        assert 0.0 < policer.reserved_rate < 0.2
+
+    def test_rejects_full_reservation(self):
+        with pytest.raises(ConfigError):
+            GLPolicerConfig(reserved_rate=1.0)
+
+    def test_rejects_negative_burst_window(self):
+        with pytest.raises(ConfigError):
+            GLPolicerConfig(burst_window=-5)
+
+    def test_none_burst_window_disables_policing(self):
+        assert GLPolicerConfig(burst_window=None).burst_window is None
+
+
+class TestSwitchConfig:
+    def test_num_lanes_is_width_over_radix(self):
+        assert SwitchConfig(radix=8, channel_bits=128).num_lanes == 16
+        assert SwitchConfig(radix=64, channel_bits=256).num_lanes == 4
+
+    def test_radix64_128bit_cannot_host_three_classes(self):
+        config = SwitchConfig(radix=64, channel_bits=128)
+        assert not config.supports_three_classes
+
+    def test_radix64_256bit_hosts_three_classes(self):
+        assert SwitchConfig(radix=64, channel_bits=256).supports_three_classes
+
+    def test_rejects_non_power_of_two_radix(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig(radix=6)
+
+    def test_rejects_width_not_multiple_of_radix(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig(radix=8, channel_bits=100)
+
+    def test_rejects_zero_buffers(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig(gb_buffer_flits=0)
+
+    def test_rejects_negative_arbitration_cycles(self):
+        with pytest.raises(ConfigError):
+            SwitchConfig(arbitration_cycles=-1)
+
+    def test_with_qos_replaces_only_qos_fields(self):
+        config = SwitchConfig(radix=8, channel_bits=128)
+        updated = config.with_qos(sig_bits=2)
+        assert updated.qos.sig_bits == 2
+        assert updated.radix == config.radix
+        assert config.qos.sig_bits == 4  # original untouched
+
+    def test_effective_levels_clamped_by_lanes(self):
+        config = SwitchConfig(radix=64, channel_bits=256, qos=QoSConfig(sig_bits=4))
+        assert config.effective_levels() <= config.gb_lanes
+
+
+class TestPresetConfigs:
+    def test_fig4_matches_paper_setup(self):
+        assert FIG4_CONFIG.radix == 8
+        assert FIG4_CONFIG.channel_bits == 128
+        assert FIG4_CONFIG.gb_buffer_flits == 16
+        assert FIG4_CONFIG.qos.sig_bits == 4
+        assert FIG4_CONFIG.gl_policer.reserved_rate == 0.0
+
+    def test_table1_matches_paper_setup(self):
+        assert TABLE1_CONFIG.radix == 64
+        assert TABLE1_CONFIG.channel_bits == 512
+        assert TABLE1_CONFIG.qos.counter_bits == 11  # 3 + 8 bits

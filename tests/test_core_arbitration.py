@@ -1,0 +1,68 @@
+"""Tests for repro.core.arbitration value types."""
+
+import pytest
+
+from repro.core.arbitration import (
+    Grant,
+    Request,
+    highest_present_class,
+    split_by_class,
+)
+from repro.types import TrafficClass
+
+
+class TestRequest:
+    def test_rejects_negative_port(self):
+        with pytest.raises(ValueError):
+            Request(input_port=-1, traffic_class=TrafficClass.GB, packet_flits=8)
+
+    def test_rejects_zero_flits(self):
+        with pytest.raises(ValueError):
+            Request(input_port=0, traffic_class=TrafficClass.GB, packet_flits=0)
+
+    def test_frozen(self):
+        req = Request(0, TrafficClass.BE, 8)
+        with pytest.raises(AttributeError):
+            req.input_port = 2  # type: ignore[misc]
+
+
+class TestGrant:
+    def test_input_port_accessor(self):
+        req = Request(3, TrafficClass.GL, 1)
+        assert Grant(request=req, cycle=10).input_port == 3
+
+    def test_gl_lane_flag_defaults_false(self):
+        assert Grant(Request(0, TrafficClass.GB, 8), cycle=0).via_gl_lane is False
+
+
+class TestGrouping:
+    def test_split_by_class_returns_all_keys(self):
+        groups = split_by_class([])
+        assert set(groups) == {TrafficClass.BE, TrafficClass.GB, TrafficClass.GL}
+
+    def test_split_by_class_partitions(self):
+        reqs = [
+            Request(0, TrafficClass.BE, 8),
+            Request(1, TrafficClass.GB, 8),
+            Request(2, TrafficClass.GL, 1),
+            Request(3, TrafficClass.GB, 4),
+        ]
+        groups = split_by_class(reqs)
+        assert [r.input_port for r in groups[TrafficClass.GB]] == [1, 3]
+        assert len(groups[TrafficClass.BE]) == 1
+        assert len(groups[TrafficClass.GL]) == 1
+
+    def test_highest_present_class(self):
+        reqs = [Request(0, TrafficClass.BE, 8), Request(1, TrafficClass.GB, 8)]
+        assert highest_present_class(reqs) is TrafficClass.GB
+
+    def test_highest_present_class_empty(self):
+        assert highest_present_class([]) is None
+
+    def test_highest_present_gl_dominates(self):
+        reqs = [
+            Request(0, TrafficClass.GL, 1),
+            Request(1, TrafficClass.GB, 8),
+            Request(2, TrafficClass.BE, 8),
+        ]
+        assert highest_present_class(reqs) is TrafficClass.GL

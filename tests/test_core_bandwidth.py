@@ -1,0 +1,90 @@
+"""Tests for repro.core.bandwidth — per-output admission control."""
+
+import pytest
+
+from repro.core.bandwidth import BandwidthAllocator
+from repro.errors import AdmissionError, ConfigError
+
+
+class TestConstruction:
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ConfigError):
+            BandwidthAllocator(0)
+
+    def test_rejects_full_gl_reservation(self):
+        with pytest.raises(ConfigError):
+            BandwidthAllocator(4, gl_reserved_rate=1.0)
+
+
+class TestReserve:
+    def test_reserve_returns_reservation_with_vtick(self):
+        alloc = BandwidthAllocator(4)
+        res = alloc.reserve(0, 0.25, 8)
+        assert res.vtick == pytest.approx(32.0)
+        assert res.rate == 0.25
+
+    def test_sum_to_exactly_one_is_admitted(self):
+        alloc = BandwidthAllocator(8)
+        for port, rate in enumerate([0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05]):
+            alloc.reserve(port, rate, 8)
+        assert alloc.reserved_total == pytest.approx(1.0)
+
+    def test_oversubscription_rejected(self):
+        alloc = BandwidthAllocator(2)
+        alloc.reserve(0, 0.7, 8)
+        with pytest.raises(AdmissionError):
+            alloc.reserve(1, 0.4, 8)
+
+    def test_gl_share_counts_against_capacity(self):
+        alloc = BandwidthAllocator(2, gl_reserved_rate=0.1)
+        with pytest.raises(AdmissionError):
+            alloc.reserve(0, 0.95, 8)
+
+    def test_update_replaces_not_adds(self):
+        alloc = BandwidthAllocator(2)
+        alloc.reserve(0, 0.9, 8)
+        alloc.reserve(0, 0.5, 8)  # shrink: must not be treated as 1.4
+        assert alloc.reserved_total == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.1])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(AdmissionError):
+            BandwidthAllocator(2).reserve(0, rate, 8)
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(AdmissionError):
+            BandwidthAllocator(2).reserve(5, 0.5, 8)
+
+    def test_rejects_bad_packet_size(self):
+        with pytest.raises(AdmissionError):
+            BandwidthAllocator(2).reserve(0, 0.5, 0)
+
+
+class TestRelease:
+    def test_release_frees_capacity(self):
+        alloc = BandwidthAllocator(2)
+        alloc.reserve(0, 0.9, 8)
+        alloc.release(0)
+        alloc.reserve(1, 0.9, 8)  # fits again
+
+    def test_release_unknown_is_noop(self):
+        BandwidthAllocator(2).release(0)
+
+
+class TestViews:
+    def test_reservation_lookup(self):
+        alloc = BandwidthAllocator(4)
+        alloc.reserve(2, 0.3, 8)
+        assert alloc.reservation(2).rate == 0.3
+        assert alloc.reservation(0) is None
+
+    def test_reservations_ordered_by_port(self):
+        alloc = BandwidthAllocator(4)
+        alloc.reserve(3, 0.1, 8)
+        alloc.reserve(1, 0.2, 8)
+        assert [r.input_port for r in alloc.reservations] == [1, 3]
+
+    def test_leftover_accounts_for_gl(self):
+        alloc = BandwidthAllocator(4, gl_reserved_rate=0.05)
+        alloc.reserve(0, 0.55, 8)
+        assert alloc.leftover == pytest.approx(0.40)

@@ -1,0 +1,105 @@
+"""Tests for repro.core.gl_bound — Eqs. 1-3."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gl_bound import burst_budgets, gl_latency_bound, max_burst_for_bound
+from repro.errors import ConfigError
+
+
+class TestEquation1:
+    def test_paper_structure(self):
+        # tau = l_max + N * (b + b / l_min)
+        assert gl_latency_bound(l_max=8, l_min=1, n_gl=3, buffer_flits=4) == 8 + 3 * (4 + 4)
+
+    def test_single_gl_input(self):
+        assert gl_latency_bound(8, 2, 1, 4) == 8 + (4 + 2)
+
+    def test_no_gl_inputs_just_channel_release(self):
+        assert gl_latency_bound(8, 1, 0, 4) == 8.0
+
+    def test_larger_min_packet_reduces_arbitration_term(self):
+        loose = gl_latency_bound(8, 1, 4, 8)
+        tight = gl_latency_bound(8, 4, 4, 8)
+        assert tight < loose
+
+    def test_bound_monotone_in_buffer_depth(self):
+        assert gl_latency_bound(8, 1, 2, 8) > gl_latency_bound(8, 1, 2, 4)
+
+    def test_bound_monotone_in_gl_inputs(self):
+        assert gl_latency_bound(8, 1, 8, 4) > gl_latency_bound(8, 1, 2, 4)
+
+    def test_rejects_lmax_below_lmin(self):
+        with pytest.raises(ConfigError):
+            gl_latency_bound(1, 8, 2, 4)
+
+    def test_rejects_negative_gl_count(self):
+        with pytest.raises(ConfigError):
+            gl_latency_bound(8, 1, -1, 4)
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ConfigError):
+            gl_latency_bound(8, 1, 1, 0)
+
+
+class TestEquations2And3:
+    def test_single_input_inverts_to_eq1_style_form(self):
+        # One flow: sigma = (L - l_max) / (l_max + 1).
+        [sigma] = burst_budgets([100.0], l_max=9)
+        assert sigma == pytest.approx((100 - 9) / 10)
+
+    def test_budgets_monotone_in_bounds(self):
+        budgets = burst_budgets([100.0, 200.0, 400.0], l_max=8)
+        assert budgets[0] < budgets[1] < budgets[2]
+
+    def test_returned_in_sorted_order_regardless_of_input_order(self):
+        a = burst_budgets([400.0, 100.0, 200.0], l_max=8)
+        b = burst_budgets([100.0, 200.0, 400.0], l_max=8)
+        assert a == b
+
+    def test_equal_bounds_split_budget_evenly_at_first(self):
+        budgets = burst_budgets([100.0] * 4, l_max=8)
+        assert budgets[0] == pytest.approx((100 - 8) / (9 * 4))
+        # Identical constraints add nothing marginal.
+        assert all(b == pytest.approx(budgets[0]) for b in budgets)
+
+    def test_more_competitors_shrink_the_tightest_budget(self):
+        few = burst_budgets([100.0, 100.0], l_max=8)[0]
+        many = burst_budgets([100.0] * 8, l_max=8)[0]
+        assert many < few
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            burst_budgets([], l_max=8)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigError):
+            burst_budgets([0.0], l_max=8)
+
+    def test_rejects_bound_below_channel_release(self):
+        with pytest.raises(ConfigError):
+            burst_budgets([5.0], l_max=8)
+
+    def test_max_burst_symmetric_helper(self):
+        assert max_burst_for_bound(100.0, 8, 4) == burst_budgets([100.0] * 4, 8)[0]
+
+    def test_max_burst_rejects_zero_inputs(self):
+        with pytest.raises(ConfigError):
+            max_burst_for_bound(100.0, 8, 0)
+
+    @given(
+        n=st.integers(1, 8),
+        l_max=st.integers(1, 16),
+        data=st.data(),
+    )
+    def test_budgets_always_positive_and_sorted(self, n, l_max, data):
+        bounds = data.draw(
+            st.lists(
+                st.floats(min_value=l_max + 1, max_value=10_000),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        budgets = burst_budgets(bounds, l_max)
+        assert all(b > 0 for b in budgets)
+        assert budgets == sorted(budgets)

@@ -1,0 +1,134 @@
+"""Tests for repro.core.thermometer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.thermometer import ThermometerCode
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_level_zero_bits(self):
+        assert ThermometerCode(positions=8, level=0).bits == (1, 0, 0, 0, 0, 0, 0, 0)
+
+    def test_paper_fig1_level6_vector(self):
+        """In0 of Fig. 1(a): level 6 -> [1,1,1,1,1,1,1,0]."""
+        assert ThermometerCode(positions=8, level=6).bits == (1, 1, 1, 1, 1, 1, 1, 0)
+
+    def test_top_level_all_ones(self):
+        assert ThermometerCode(positions=4, level=3).bits == (1, 1, 1, 1)
+
+    def test_rejects_level_out_of_range(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode(positions=4, level=4)
+
+    def test_rejects_zero_positions(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode(positions=0)
+
+
+class TestFromBits:
+    def test_roundtrip(self):
+        code = ThermometerCode(positions=8, level=5)
+        assert ThermometerCode.from_bits(code.bits).level == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode.from_bits([])
+
+    def test_rejects_leading_zero(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode.from_bits([0, 1, 1])
+
+    def test_rejects_hole(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode.from_bits([1, 0, 1])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode.from_bits([1, 2, 0])
+
+    @given(positions=st.integers(1, 32), level=st.data())
+    def test_roundtrip_random(self, positions, level):
+        lvl = level.draw(st.integers(0, positions - 1))
+        code = ThermometerCode(positions=positions, level=lvl)
+        assert ThermometerCode.from_bits(code.bits) == code
+
+
+class TestFromCounter:
+    def test_quantizes_by_quantum(self):
+        assert ThermometerCode.from_counter(0, 256, 16).level == 0
+        assert ThermometerCode.from_counter(255, 256, 16).level == 0
+        assert ThermometerCode.from_counter(256, 256, 16).level == 1
+        assert ThermometerCode.from_counter(1024, 256, 16).level == 4
+
+    def test_clamps_at_top(self):
+        assert ThermometerCode.from_counter(10**9, 256, 16).level == 15
+
+    def test_rejects_negative_counter(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode.from_counter(-1, 256, 16)
+
+    def test_rejects_zero_quantum(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode.from_counter(1, 0, 16)
+
+
+class TestUpdates:
+    def test_shift_up_advances_one_level(self):
+        code = ThermometerCode(positions=8, level=2)
+        assert code.shift_up() is False
+        assert code.level == 3
+
+    def test_shift_up_saturates_at_top(self):
+        code = ThermometerCode(positions=4, level=3)
+        assert code.shift_up() is True
+        assert code.level == 3
+        assert code.saturations == 1
+
+    def test_shift_down_floors_at_zero(self):
+        code = ThermometerCode(positions=8, level=1)
+        code.shift_down(5)
+        assert code.level == 0
+
+    def test_shift_down_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            ThermometerCode(positions=8, level=1).shift_down(-1)
+
+    def test_halve_is_integer_division(self):
+        code = ThermometerCode(positions=16, level=7)
+        code.halve()
+        assert code.level == 3
+        code.halve()
+        assert code.level == 1
+
+    def test_reset_clears(self):
+        code = ThermometerCode(positions=16, level=9)
+        code.reset()
+        assert code.level == 0
+
+
+class TestComparison:
+    def test_smaller_level_beats(self):
+        low = ThermometerCode(positions=8, level=1)
+        high = ThermometerCode(positions=8, level=5)
+        assert low.beats(high)
+        assert not high.beats(low)
+
+    def test_equal_levels_tie(self):
+        a = ThermometerCode(positions=8, level=3)
+        b = ThermometerCode(positions=8, level=3)
+        assert a.ties(b)
+        assert not a.beats(b)
+
+    @given(
+        positions=st.integers(2, 16),
+        data=st.data(),
+    )
+    def test_beats_is_strict_total_order_on_levels(self, positions, data):
+        la = data.draw(st.integers(0, positions - 1))
+        lb = data.draw(st.integers(0, positions - 1))
+        a = ThermometerCode(positions=positions, level=la)
+        b = ThermometerCode(positions=positions, level=lb)
+        # Exactly one of beats / beaten / ties holds.
+        assert sum([a.beats(b), b.beats(a), a.ties(b)]) == 1

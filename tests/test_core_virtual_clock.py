@@ -1,0 +1,100 @@
+"""Tests for repro.core.virtual_clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.virtual_clock import VirtualClockCounter, compute_vtick
+from repro.errors import ConfigError
+
+
+class TestComputeVtick:
+    def test_full_rate_single_flit(self):
+        assert compute_vtick(1.0, 1) == 1.0
+
+    def test_paper_fig4_largest_flow(self):
+        # r = 0.4, 8-flit packets: one packet every 20 cycles on average.
+        assert compute_vtick(0.4, 8) == pytest.approx(20.0)
+
+    def test_small_rate_large_vtick(self):
+        assert compute_vtick(0.05, 8) == pytest.approx(160.0)
+
+    @pytest.mark.parametrize("rate", [0.0, -0.1, 1.5])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(ConfigError):
+            compute_vtick(rate, 8)
+
+    def test_rejects_bad_packet_length(self):
+        with pytest.raises(ConfigError):
+            compute_vtick(0.5, 0)
+
+    @given(
+        rate=st.floats(min_value=0.001, max_value=1.0),
+        flits=st.integers(min_value=1, max_value=64),
+    )
+    def test_vtick_inverse_in_rate(self, rate, flits):
+        assert compute_vtick(rate, flits) == pytest.approx(flits / rate)
+
+
+class TestVirtualClockCounter:
+    def test_rejects_nonpositive_vtick(self):
+        with pytest.raises(ConfigError):
+            VirtualClockCounter(vtick=0.0)
+
+    def test_transmit_advances_by_vtick(self):
+        clock = VirtualClockCounter(vtick=20.0)
+        assert clock.on_transmit(now=0) == 20.0
+        assert clock.on_transmit(now=0) == 40.0
+
+    def test_anti_burst_floor_applies_at_transmit(self):
+        """Step 1 of the algorithm: an idle flow cannot bank priority."""
+        clock = VirtualClockCounter(vtick=10.0)
+        clock.on_transmit(now=0)  # value = 10
+        # Long idle period: real time raced ahead to 1000.
+        assert clock.on_transmit(now=1000) == 1010.0
+
+    def test_effective_reads_floor_without_mutating(self):
+        clock = VirtualClockCounter(vtick=10.0, value=5.0)
+        assert clock.effective(now=100) == 100.0
+        assert clock.value == 5.0
+
+    def test_lead_is_zero_when_behind_real_time(self):
+        clock = VirtualClockCounter(vtick=10.0, value=5.0)
+        assert clock.lead(now=100) == 0.0
+
+    def test_lead_positive_when_ahead(self):
+        clock = VirtualClockCounter(vtick=10.0, value=150.0)
+        assert clock.lead(now=100) == 50.0
+
+    def test_back_to_back_bursts_are_interleaved_not_banked(self):
+        """After the floor, a burst pays one Vtick per packet from `now`."""
+        clock = VirtualClockCounter(vtick=100.0)
+        for i in range(1, 4):
+            clock.on_transmit(now=1000)
+            assert clock.value == 1000.0 + 100.0 * i
+
+    def test_stamp_arrival_matches_original_algorithm(self):
+        clock = VirtualClockCounter(vtick=30.0)
+        assert clock.stamp_arrival(now=10) == 40.0
+        assert clock.stamp_arrival(now=10) == 70.0
+
+    def test_reset_clears_value(self):
+        clock = VirtualClockCounter(vtick=10.0, value=500.0)
+        clock.reset()
+        assert clock.value == 0.0
+
+    def test_transmit_count_tracks_packets(self):
+        clock = VirtualClockCounter(vtick=10.0)
+        for _ in range(5):
+            clock.on_transmit(now=0)
+        assert clock.transmit_count == 5
+
+    @given(
+        vtick=st.floats(min_value=0.5, max_value=500.0),
+        times=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30),
+    )
+    def test_value_never_falls_behind_last_transmit_time(self, vtick, times):
+        """After transmitting at t, the clock reads at least t + vtick."""
+        clock = VirtualClockCounter(vtick=vtick)
+        for t in sorted(times):
+            clock.on_transmit(now=t)
+            assert clock.value >= t + vtick - 1e-9

@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    ArbitrationError,
+    BufferError_,
+    CircuitError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TrafficError,
+    VerificationError,
+)
+
+ALL_ERRORS = [
+    AdmissionError,
+    ArbitrationError,
+    BufferError_,
+    CircuitError,
+    ConfigError,
+    SimulationError,
+    TrafficError,
+    VerificationError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_every_library_error_derives_from_repro_error(error):
+    assert issubclass(error, ReproError)
+    with pytest.raises(ReproError):
+        raise error("boom")
+
+
+def test_repro_error_does_not_swallow_builtins(small_config):
+    """Catching ReproError must not catch programming errors."""
+    with pytest.raises(TypeError):
+        try:
+            raise TypeError("a bug")
+        except ReproError:  # pragma: no cover - must not happen
+            pytest.fail("ReproError caught a TypeError")
+
+
+def test_buffer_error_does_not_shadow_builtin():
+    assert BufferError_ is not BufferError
+    assert not issubclass(BufferError_, BufferError)
+
+
+def test_library_raises_only_repro_errors_on_bad_config():
+    """Spot-check: public validation paths raise library errors."""
+    from repro.config import SwitchConfig
+    from repro.core.bandwidth import BandwidthAllocator
+    from repro.traffic.generators import BernoulliInjection
+
+    with pytest.raises(ReproError):
+        SwitchConfig(radix=3)
+    with pytest.raises(ReproError):
+        BandwidthAllocator(2).reserve(0, 1.5, 8)
+    with pytest.raises(ReproError):
+        BernoulliInjection(2.0)

@@ -1,0 +1,41 @@
+"""CLI smoke tests: every experiment runs end-to-end in fast mode."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_every_registered_experiment_has_a_main(self):
+        assert set(EXPERIMENTS) == {
+            "fig4",
+            "fig5",
+            "table1",
+            "table2",
+            "rate-adherence",
+            "gl-bound",
+            "gl-burst",
+            "scalability",
+            "circuit",
+            "baselines",
+            "composition",
+        }
+
+    def test_table1_via_cli(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "1101" in out.replace(",", "")
+
+    def test_table2_via_cli(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "8.4" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+    def test_fast_flag_accepted(self, capsys):
+        assert main(["circuit", "--fast"]) == 0
+        assert "0 mismatches" in capsys.readouterr().out

@@ -1,0 +1,34 @@
+"""Tests for the Section 4.4 scalability experiment."""
+
+import pytest
+
+from repro.experiments.scalability import run_scalability, run_sig_bits_sweep
+
+
+class TestLaneTable:
+    def test_table_included(self):
+        result = run_scalability(horizon=15_000, sig_bits_values=(2,))
+        assert len(result.lane_rows) == 12
+        # The radix-64 / 128-bit row must be the one infeasible point.
+        infeasible = [(r, w) for r, w, _, ok, _ in result.lane_rows if not ok]
+        assert infeasible == [(64, 128)]
+
+
+class TestSigBitsSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_sig_bits_sweep(sig_bits_values=(1, 4), horizon=40_000)
+
+    def test_all_quantizations_deliver_reservations(self, points):
+        for point in points:
+            assert point.worst_shortfall < 0.05, point
+
+    def test_fewer_bits_means_flatter_latency(self, points):
+        """Coarser comparison -> more LRG -> lower spread (Fig. 5 logic)."""
+        by_bits = {p.sig_bits: p for p in points}
+        assert by_bits[1].latency_spread < by_bits[4].latency_spread
+
+    def test_format_renders(self):
+        result = run_scalability(horizon=15_000, sig_bits_values=(2,))
+        text = result.format()
+        assert "lanes" in text and "sig bits" in text

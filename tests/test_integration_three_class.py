@@ -1,0 +1,111 @@
+"""End-to-end integration: mixed-class workloads through the full stack."""
+
+import pytest
+
+from repro.config import GLPolicerConfig, QoSConfig, SwitchConfig
+from repro.experiments.common import run_simulation
+from repro.traffic.flows import Workload, be_flow, gb_flow, gl_flow
+from repro.traffic.generators import BernoulliInjection
+from repro.types import FlowId, TrafficClass
+
+
+def three_class_config(radix=8):
+    return SwitchConfig(
+        radix=radix,
+        channel_bits=128,
+        gb_buffer_flits=16,
+        be_buffer_flits=16,
+        gl_buffer_flits=8,
+        qos=QoSConfig(sig_bits=4, frac_bits=8),
+        gl_policer=GLPolicerConfig(reserved_rate=0.05, burst_window=4096),
+    )
+
+
+class TestMixedClasses:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = three_class_config()
+        workload = Workload(name="mixed")
+        # GB: two reserved flows injecting at their reservations (leaving
+        # idle cycles for the BE class; saturating GB would rightly starve
+        # BE completely — paper Section 3.3).
+        workload.add(gb_flow(0, 0, 0.40, packet_length=8, inject_rate=0.40))
+        workload.add(gb_flow(1, 0, 0.30, packet_length=8, inject_rate=0.30))
+        # GL: sparse interrupts.
+        workload.add(gl_flow(2, 0, packet_length=1, process=BernoulliInjection(0.005)))
+        # BE: two greedy flows.
+        workload.add(be_flow(3, 0, packet_length=8, inject_rate=None))
+        workload.add(be_flow(4, 0, packet_length=8, inject_rate=None))
+        return run_simulation(config, workload, arbiter="three-class",
+                              horizon=60_000, seed=77)
+
+    def test_gb_reservations_met(self, result):
+        assert result.accepted_rate(FlowId(0, 0, TrafficClass.GB)) >= 0.38
+        assert result.accepted_rate(FlowId(1, 0, TrafficClass.GB)) >= 0.29
+
+    def test_gl_interrupts_delivered_with_low_latency(self, result):
+        stats = result.stats.flow_stats(FlowId(2, 0, TrafficClass.GL))
+        assert stats.delivered_packets > 100
+        assert stats.latency.mean < 30
+
+    def test_be_gets_only_leftover(self, result):
+        be_total = result.stats.class_throughput(TrafficClass.BE)
+        gb_total = result.stats.class_throughput(TrafficClass.GB)
+        assert gb_total > 0.68
+        assert 0.0 < be_total < 0.25
+
+    def test_channel_fully_utilized(self, result):
+        assert result.stats.output_throughput(0) == pytest.approx(8 / 9, abs=0.02)
+
+
+class TestSweepConsistency:
+    def test_three_class_equals_pure_ssvc_without_gl_or_be(self):
+        """With GB-only traffic the full stack reduces to plain SSVC."""
+        config = SwitchConfig(
+            radix=4, channel_bits=64, gb_buffer_flits=16,
+            qos=QoSConfig(sig_bits=3, frac_bits=6),
+            gl_policer=GLPolicerConfig(reserved_rate=0.0),
+        )
+
+        def build():
+            workload = Workload()
+            for src, rate in enumerate([0.4, 0.25, 0.15, 0.05]):
+                workload.add(gb_flow(src, 0, rate, packet_length=8, inject_rate=None))
+            return workload
+
+        full = run_simulation(config, build(), arbiter="three-class",
+                              horizon=30_000, seed=3)
+        pure = run_simulation(config, build(), arbiter="ssvc",
+                              horizon=30_000, seed=3)
+        for src in range(4):
+            flow = FlowId(src, 0, TrafficClass.GB)
+            assert full.accepted_rate(flow) == pytest.approx(
+                pure.accepted_rate(flow), abs=0.005
+            )
+
+
+class TestMultiOutputIntegration:
+    def test_uniform_random_with_qos_is_stable(self):
+        from repro.traffic.patterns import uniform_random_workload
+
+        config = three_class_config(radix=8)
+        workload = uniform_random_workload(8, inject_rate=0.5, reserved_share=0.9)
+        result = run_simulation(config, workload, arbiter="three-class",
+                                horizon=40_000, seed=13)
+        # Every output should carry roughly the offered 0.5 flits/cycle.
+        for out in range(8):
+            assert result.stats.output_throughput(out) == pytest.approx(0.5, abs=0.06)
+
+    def test_hotspot_reservations_protect_flows(self):
+        from repro.traffic.patterns import hotspot_workload
+
+        config = three_class_config(radix=8)
+        workload = hotspot_workload(8, hotspot=0, hotspot_fraction=0.6,
+                                    inject_rate=0.5)
+        result = run_simulation(config, workload, arbiter="three-class",
+                                horizon=40_000, seed=21)
+        # The hotspot is oversubscribed (8 x 0.3 = 2.4 offered); GB flows
+        # hold their reserved ~0.95/8 each while BE background still moves.
+        for src in range(8):
+            rate = result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
+            assert rate >= 0.95 / 8 - 0.015, (src, rate)

@@ -1,0 +1,97 @@
+"""Property tests: the register-accurate crosspoint vs. the behavioral core.
+
+The wire-level :class:`~repro.circuit.crosspoint.CrosspointCircuit` uses
+saturating integer registers and explicit management events; the behavioral
+:class:`~repro.core.ssvc.SSVCCore` uses floats and automatic management.
+For integer Vticks and management events applied at the same points, their
+visible state — the thermometer level — must track exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.crosspoint import CrosspointCircuit
+from repro.config import QoSConfig
+from repro.core.ssvc import SSVCCore
+from repro.types import CounterMode
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sig_bits=st.integers(1, 4),
+    frac_bits=st.integers(1, 6),
+    rate_denominator=st.integers(1, 32),
+    transmits=st.integers(1, 60),
+)
+def test_halve_mode_register_and_float_models_agree(
+    sig_bits, frac_bits, rate_denominator, transmits
+):
+    qos = QoSConfig(sig_bits=sig_bits, frac_bits=frac_bits, counter_mode=CounterMode.HALVE)
+    packet_flits = 8
+    rate = packet_flits / (packet_flits * rate_denominator)  # integer vtick
+    vtick = int(packet_flits / rate)
+    core = SSVCCore(qos, num_inputs=1)
+    core.register_flow(0, rate, packet_flits)
+    xpoint = CrosspointCircuit(0, qos, vtick=vtick)
+    for _ in range(transmits):
+        core.commit(0, now=0)
+        xpoint.on_transmit()
+        while xpoint.saturated_flag:
+            xpoint.halve()
+        # The float model may halve at a fractionally-earlier point, so
+        # compare after both settle below saturation.
+        assert abs(xpoint.counter - core.counter_value(0, 0)) < qos.saturation
+        assert abs(xpoint.level - core.level(0, 0)) <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    frac_bits=st.integers(1, 6),
+    rate_denominator=st.integers(1, 16),
+    schedule=st.lists(st.integers(1, 200), min_size=1, max_size=40),
+)
+def test_subtract_mode_register_and_float_models_agree(
+    frac_bits, rate_denominator, schedule
+):
+    """With transmit times and wraps applied identically, levels match."""
+    qos = QoSConfig(sig_bits=3, frac_bits=frac_bits, counter_mode=CounterMode.SUBTRACT)
+    packet_flits = 8
+    rate = 1.0 / rate_denominator
+    vtick = int(packet_flits / rate)
+    core = SSVCCore(qos, num_inputs=1)
+    core.register_flow(0, rate, packet_flits)
+    xpoint = CrosspointCircuit(0, qos, vtick=vtick)
+    now = 0
+    last_epoch = 0
+    for gap in schedule:
+        now += gap
+        # Apply the real-time wraps the hardware would have seen.
+        epoch = now // qos.quantum
+        for _ in range(epoch - last_epoch):
+            xpoint.real_time_wrap()
+        last_epoch = epoch
+        core.commit(0, now=now)
+        xpoint.on_transmit()
+        # Register quantization (wraps at quantum boundaries vs. the float
+        # model's exact decay) allows at most one level of divergence.
+        assert abs(xpoint.level - core.level(0, now)) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transmits=st.integers(1, 40),
+    rate_denominator=st.integers(1, 16),
+)
+def test_reset_mode_register_and_float_models_agree(transmits, rate_denominator):
+    qos = QoSConfig(sig_bits=2, frac_bits=3, counter_mode=CounterMode.RESET)
+    packet_flits = 4
+    rate = 1.0 / rate_denominator
+    vtick = int(packet_flits / rate)
+    core = SSVCCore(qos, num_inputs=1)
+    core.register_flow(0, rate, packet_flits)
+    xpoint = CrosspointCircuit(0, qos, vtick=vtick)
+    for _ in range(transmits):
+        core.commit(0, now=0)
+        xpoint.on_transmit()
+        if xpoint.saturated_flag:
+            xpoint.reset()
+        assert xpoint.level == core.level(0, 0)

@@ -1,0 +1,59 @@
+"""Cross-model property tests: behavioral SSVC vs. the wire-level fabric.
+
+The paper's Section 4.1 verification, generalized: at any reachable state,
+the behavioral selection (min coarse level, LRG tie-break) and the
+wire-level inhibit arbitration must agree on the winner.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.fabric import ArbitrationFabric, FabricRequest
+from repro.config import QoSConfig
+from repro.core.lrg import LRGState
+from repro.core.ssvc import SSVCCore
+from repro.types import CounterMode
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mode=st.sampled_from(list(CounterMode)),
+    rate_idx=st.lists(st.integers(0, 3), min_size=4, max_size=4),
+    schedule=st.lists(st.integers(0, 14), min_size=1, max_size=50),
+    seed_grants=st.lists(st.integers(0, 3), max_size=8),
+)
+def test_behavioral_and_wire_models_agree(mode, rate_idx, schedule, seed_grants):
+    """Drive both models with the same grant schedule; compare decisions.
+
+    The schedule integer encodes the requester subset (1..15 over 4 ports);
+    after each agreed-upon decision both models commit the same winner, so
+    they traverse the same state space.
+    """
+    rates = [0.05, 0.1, 0.25, 0.5]
+    qos = QoSConfig(sig_bits=3, frac_bits=5, counter_mode=mode)
+    lrg = LRGState(4)
+    for g in seed_grants:
+        lrg.grant(g)
+    core = SSVCCore(qos, num_inputs=4, lrg=lrg)
+    for port in range(4):
+        core.register_flow(port, rates[rate_idx[port]], 8)
+    # The fabric replicates the same LRG state; its own copy must track the
+    # core's, so share the object (hardware: replicated rows of one state).
+    fabric = ArbitrationFabric(radix=4, levels=qos.levels, lrg=lrg)
+
+    now = 0
+    for subset_code in schedule:
+        subset = [p for p in range(4) if (subset_code + 1) & (1 << p)]
+        if not subset:
+            continue
+        behavioral = core.select(subset, now)
+        requests = [
+            FabricRequest(input_port=p, thermometer=core.thermometer(p, now))
+            for p in subset
+        ]
+        wire = fabric.arbitrate(requests)
+        assert wire == behavioral, (
+            f"divergence at now={now}: wire={wire} behavioral={behavioral} "
+            f"levels={{p: core.level(p, now) for p in subset}}"
+        )
+        core.commit(behavioral, now)  # also advances the shared LRG
+        now += 9

@@ -1,0 +1,103 @@
+"""Property tests on whole simulations: conservation, bounds, monotonicity."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import GLPolicerConfig, QoSConfig, SwitchConfig
+from repro.experiments.common import run_simulation
+from repro.traffic.flows import Workload, gb_flow
+from repro.types import CounterMode, FlowId, TrafficClass
+
+SIM_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def config_for(mode: CounterMode) -> SwitchConfig:
+    return SwitchConfig(
+        radix=4,
+        channel_bits=64,
+        gb_buffer_flits=16,
+        qos=QoSConfig(sig_bits=3, frac_bits=6, counter_mode=mode),
+        gl_policer=GLPolicerConfig(reserved_rate=0.0),
+    )
+
+
+@SIM_SETTINGS
+@given(
+    mode=st.sampled_from(list(CounterMode)),
+    raw_rates=st.lists(
+        st.floats(min_value=0.03, max_value=0.5), min_size=4, max_size=4
+    ),
+    packet_flits=st.sampled_from([2, 4, 8]),
+    seed=st.integers(0, 100),
+)
+def test_saturated_flows_always_get_their_reservations(
+    mode, raw_rates, packet_flits, seed
+):
+    """THE paper guarantee, as a property: any feasible reservation vector,
+    any counter mode, any packet size — every backlogged flow receives at
+    least its reserved rate (within simulation noise)."""
+    ceiling = packet_flits / (packet_flits + 1)
+    total = sum(raw_rates)
+    rates = [r / total * ceiling * 0.92 for r in raw_rates]
+    workload = Workload()
+    for src, rate in enumerate(rates):
+        workload.add(gb_flow(src, 0, rate, packet_length=packet_flits, inject_rate=None))
+    result = run_simulation(
+        config_for(mode), workload, arbiter="ssvc", horizon=40_000, seed=seed
+    )
+    for src, rate in enumerate(rates):
+        accepted = result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
+        assert accepted >= rate * 0.95 - 0.005, (src, rate, accepted)
+
+
+@SIM_SETTINGS
+@given(
+    inject=st.floats(min_value=0.02, max_value=0.9),
+    seed=st.integers(0, 50),
+)
+def test_throughput_never_exceeds_channel_capacity(inject, seed):
+    workload = Workload()
+    for src in range(4):
+        workload.add(gb_flow(src, 0, 0.2, packet_length=8, inject_rate=min(inject, 1.0)))
+    result = run_simulation(
+        config_for(CounterMode.SUBTRACT), workload, arbiter="ssvc",
+        horizon=20_000, seed=seed,
+    )
+    assert result.stats.output_throughput(0) <= 8 / 9 + 0.01
+
+
+@SIM_SETTINGS
+@given(seed=st.integers(0, 1000))
+def test_offered_bounds_delivered_for_every_flow(seed):
+    workload = Workload()
+    for src in range(4):
+        workload.add(gb_flow(src, src ^ 1, 0.3, packet_length=4, inject_rate=0.25))
+    result = run_simulation(
+        config_for(CounterMode.SUBTRACT), workload, arbiter="ssvc",
+        horizon=15_000, seed=seed, warmup_cycles=0,
+    )
+    for flow, stats in result.stats.flows.items():
+        assert stats.delivered_flits <= stats.offered_flits
+        assert stats.delivered_packets <= stats.offered_packets
+
+
+@SIM_SETTINGS
+@given(
+    seed=st.integers(0, 30),
+    mode=st.sampled_from(list(CounterMode)),
+)
+def test_latency_samples_are_physically_sensible(seed, mode):
+    """Every delivered packet took at least arb + flits cycles."""
+    workload = Workload()
+    for src in range(4):
+        workload.add(gb_flow(src, 0, 0.2, packet_length=4, inject_rate=0.15))
+    result = run_simulation(
+        config_for(mode), workload, arbiter="ssvc", horizon=15_000,
+        seed=seed, warmup_cycles=0,
+    )
+    for flow, stats in result.stats.flows.items():
+        if stats.latency.count:
+            assert stats.latency.minimum >= 1 + 4  # arb + packet flits

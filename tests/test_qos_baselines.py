@@ -1,0 +1,208 @@
+"""Tests for the baseline arbiters: WRR, DWRR, WFQ, TDM, GSF, fixed-priority."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.qos import (
+    DWRRArbiter,
+    FixedPriorityArbiter,
+    GSFArbiter,
+    TDMArbiter,
+    WFQArbiter,
+    WRRArbiter,
+)
+from repro.qos.tdm import build_slot_table
+from tests.conftest import gb_request
+
+
+class TestWRR:
+    def test_weights_respected_over_a_round(self):
+        arb = WRRArbiter(2, weights={0: 3, 1: 1})
+        winners = [
+            arb.arbitrate([gb_request(0), gb_request(1)], now=i).input_port
+            for i in range(8)
+        ]
+        assert winners.count(0) == 6
+        assert winners.count(1) == 2
+
+    def test_work_conserving_skips_idle_flow(self):
+        arb = WRRArbiter(2, weights={0: 3, 1: 1}, work_conserving=True)
+        # Only input 1 requests; it must be served every time.
+        for i in range(5):
+            assert arb.arbitrate([gb_request(1)], now=i).input_port == 1
+        assert arb.wasted_slots == 0
+
+    def test_strict_mode_wastes_idle_slots(self):
+        arb = WRRArbiter(2, weights={0: 1, 1: 1}, work_conserving=False)
+        # Input 0's slot comes first but input 0 is idle: slot wasted.
+        assert arb.select([gb_request(1)], now=0) is None
+        assert arb.wasted_slots == 1
+        # Next call reaches input 1's credit.
+        assert arb.arbitrate([gb_request(1)], now=1).input_port == 1
+
+    def test_register_flow_scales_weight(self):
+        arb = WRRArbiter(4)
+        arb.register_flow(0, 0.5, 8)
+        assert arb._weights[0] == 10  # 0.5 * WEIGHT_SCALE
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ConfigError):
+            WRRArbiter(2).set_weight(0, 0)
+
+
+class TestDWRR:
+    def test_quanta_respected_with_uniform_packets(self):
+        arb = DWRRArbiter(2, quanta={0: 24, 1: 8})
+        winners = [
+            arb.arbitrate([gb_request(0, flits=8), gb_request(1, flits=8)], now=i).input_port
+            for i in range(8)
+        ]
+        assert winners.count(0) == 6
+        assert winners.count(1) == 2
+
+    def test_deficit_carries_for_large_packets(self):
+        """A packet bigger than one quantum is sent after enough visits."""
+        arb = DWRRArbiter(2, quanta={0: 4, 1: 4})
+        # Input 0 has a 8-flit packet: needs two quantum accruals.
+        winner = arb.arbitrate([gb_request(0, flits=8), gb_request(1, flits=4)], now=0)
+        assert winner.input_port == 1  # 0's deficit (4) < 8, passes to 1
+        winner = arb.arbitrate([gb_request(0, flits=8), gb_request(1, flits=4)], now=1)
+        assert winner.input_port == 0  # deficit now 8 >= 8
+
+    def test_idle_flow_deficit_resets(self):
+        arb = DWRRArbiter(2, quanta={0: 8, 1: 8})
+        arb.arbitrate([gb_request(1, flits=8)], now=0)
+        assert arb.deficit_of(0) == 0
+
+    def test_register_flow_scales_quantum(self):
+        arb = DWRRArbiter(4)
+        arb.register_flow(2, 0.25, 8)
+        assert arb._quanta[2] == 16
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ConfigError):
+            DWRRArbiter(2).set_quantum(0, 0)
+
+
+class TestWFQ:
+    def test_weighted_shares_under_backlog(self):
+        arb = WFQArbiter(2, weights={0: 3.0, 1: 1.0})
+        winners = [
+            arb.arbitrate([gb_request(0), gb_request(1)], now=i).input_port
+            for i in range(40)
+        ]
+        assert winners.count(0) == pytest.approx(30, abs=2)
+
+    def test_equal_weights_alternate(self):
+        arb = WFQArbiter(2)
+        winners = [
+            arb.arbitrate([gb_request(0), gb_request(1)], now=i).input_port
+            for i in range(6)
+        ]
+        assert winners == [0, 1, 0, 1, 0, 1]
+
+    def test_short_packets_finish_earlier(self):
+        arb = WFQArbiter(2)
+        winner = arb.select([gb_request(0, flits=16), gb_request(1, flits=2)], now=0)
+        assert winner.input_port == 1
+
+    def test_register_flow_sets_weight(self):
+        arb = WFQArbiter(4)
+        arb.register_flow(1, 0.3, 8)
+        assert arb._weights[1] == 0.3
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ConfigError):
+            WFQArbiter(2).set_weight(0, 0.0)
+
+
+class TestSlotTable:
+    def test_rates_map_to_slot_counts(self):
+        table = build_slot_table({0: 0.5, 1: 0.25}, frame_slots=8)
+        assert table.count(0) == 4
+        assert table.count(1) == 2
+        assert table.count(None) == 2
+
+    def test_oversubscribed_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            build_slot_table({0: 0.7, 1: 0.6}, frame_slots=8)
+
+    def test_tiny_rate_gets_at_least_one_slot(self):
+        table = build_slot_table({0: 0.01}, frame_slots=8)
+        assert table.count(0) == 1
+
+    def test_empty_rates_all_unowned(self):
+        assert build_slot_table({}, frame_slots=4) == [None] * 4
+
+
+class TestTDM:
+    def test_owner_served_in_slot(self):
+        arb = TDMArbiter(2, rates={0: 0.5, 1: 0.5}, frame_slots=2, slot_cycles=9)
+        owner0 = arb.slot_owner(0)
+        winner = arb.select([gb_request(0), gb_request(1)], now=0)
+        assert winner.input_port == owner0
+
+    def test_idle_owner_wastes_slot(self):
+        arb = TDMArbiter(2, rates={0: 0.5, 1: 0.5}, frame_slots=2, slot_cycles=9)
+        owner0 = arb.slot_owner(0)
+        other = 1 - owner0
+        assert arb.select([gb_request(other)], now=0) is None
+        assert arb.wasted_slots == 1
+
+    def test_register_flow_rebuilds_table(self):
+        arb = TDMArbiter(2, frame_slots=4)
+        assert arb.slot_owner(0) is None
+        arb.register_flow(0, 0.5, 8)
+        assert any(arb.slot_owner(t * arb.slot_cycles) == 0 for t in range(4))
+
+
+class TestGSF:
+    def test_budget_limits_wins_within_frame(self):
+        arb = GSFArbiter(2, budgets={0: 1, 1: 4}, frame_cycles=1000)
+        winners = [
+            arb.arbitrate([gb_request(0), gb_request(1)], now=i).input_port
+            for i in range(5)
+        ]
+        assert winners.count(0) == 1
+
+    def test_budgets_refill_each_frame(self):
+        arb = GSFArbiter(2, budgets={0: 1, 1: 1}, frame_cycles=100)
+        arb.arbitrate([gb_request(0)], now=0)
+        assert arb.remaining_budget(0, now=0) == 0
+        assert arb.remaining_budget(0, now=100) == 1
+
+    def test_leftover_service_when_all_budgets_spent(self):
+        arb = GSFArbiter(2, budgets={0: 1, 1: 1}, frame_cycles=10_000)
+        arb.arbitrate([gb_request(0)], now=0)
+        arb.arbitrate([gb_request(1)], now=1)
+        # Budgets spent, but the channel is free: best-effort service.
+        assert arb.arbitrate([gb_request(0)], now=2) is not None
+
+    def test_register_flow_sets_budget(self):
+        arb = GSFArbiter(4, frame_cycles=800)
+        arb.register_flow(0, 0.5, 8)
+        assert arb._budgets[0] == 50
+
+
+class TestFixedPriority:
+    def test_highest_level_always_wins(self):
+        arb = FixedPriorityArbiter(4, input_levels={0: 0, 1: 3})
+        for i in range(5):
+            winner = arb.arbitrate([gb_request(0), gb_request(1)], now=i)
+            assert winner.input_port == 1  # starvation of level 0
+
+    def test_lrg_within_level(self):
+        arb = FixedPriorityArbiter(4, input_levels={0: 2, 1: 2})
+        first = arb.arbitrate([gb_request(0), gb_request(1)], now=0)
+        second = arb.arbitrate([gb_request(0), gb_request(1)], now=1)
+        assert {first.input_port, second.input_port} == {0, 1}
+
+    def test_two_arbitration_cycles(self):
+        assert FixedPriorityArbiter.arbitration_cycles == 2
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ConfigError):
+            FixedPriorityArbiter(4).set_level(0, 4)
+
+    def test_unmapped_input_defaults_to_level_zero(self):
+        assert FixedPriorityArbiter(4).level_of(2) == 0

@@ -1,0 +1,78 @@
+"""Tests for the GL usage policer."""
+
+import pytest
+
+from repro.config import GLPolicerConfig
+from repro.errors import ConfigError
+from repro.qos import GLPolicer
+
+
+def make_policer(rate=0.1, window=100):
+    return GLPolicer(GLPolicerConfig(reserved_rate=rate, burst_window=window))
+
+
+class TestEligibility:
+    def test_fresh_policer_is_eligible(self):
+        assert make_policer().eligible(now=0)
+
+    def test_disabled_policing_always_eligible(self):
+        policer = GLPolicer(GLPolicerConfig(reserved_rate=0.05, burst_window=None))
+        for _ in range(50):
+            policer.on_transmit(8, now=0)
+        assert policer.eligible(now=0)
+
+    def test_zero_reservation_never_eligible(self):
+        policer = GLPolicer(GLPolicerConfig(reserved_rate=0.0, burst_window=100))
+        assert not policer.eligible(now=0)
+
+    def test_exceeding_window_throttles(self):
+        policer = make_policer(rate=0.1, window=100)
+        # Two 8-flit packets: usage clock jumps 160 ahead of real time.
+        policer.on_transmit(8, now=0)
+        policer.on_transmit(8, now=0)
+        assert policer.lead(0) == pytest.approx(160.0)
+        assert not policer.eligible(now=0)
+
+    def test_eligibility_recovers_as_real_time_passes(self):
+        policer = make_policer(rate=0.1, window=50)
+        policer.on_transmit(8, now=0)  # lead 80
+        assert not policer.eligible(now=0)
+        assert policer.eligible(now=40)  # lead now 40 <= 50
+
+    def test_eligible_is_pure(self):
+        policer = make_policer()
+        policer.eligible(now=0)
+        assert policer.throttle_events == 0
+        policer.note_throttled()
+        assert policer.throttle_events == 1
+
+
+class TestCharging:
+    def test_charge_proportional_to_packet_and_rate(self):
+        policer = make_policer(rate=0.05)
+        policer.on_transmit(2, now=0)
+        assert policer.usage_clock == pytest.approx(40.0)
+
+    def test_charge_floors_at_real_time(self):
+        policer = make_policer(rate=0.5)
+        policer.on_transmit(1, now=0)  # clock 2
+        policer.on_transmit(1, now=1000)  # max(2, 1000) + 2
+        assert policer.usage_clock == pytest.approx(1002.0)
+
+    def test_charge_rejects_zero_flits(self):
+        with pytest.raises(ConfigError):
+            make_policer().on_transmit(0, now=0)
+
+    def test_charge_with_zero_reservation_rejected(self):
+        policer = GLPolicer(GLPolicerConfig(reserved_rate=0.0, burst_window=100))
+        with pytest.raises(ConfigError):
+            policer.on_transmit(1, now=0)
+
+    def test_sustained_rate_within_reservation_never_throttles(self):
+        """Sending exactly at the reserved rate keeps the lead bounded."""
+        policer = make_policer(rate=0.1, window=100)
+        now = 0
+        for _ in range(100):
+            assert policer.eligible(now)
+            policer.on_transmit(1, now)
+            now += 10  # 1 flit per 10 cycles == the reserved 0.1

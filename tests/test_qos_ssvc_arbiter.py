@@ -1,0 +1,81 @@
+"""Tests for the SSVC output arbiter (coarse compare + LRG)."""
+
+import pytest
+
+from repro.config import QoSConfig
+from repro.errors import ArbitrationError
+from repro.qos import SSVCArbiter
+from repro.types import CounterMode
+from tests.conftest import gb_request
+
+
+def make_arbiter(sig_bits=3, frac_bits=4, mode=CounterMode.SUBTRACT, n=4):
+    return SSVCArbiter(
+        n, qos=QoSConfig(sig_bits=sig_bits, frac_bits=frac_bits, counter_mode=mode)
+    )
+
+
+class TestBasics:
+    def test_name_includes_mode(self):
+        assert make_arbiter(mode=CounterMode.HALVE).name == "ssvc-halve"
+
+    def test_empty_requests_none(self):
+        assert make_arbiter().select([], now=0) is None
+
+    def test_unregistered_requester_raises(self):
+        arb = make_arbiter()
+        with pytest.raises(ArbitrationError):
+            arb.select([gb_request(0)], now=0)
+
+    def test_single_requester_wins(self):
+        arb = make_arbiter()
+        arb.register_flow(2, 0.5, 8)
+        assert arb.arbitrate([gb_request(2)], now=0).input_port == 2
+
+
+class TestCoarseComparison:
+    def test_lower_level_beats_lrg_preference(self):
+        """A level difference overrides LRG order entirely."""
+        arb = make_arbiter(frac_bits=2)  # quantum 4
+        arb.register_flow(0, 0.5, 8)  # vtick 16 -> 4 levels/grant
+        arb.register_flow(1, 0.5, 8)
+        arb.arbitrate([gb_request(0)], now=0)  # 0 jumps to level 3+
+        # LRG now prefers 1 anyway, but even if it preferred 0, the level
+        # comparison must pick 1. Grant 1 several times to rotate LRG.
+        winner = arb.arbitrate([gb_request(0), gb_request(1)], now=0)
+        assert winner.input_port == 1
+
+    def test_same_level_resolved_by_lrg_fairly(self):
+        """Within a quantum, flows of different rates alternate via LRG.
+
+        This is the SSVC latency-fairness mechanism of Fig. 5.
+        """
+        arb = make_arbiter(sig_bits=4, frac_bits=10)  # quantum 1024: one level
+        arb.register_flow(0, 0.8, 8)  # vtick 10
+        arb.register_flow(1, 0.05, 8)  # vtick 160
+        winners = [
+            arb.arbitrate([gb_request(0), gb_request(1)], now=0).input_port
+            for _ in range(6)
+        ]
+        # Strict alternation while both stay inside level 0.
+        assert winners[:4] == [0, 1, 0, 1]
+
+
+class TestCounterModes:
+    def test_reset_mode_events_propagate(self):
+        arb = make_arbiter(sig_bits=1, frac_bits=2, mode=CounterMode.RESET)
+        arb.register_flow(0, 0.1, 8)  # vtick 80, saturation 8
+        arb.arbitrate([gb_request(0)], now=0)
+        assert arb.core.reset_events == 1
+
+    def test_halve_mode_events_propagate(self):
+        arb = make_arbiter(sig_bits=1, frac_bits=2, mode=CounterMode.HALVE)
+        arb.register_flow(0, 0.1, 8)
+        arb.arbitrate([gb_request(0)], now=0)
+        assert arb.core.halve_events >= 1
+
+
+class TestVtickPassthrough:
+    def test_register_returns_vtick(self):
+        arb = make_arbiter()
+        assert arb.register_flow(0, 0.25, 8) == pytest.approx(32.0)

@@ -1,0 +1,57 @@
+"""Tests for the multi-seed replication utility."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.replication import replicate
+
+
+class TestReplicate:
+    def test_summarizes_each_metric(self):
+        summaries = replicate(lambda seed: {"x": float(seed), "y": 2.0}, seeds=[1, 2, 3])
+        assert summaries["x"].mean == pytest.approx(2.0)
+        assert summaries["y"].std == 0.0
+        assert summaries["x"].samples == (1.0, 2.0, 3.0)
+
+    def test_ci_shrinks_with_more_seeds(self):
+        def fn(seed):
+            return {"x": float(seed % 5)}
+
+        few = replicate(fn, seeds=list(range(4)))["x"].ci95_half_width
+        many = replicate(fn, seeds=list(range(20)))["x"].ci95_half_width
+        assert many < few
+
+    def test_ci_interval_brackets_mean(self):
+        summary = replicate(lambda s: {"x": float(s)}, seeds=[1, 5])["x"]
+        lower, upper = summary.ci95
+        assert lower <= summary.mean <= upper
+
+    def test_rejects_single_seed(self):
+        with pytest.raises(ConfigError):
+            replicate(lambda s: {"x": 1.0}, seeds=[1])
+
+    def test_rejects_inconsistent_metric_names(self):
+        def fn(seed):
+            return {"x": 1.0} if seed == 1 else {"y": 1.0}
+
+        with pytest.raises(ConfigError):
+            replicate(fn, seeds=[1, 2])
+
+
+class TestReplicatedFig5:
+    def test_fig5_scheme_ordering_is_stable_across_seeds(self):
+        """The Fig. 5 headline — reset/halve flatter than original VC —
+        holds as a mean across seeds, not just at one lucky seed."""
+        from repro.experiments.fig5_latency_fairness import run_fig5
+
+        def fn(seed):
+            result = run_fig5(horizon=60_000, seed=seed,
+                              schemes=("virtual-clock", "ssvc-reset"))
+            spread = result.latency_stddev_across_flows
+            return {
+                "vc_spread": spread["virtual-clock"],
+                "reset_spread": spread["ssvc-reset"],
+            }
+
+        summaries = replicate(fn, seeds=[11, 23, 47])
+        assert summaries["reset_spread"].mean < summaries["vc_spread"].mean

@@ -1,0 +1,141 @@
+"""Tests for config/workload JSON serialization."""
+
+import pytest
+
+from repro.config import GLPolicerConfig, QoSConfig, SwitchConfig
+from repro.errors import ConfigError
+from repro.serialization import (
+    config_from_dict,
+    config_to_dict,
+    load_experiment,
+    process_from_dict,
+    process_to_dict,
+    save_experiment,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.traffic.flows import Workload, be_flow, gb_flow, gl_flow
+from repro.traffic.generators import (
+    BernoulliInjection,
+    BurstyInjection,
+    SaturatingInjection,
+    TraceInjection,
+)
+from repro.types import CounterMode
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = SwitchConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_custom_config(self):
+        config = SwitchConfig(
+            radix=16,
+            channel_bits=256,
+            gb_buffer_flits=32,
+            packet_chaining=True,
+            max_chain_length=7,
+            qos=QoSConfig(sig_bits=2, frac_bits=5, counter_mode=CounterMode.RESET),
+            gl_policer=GLPolicerConfig(reserved_rate=0.08, burst_window=None),
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            config_from_dict({"radix": 8, "channel_bits": 128, "typo_key": 1})
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ConfigError):
+            config_from_dict({"radix": 3, "channel_bits": 128})
+
+
+class TestProcessRoundTrip:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            BernoulliInjection(0.3),
+            BurstyInjection(0.2, burst_packets=6.0, on_rate_flits=0.8),
+            SaturatingInjection(),
+            TraceInjection([1, 5, 9]),
+        ],
+    )
+    def test_round_trip(self, process):
+        restored = process_from_dict(process_to_dict(process))
+        assert type(restored) is type(process)
+        assert process_to_dict(restored) == process_to_dict(process)
+
+    def test_none_passes_through(self):
+        assert process_to_dict(None) is None
+        assert process_from_dict(None) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            process_from_dict({"kind": "chaos"})
+
+
+class TestWorkloadRoundTrip:
+    def build(self):
+        workload = Workload(name="rt")
+        workload.add(gb_flow(0, 1, 0.4, packet_length=8, inject_rate=0.3))
+        workload.add(be_flow(1, 2, packet_length=(2, 6)))
+        workload.add(gl_flow(2, 3, packet_length=1, process=TraceInjection([0, 9])))
+        return workload
+
+    def test_round_trip_preserves_flows(self):
+        original = self.build()
+        restored = workload_from_dict(workload_to_dict(original))
+        assert restored.name == original.name
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a.flow == b.flow
+            assert a.packet_length == b.packet_length
+            assert a.reserved_rate == b.reserved_rate
+            assert process_to_dict(a.process) == process_to_dict(b.process)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "exp.json"
+        config = SwitchConfig(radix=8, channel_bits=128)
+        workload = Workload(name="file-rt").add(gb_flow(0, 0, 0.5))
+        save_experiment(path, config, workload)
+        loaded_config, loaded_workload = load_experiment(path)
+        assert loaded_config == config
+        assert loaded_workload.name == "file-rt"
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError):
+            load_experiment(path)
+
+    def test_missing_sections_rejected(self, tmp_path):
+        path = tmp_path / "incomplete.json"
+        path.write_text('{"config": {}}')
+        with pytest.raises(ConfigError):
+            load_experiment(path)
+
+    def test_loaded_experiment_runs(self, tmp_path):
+        """End to end: a file-described experiment simulates identically."""
+        from repro.experiments.common import run_simulation
+        from repro.types import FlowId, TrafficClass
+
+        path = tmp_path / "exp.json"
+        config = SwitchConfig(
+            radix=4, channel_bits=64, gb_buffer_flits=16,
+            gl_policer=GLPolicerConfig(reserved_rate=0.0),
+        )
+        workload = Workload(name="runnable")
+        workload.add(gb_flow(0, 0, 0.5, packet_length=8, inject_rate=None))
+        workload.add(gb_flow(1, 0, 0.3, packet_length=8, inject_rate=None))
+        save_experiment(path, config, workload)
+
+        loaded_config, loaded_workload = load_experiment(path)
+        direct = run_simulation(config, workload, arbiter="ssvc",
+                                horizon=10_000, seed=4)
+        replayed = run_simulation(loaded_config, loaded_workload, arbiter="ssvc",
+                                  horizon=10_000, seed=4)
+        for src in (0, 1):
+            flow = FlowId(src, 0, TrafficClass.GB)
+            assert replayed.accepted_rate(flow) == direct.accepted_rate(flow)

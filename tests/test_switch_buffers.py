@@ -1,0 +1,180 @@
+"""Tests for input-port buffering (per-class queues, GB VOQs)."""
+
+import pytest
+
+from repro.errors import BufferError_, SimulationError
+from repro.switch.buffers import FlitBuffer, InputPort
+from repro.switch.flit import Packet
+from repro.types import FlowId, TrafficClass
+
+
+def packet(src=0, dst=1, cls=TrafficClass.GB, flits=4, created=0):
+    return Packet(flow=FlowId(src, dst, cls), flits=flits, created_cycle=created)
+
+
+class TestFlitBuffer:
+    def test_occupancy_in_flits(self):
+        buf = FlitBuffer(capacity_flits=16)
+        buf.push(packet(flits=4))
+        buf.push(packet(flits=8))
+        assert buf.occupancy_flits == 12
+        assert len(buf) == 2
+
+    def test_fits_respects_capacity(self):
+        buf = FlitBuffer(capacity_flits=8)
+        buf.push(packet(flits=6))
+        assert not buf.fits(packet(flits=4))
+        assert buf.fits(packet(flits=2))
+
+    def test_push_over_capacity_raises(self):
+        buf = FlitBuffer(capacity_flits=4)
+        buf.push(packet(flits=4))
+        with pytest.raises(BufferError_):
+            buf.push(packet(flits=1))
+
+    def test_unbounded_buffer(self):
+        buf = FlitBuffer(capacity_flits=None)
+        for _ in range(100):
+            buf.push(packet(flits=16))
+        assert buf.occupancy_flits == 1600
+
+    def test_fifo_order(self):
+        buf = FlitBuffer(16)
+        first, second = packet(flits=2), packet(flits=2)
+        buf.push(first)
+        buf.push(second)
+        assert buf.pop() is first
+        assert buf.head() is second
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(BufferError_):
+            FlitBuffer(4).pop()
+
+    def test_peak_occupancy_tracked(self):
+        buf = FlitBuffer(16)
+        buf.push(packet(flits=8))
+        buf.push(packet(flits=8))
+        buf.pop()
+        assert buf.peak_occupancy == 16
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(BufferError_):
+            FlitBuffer(0)
+
+
+class TestInputPort:
+    def test_gb_packets_routed_to_per_output_voq(self, small_config):
+        port = InputPort(0, small_config)
+        pkt = packet(src=0, dst=2, cls=TrafficClass.GB)
+        assert port.try_inject(pkt, now=5)
+        assert port.gb_queues[2].head() is pkt
+        assert pkt.injected_cycle == 5
+
+    def test_be_and_gl_use_single_queues(self, small_config):
+        port = InputPort(0, small_config)
+        be = packet(src=0, dst=1, cls=TrafficClass.BE)
+        gl = packet(src=0, dst=3, cls=TrafficClass.GL, flits=1)
+        port.try_inject(be, now=0)
+        port.try_inject(gl, now=0)
+        assert port.be_queue.head() is be
+        assert port.gl_queue.head() is gl
+
+    def test_inject_full_buffer_returns_false(self, small_config):
+        port = InputPort(0, small_config)
+        for _ in range(small_config.gb_buffer_flits // 4):
+            assert port.try_inject(packet(src=0, dst=1, flits=4), now=0)
+        overflow = packet(src=0, dst=1, flits=4)
+        assert not port.try_inject(overflow, now=0)
+        assert overflow.injected_cycle is None
+
+    def test_inject_wrong_source_raises(self, small_config):
+        port = InputPort(0, small_config)
+        with pytest.raises(SimulationError):
+            port.try_inject(packet(src=1, dst=2), now=0)
+
+    def test_inject_bad_destination_raises(self, small_config):
+        port = InputPort(0, small_config)
+        with pytest.raises(SimulationError):
+            port.try_inject(packet(src=0, dst=99), now=0)
+
+    def test_head_for_output_prefers_gl_then_gb_then_be(self, small_config):
+        port = InputPort(0, small_config)
+        be = packet(src=0, dst=1, cls=TrafficClass.BE)
+        gb = packet(src=0, dst=1, cls=TrafficClass.GB)
+        gl = packet(src=0, dst=1, cls=TrafficClass.GL, flits=1)
+        port.try_inject(be, now=0)
+        assert port.head_for_output(1) is be
+        port.try_inject(gb, now=0)
+        assert port.head_for_output(1) is gb
+        port.try_inject(gl, now=0)
+        assert port.head_for_output(1) is gl
+
+    def test_throttled_gl_unmasks_gb_and_be(self, small_config):
+        """With allow_gl=False the GL head is offered last, not first."""
+        port = InputPort(0, small_config)
+        gl = packet(src=0, dst=1, cls=TrafficClass.GL, flits=1)
+        gb = packet(src=0, dst=1, cls=TrafficClass.GB)
+        port.try_inject(gl, now=0)
+        port.try_inject(gb, now=0)
+        assert port.head_for_output(1) is gl
+        assert port.head_for_output(1, allow_gl=False) is gb
+
+    def test_throttled_gl_still_offered_when_nothing_else_wants_output(
+        self, small_config
+    ):
+        port = InputPort(0, small_config)
+        gl = packet(src=0, dst=1, cls=TrafficClass.GL, flits=1)
+        port.try_inject(gl, now=0)
+        assert port.head_for_output(1, allow_gl=False) is gl
+
+    def test_throttled_gl_falls_behind_be_too(self, small_config):
+        port = InputPort(0, small_config)
+        gl = packet(src=0, dst=1, cls=TrafficClass.GL, flits=1)
+        be = packet(src=0, dst=1, cls=TrafficClass.BE)
+        port.try_inject(gl, now=0)
+        port.try_inject(be, now=0)
+        assert port.head_for_output(1, allow_gl=False) is be
+
+    def test_gl_head_only_requests_its_destination(self, small_config):
+        port = InputPort(0, small_config)
+        port.try_inject(packet(src=0, dst=3, cls=TrafficClass.GL, flits=1), now=0)
+        assert port.head_for_output(1) is None
+        assert port.head_for_output(3) is not None
+
+    def test_be_head_of_line_blocking_is_modeled(self, small_config):
+        """A BE head for output 1 hides a BE packet for output 2."""
+        port = InputPort(0, small_config)
+        port.try_inject(packet(src=0, dst=1, cls=TrafficClass.BE, flits=2), now=0)
+        port.try_inject(packet(src=0, dst=2, cls=TrafficClass.BE, flits=2), now=0)
+        assert port.head_for_output(2) is None
+
+    def test_gb_voqs_do_not_block_each_other(self, small_config):
+        port = InputPort(0, small_config)
+        port.try_inject(packet(src=0, dst=1, cls=TrafficClass.GB), now=0)
+        port.try_inject(packet(src=0, dst=2, cls=TrafficClass.GB), now=0)
+        assert port.head_for_output(1) is not None
+        assert port.head_for_output(2) is not None
+
+    def test_requested_outputs(self, small_config):
+        port = InputPort(0, small_config)
+        port.try_inject(packet(src=0, dst=2, cls=TrafficClass.GB), now=0)
+        port.try_inject(packet(src=0, dst=0, cls=TrafficClass.GL, flits=1), now=0)
+        assert port.requested_outputs() == [0, 2]
+
+    def test_pop_packet_must_be_head(self, small_config):
+        port = InputPort(0, small_config)
+        first = packet(src=0, dst=1, cls=TrafficClass.GB)
+        second = packet(src=0, dst=1, cls=TrafficClass.GB)
+        port.try_inject(first, now=0)
+        port.try_inject(second, now=0)
+        with pytest.raises(SimulationError):
+            port.pop_packet(second)
+        port.pop_packet(first)
+        assert port.head_for_output(1) is second
+
+    def test_total_occupancy(self, small_config):
+        port = InputPort(0, small_config)
+        port.try_inject(packet(src=0, dst=1, cls=TrafficClass.GB, flits=4), now=0)
+        port.try_inject(packet(src=0, dst=2, cls=TrafficClass.BE, flits=2), now=0)
+        port.try_inject(packet(src=0, dst=3, cls=TrafficClass.GL, flits=1), now=0)
+        assert port.total_occupancy_flits == 7

@@ -1,0 +1,108 @@
+"""Tests for output channels and the crossbar wiring."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.qos import FixedPriorityArbiter, LRGArbiter, SSVCArbiter
+from repro.switch.crossbar import SwizzleSwitch
+from repro.switch.flit import Packet
+from repro.switch.output_channel import OutputChannel
+from repro.types import FlowId, TrafficClass
+
+
+def packet(dst=0, flits=8):
+    return Packet(flow=FlowId(0, dst, TrafficClass.GB), flits=flits, created_cycle=0)
+
+
+class TestOutputChannel:
+    def test_transmission_timing(self):
+        channel = OutputChannel(0)
+        delivered = channel.start_transmission(packet(flits=8), now=10, arbitration_cycles=1)
+        assert delivered == 19
+        assert channel.busy_until == 19
+        assert not channel.is_idle(18)
+        assert channel.is_idle(19)
+
+    def test_packet_timestamps_set(self):
+        channel = OutputChannel(0)
+        pkt = packet()
+        channel.start_transmission(pkt, now=5, arbitration_cycles=1)
+        assert pkt.grant_cycle == 5
+        assert pkt.delivered_cycle == 14
+
+    def test_busy_channel_rejects_grant(self):
+        channel = OutputChannel(0)
+        channel.start_transmission(packet(), now=0, arbitration_cycles=1)
+        with pytest.raises(SimulationError):
+            channel.start_transmission(packet(), now=4, arbitration_cycles=1)
+
+    def test_wrong_destination_rejected(self):
+        channel = OutputChannel(2)
+        with pytest.raises(SimulationError):
+            channel.start_transmission(packet(dst=1), now=0, arbitration_cycles=1)
+
+    def test_utilization(self):
+        channel = OutputChannel(0)
+        channel.start_transmission(packet(flits=8), now=0, arbitration_cycles=1)
+        assert channel.utilization(elapsed_cycles=16) == 0.5
+
+    def test_utilization_rejects_zero_cycles(self):
+        with pytest.raises(SimulationError):
+            OutputChannel(0).utilization(0)
+
+    def test_counters(self):
+        channel = OutputChannel(0)
+        channel.start_transmission(packet(flits=8), now=0, arbitration_cycles=1)
+        channel.start_transmission(packet(flits=4), now=9, arbitration_cycles=1)
+        assert channel.packets_delivered == 2
+        assert channel.flits_delivered == 12
+        assert channel.busy_cycles == 14
+
+
+class TestSwizzleSwitch:
+    def test_default_factory_builds_three_class(self, small_config):
+        switch = SwizzleSwitch(small_config)
+        from repro.qos import ThreeClassArbiter
+
+        assert all(isinstance(a, ThreeClassArbiter) for a in switch.arbiters)
+        assert len(switch.inputs) == len(switch.outputs) == small_config.radix
+
+    def test_reserve_gb_programs_allocator_and_arbiter(self, small_config):
+        switch = SwizzleSwitch(
+            small_config, arbiter_factory=lambda o, c: SSVCArbiter(c.radix, qos=c.qos)
+        )
+        switch.reserve_gb(src=1, dst=2, rate=0.5, packet_flits=8)
+        assert switch.allocators[2].reservation(1).rate == 0.5
+        assert switch.arbiters[2].core.is_registered(1)
+
+    def test_reserve_gb_with_class_blind_arbiter_skips_registration(self, small_config):
+        switch = SwizzleSwitch(small_config, arbiter_factory=lambda o, c: LRGArbiter(c.radix))
+        switch.reserve_gb(0, 1, 0.5, 8)  # records admission, no arbiter state
+        assert switch.allocators[1].reserved_total == 0.5
+
+    def test_reserve_gb_bad_output_rejected(self, small_config):
+        switch = SwizzleSwitch(small_config)
+        with pytest.raises(SimulationError):
+            switch.reserve_gb(0, 99, 0.5, 8)
+
+    def test_arbitration_cycles_override(self, small_config):
+        switch = SwizzleSwitch(
+            small_config, arbiter_factory=lambda o, c: FixedPriorityArbiter(c.radix)
+        )
+        assert switch.arbitration_cycles_for(0) == 2
+
+    def test_arbitration_cycles_default(self, small_config):
+        switch = SwizzleSwitch(small_config)
+        assert switch.arbitration_cycles_for(0) == small_config.arbitration_cycles
+
+    def test_set_priority_level_requires_capable_arbiter(self, small_config):
+        switch = SwizzleSwitch(small_config)
+        with pytest.raises(ConfigError):
+            switch.set_priority_level(0, 3)
+
+    def test_set_priority_level_fixed_priority(self, small_config):
+        switch = SwizzleSwitch(
+            small_config, arbiter_factory=lambda o, c: FixedPriorityArbiter(c.radix)
+        )
+        switch.set_priority_level(1, 3)
+        assert all(a.level_of(1) == 3 for a in switch.arbiters)

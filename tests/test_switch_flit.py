@@ -1,0 +1,73 @@
+"""Tests for packets and flits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.switch.flit import Packet
+from repro.types import FlowId, TrafficClass
+
+
+def make_packet(flits=8, created=0, src=1, dst=2, cls=TrafficClass.GB):
+    return Packet(flow=FlowId(src, dst, cls), flits=flits, created_cycle=created)
+
+
+class TestPacket:
+    def test_accessors(self):
+        packet = make_packet(src=3, dst=5, cls=TrafficClass.GL)
+        assert packet.src == 3
+        assert packet.dst == 5
+        assert packet.traffic_class is TrafficClass.GL
+
+    def test_rejects_zero_flits(self):
+        with pytest.raises(SimulationError):
+            make_packet(flits=0)
+
+    def test_rejects_negative_created(self):
+        with pytest.raises(SimulationError):
+            make_packet(created=-1)
+
+    def test_unique_ids(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+    def test_latency_requires_delivery(self):
+        packet = make_packet()
+        with pytest.raises(SimulationError):
+            _ = packet.latency
+
+    def test_latency_computed_from_creation(self):
+        packet = make_packet(created=10)
+        packet.delivered_cycle = 45
+        assert packet.latency == 35
+
+    def test_waiting_time_measured_from_injection(self):
+        packet = make_packet(created=0)
+        packet.injected_cycle = 20
+        packet.grant_cycle = 29
+        assert packet.waiting_time == 9
+
+    def test_waiting_time_falls_back_to_creation(self):
+        packet = make_packet(created=5)
+        packet.grant_cycle = 25
+        assert packet.waiting_time == 20
+
+    def test_waiting_requires_grant(self):
+        with pytest.raises(SimulationError):
+            _ = make_packet().waiting_time
+
+
+class TestExpandFlits:
+    def test_head_body_tail_structure(self):
+        flits = make_packet(flits=4).expand_flits()
+        assert len(flits) == 4
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+
+    def test_single_flit_is_head_and_tail(self):
+        [flit] = make_packet(flits=1).expand_flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_flits_share_packet_identity(self):
+        packet = make_packet(flits=3)
+        assert all(f.packet_id == packet.packet_id for f in packet.expand_flits())
+        assert [f.index for f in packet.expand_flits()] == [0, 1, 2]

@@ -1,0 +1,149 @@
+"""Tests for flow specs, workloads, and traffic patterns."""
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic.flows import FlowSpec, Workload, be_flow, gb_flow, gl_flow
+from repro.traffic.generators import SaturatingInjection
+from repro.traffic.patterns import (
+    FIG4_RESERVED_RATES,
+    bit_complement_workload,
+    fig4_workload,
+    hotspot_workload,
+    permutation_workload,
+    single_output_workload,
+    transpose_destination,
+    uniform_random_workload,
+)
+from repro.types import FlowId, TrafficClass
+
+
+class TestFlowSpec:
+    def test_gb_requires_reservation(self):
+        with pytest.raises(TrafficError):
+            FlowSpec(flow=FlowId(0, 1, TrafficClass.GB))
+
+    def test_be_rejects_reservation(self):
+        with pytest.raises(TrafficError):
+            FlowSpec(flow=FlowId(0, 1, TrafficClass.BE), reserved_rate=0.5)
+
+    def test_gl_rejects_per_flow_reservation(self):
+        with pytest.raises(TrafficError):
+            FlowSpec(flow=FlowId(0, 1, TrafficClass.GL), reserved_rate=0.1)
+
+    def test_mean_packet_flits_for_range(self):
+        spec = be_flow(0, 1, packet_length=(4, 12))
+        assert spec.mean_packet_flits == 8.0
+
+    def test_priority_level_bounds(self):
+        with pytest.raises(TrafficError):
+            FlowSpec(flow=FlowId(0, 1, TrafficClass.BE), priority_level=4)
+
+    def test_with_process(self):
+        spec = be_flow(0, 1, inject_rate=0.1)
+        updated = spec.with_process(SaturatingInjection())
+        assert updated.process.saturating
+        assert not spec.process.saturating
+
+    def test_builders_default_processes(self):
+        assert gb_flow(0, 1, 0.5).process.saturating
+        assert not gb_flow(0, 1, 0.5, inject_rate=0.2).process.saturating
+        assert gl_flow(0, 1).packet_length == 1
+
+
+class TestWorkloadValidation:
+    def test_duplicate_flow_rejected(self):
+        workload = Workload()
+        workload.add(be_flow(0, 1))
+        workload.add(be_flow(0, 1))
+        with pytest.raises(TrafficError):
+            workload.validate(radix=4)
+
+    def test_out_of_range_endpoint_rejected(self):
+        workload = Workload().add(be_flow(0, 9))
+        with pytest.raises(TrafficError):
+            workload.validate(radix=4)
+
+    def test_oversubscribed_output_rejected(self):
+        workload = Workload()
+        workload.add(gb_flow(0, 1, 0.7))
+        workload.add(gb_flow(1, 1, 0.7))
+        with pytest.raises(TrafficError):
+            workload.validate(radix=4)
+
+    def test_gl_share_charged_only_when_gl_flows_present(self):
+        workload = Workload()
+        workload.add(gb_flow(0, 1, 0.98))
+        workload.validate(radix=4, gl_reserved_rate=0.05)  # no GL at output 1
+        workload.add(gl_flow(1, 1))
+        with pytest.raises(TrafficError):
+            workload.validate(radix=4, gl_reserved_rate=0.05)
+
+    def test_class_subset_views(self):
+        workload = Workload()
+        workload.add(gb_flow(0, 1, 0.5))
+        workload.add(be_flow(1, 1))
+        workload.add(gl_flow(2, 1))
+        assert len(workload.gb_flows) == 1
+        assert len(workload.be_flows) == 1
+        assert len(workload.gl_flows) == 1
+
+
+class TestPatterns:
+    def test_fig4_rates_match_paper(self):
+        assert FIG4_RESERVED_RATES == (0.40, 0.20, 0.10, 0.10, 0.05, 0.05, 0.05, 0.05)
+        assert sum(FIG4_RESERVED_RATES) == pytest.approx(1.0)
+
+    def test_fig4_workload_shape(self):
+        workload = fig4_workload(inject_rate=0.5)
+        assert len(workload) == 8
+        assert all(s.flow.dst == 0 for s in workload)
+        workload.validate(radix=8)
+
+    def test_single_output_rejects_wrong_rate_count(self):
+        with pytest.raises(TrafficError):
+            single_output_workload(4, 0, [0.5, 0.5])
+
+    def test_single_output_be_variant(self):
+        workload = single_output_workload(
+            4, 0, [0.1] * 4, traffic_class=TrafficClass.BE
+        )
+        assert all(s.flow.traffic_class is TrafficClass.BE for s in workload)
+        assert all(s.reserved_rate is None for s in workload)
+
+    def test_uniform_random_valid_and_complete(self):
+        workload = uniform_random_workload(4, inject_rate=0.4)
+        assert len(workload) == 16
+        workload.validate(radix=4)
+
+    def test_permutation_is_bijective(self):
+        workload = permutation_workload(8, inject_rate=0.5)
+        dsts = [s.flow.dst for s in workload]
+        assert sorted(dsts) == list(range(8))
+        workload.validate(radix=8)
+
+    def test_permutation_rejects_non_permutation(self):
+        with pytest.raises(TrafficError):
+            permutation_workload(4, permutation=[0, 0, 1, 2])
+
+    def test_bit_complement(self):
+        workload = bit_complement_workload(4, inject_rate=0.5)
+        assert [s.flow.dst for s in workload] == [3, 2, 1, 0]
+
+    def test_transpose_destination(self):
+        # radix 16: src = (hi << 2) | lo -> dst = (lo << 2) | hi.
+        assert transpose_destination(0b0110, 16) == 0b1001
+
+    def test_transpose_rejects_odd_bit_count(self):
+        with pytest.raises(TrafficError):
+            transpose_destination(3, 8)
+
+    def test_hotspot_validates(self):
+        workload = hotspot_workload(4, hotspot=2, inject_rate=0.4)
+        workload.validate(radix=4)
+        hot_flows = [s for s in workload if s.flow.dst == 2]
+        assert len(hot_flows) >= 4  # every input sends to the hotspot
+
+    def test_hotspot_rejects_bad_port(self):
+        with pytest.raises(TrafficError):
+            hotspot_workload(4, hotspot=7)

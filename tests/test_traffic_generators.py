@@ -1,0 +1,138 @@
+"""Tests for injection processes and flow sources."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrafficError
+from repro.traffic.generators import (
+    BernoulliInjection,
+    BurstyInjection,
+    FlowSource,
+    SaturatingInjection,
+    TraceInjection,
+    build_source,
+)
+from repro.types import FlowId
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBernoulli:
+    def test_rate_is_approximated(self):
+        times = BernoulliInjection(0.5).arrival_times(100_000, 8, rng())
+        offered = len(times) * 8 / 100_000
+        assert offered == pytest.approx(0.5, rel=0.05)
+
+    def test_times_sorted_and_bounded(self):
+        times = BernoulliInjection(0.3).arrival_times(10_000, 4, rng())
+        assert (np.diff(times) >= 0).all()
+        assert times[-1] < 10_000
+
+    def test_zero_horizon_empty(self):
+        assert BernoulliInjection(0.5).arrival_times(0, 8, rng()).size == 0
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, 1.5])
+    def test_rejects_bad_rate(self, rate):
+        with pytest.raises(TrafficError):
+            BernoulliInjection(rate)
+
+    def test_range_packet_length_uses_mean(self):
+        times = BernoulliInjection(0.5).arrival_times(100_000, (4, 12), rng())
+        offered = len(times) * 8 / 100_000  # mean length 8
+        assert offered == pytest.approx(0.5, rel=0.05)
+
+
+class TestBursty:
+    def test_long_run_rate_matches(self):
+        times = BurstyInjection(0.2, burst_packets=5.0).arrival_times(
+            200_000, 8, rng()
+        )
+        offered = len(times) * 8 / 200_000
+        assert offered == pytest.approx(0.2, rel=0.15)
+
+    def test_bursts_are_clumped(self):
+        """Inter-arrival gaps are bimodal: tight in bursts, long between."""
+        times = BurstyInjection(0.1, burst_packets=8.0).arrival_times(
+            100_000, 8, rng()
+        )
+        gaps = np.diff(times)
+        on_gap = 8  # back-to-back 8-flit packets at rate 1.0
+        tight = (gaps <= on_gap).sum()
+        long_ = (gaps > 4 * on_gap).sum()
+        assert tight > long_ > 0
+
+    def test_rejects_rate_above_on_rate(self):
+        with pytest.raises(TrafficError):
+            BurstyInjection(0.8, on_rate_flits=0.5)
+
+    def test_rejects_sub_one_burst(self):
+        with pytest.raises(TrafficError):
+            BurstyInjection(0.2, burst_packets=0.5)
+
+
+class TestTraceAndSaturating:
+    def test_trace_clips_to_horizon(self):
+        proc = TraceInjection([5, 50, 500])
+        assert proc.arrival_times(100, 8, rng()).tolist() == [5, 50]
+
+    def test_trace_rejects_negative(self):
+        with pytest.raises(TrafficError):
+            TraceInjection([-1])
+
+    def test_saturating_has_no_schedule(self):
+        with pytest.raises(TrafficError):
+            SaturatingInjection().arrival_times(100, 8, rng())
+
+    def test_saturating_flag(self):
+        assert SaturatingInjection().saturating
+        assert not TraceInjection([0]).saturating
+
+
+class TestFlowSource:
+    def test_scheduled_source_pops_in_order(self):
+        source = FlowSource(FlowId(0, 1), TraceInjection([3, 7]), 4, 100, rng())
+        assert source.peek_time() == 3
+        pkt = source.pop_scheduled()
+        assert pkt.created_cycle == 3
+        assert source.peek_time() == 7
+
+    def test_exhausted_source_raises(self):
+        source = FlowSource(FlowId(0, 1), TraceInjection([]), 4, 100, rng())
+        assert source.peek_time() is None
+        with pytest.raises(TrafficError):
+            source.pop_scheduled()
+
+    def test_fixed_packet_length(self):
+        source = FlowSource(FlowId(0, 1), SaturatingInjection(), 6, 100, rng())
+        assert source.make_packet(0).flits == 6
+
+    def test_range_packet_length_within_bounds(self):
+        source = FlowSource(FlowId(0, 1), SaturatingInjection(), (2, 5), 100, rng())
+        lengths = {source.make_packet(0).flits for _ in range(100)}
+        assert lengths <= {2, 3, 4, 5}
+        assert len(lengths) > 1
+
+    def test_rejects_bad_length_range(self):
+        with pytest.raises(TrafficError):
+            FlowSource(FlowId(0, 1), SaturatingInjection(), (5, 2), 100, rng())
+
+    def test_build_source_seeds_deterministically(self):
+        a = build_source(FlowId(0, 1), BernoulliInjection(0.2), 8, 10_000, seed=9)
+        b = build_source(FlowId(0, 1), BernoulliInjection(0.2), 8, 10_000, seed=9)
+        assert a.peek_time() == b.peek_time()
+
+
+@settings(max_examples=30)
+@given(
+    rate=st.floats(min_value=0.01, max_value=1.0),
+    flits=st.integers(1, 16),
+    seed=st.integers(0, 1000),
+)
+def test_bernoulli_schedules_always_valid(rate, flits, seed):
+    times = BernoulliInjection(rate).arrival_times(5_000, flits, rng(seed))
+    assert (times >= 0).all()
+    assert (times < 5_000).all()
+    assert (np.diff(times) >= 0).all()

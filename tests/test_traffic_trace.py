@@ -1,0 +1,89 @@
+"""Tests for trace record/replay."""
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic.trace import (
+    TraceRecord,
+    load_trace,
+    save_trace,
+    workload_from_trace,
+)
+from repro.types import TrafficClass
+
+
+def record(cycle=0, src=0, dst=1, cls=TrafficClass.GB, flits=8):
+    return TraceRecord(cycle=cycle, src=src, dst=dst, traffic_class=cls, flits=flits)
+
+
+class TestTraceRecord:
+    def test_json_roundtrip(self):
+        original = record(cycle=42, cls=TrafficClass.GL, flits=1)
+        assert TraceRecord.from_json(original.to_json()) == original
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(TrafficError):
+            TraceRecord.from_json("not json")
+
+    def test_missing_field_raises(self):
+        with pytest.raises(TrafficError):
+            TraceRecord.from_json('{"cycle": 1, "src": 0}')
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(TrafficError):
+            TraceRecord.from_json(
+                '{"cycle":1,"src":0,"dst":1,"cls":"XX","flits":8}'
+            )
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(TrafficError):
+            record(flits=0)
+        with pytest.raises(TrafficError):
+            record(cycle=-1)
+
+
+class TestFileRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        records = [record(cycle=c) for c in range(5)]
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(records, path) == 5
+        assert load_trace(path) == records
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(record().to_json() + "\n\n" + record(cycle=3).to_json() + "\n")
+        assert len(load_trace(path)) == 2
+
+
+class TestWorkloadFromTrace:
+    def test_groups_by_flow(self):
+        records = [
+            record(cycle=0, src=0),
+            record(cycle=5, src=0),
+            record(cycle=1, src=1),
+        ]
+        workload = workload_from_trace(records)
+        assert len(workload) == 2
+
+    def test_gb_reservations_default_to_equal_split(self):
+        records = [record(src=0), record(src=1)]
+        workload = workload_from_trace(records)
+        assert all(s.reserved_rate == pytest.approx(0.45) for s in workload)
+
+    def test_explicit_reservations_used(self):
+        records = [record(src=0)]
+        workload = workload_from_trace(records, reserved_rates={(0, 1): 0.7})
+        assert workload.flows[0].reserved_rate == 0.7
+
+    def test_be_flows_need_no_reservation(self):
+        workload = workload_from_trace([record(cls=TrafficClass.BE)])
+        assert workload.flows[0].reserved_rate is None
+
+    def test_mixed_lengths_in_one_flow_rejected(self):
+        records = [record(flits=8), record(cycle=1, flits=4)]
+        with pytest.raises(TrafficError):
+            workload_from_trace(records)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TrafficError):
+            workload_from_trace([])

@@ -1,0 +1,65 @@
+"""Tests for repro.types: class ordering, mode parsing, flow identity."""
+
+import pytest
+
+from repro.types import CounterMode, FlowId, TrafficClass
+
+
+class TestTrafficClass:
+    def test_priority_ordering_gl_highest(self):
+        assert TrafficClass.GL > TrafficClass.GB > TrafficClass.BE
+
+    def test_numeric_values_match_paper_priorities(self):
+        assert TrafficClass.BE == 0
+        assert TrafficClass.GB == 1
+        assert TrafficClass.GL == 2
+
+    def test_short_names(self):
+        assert TrafficClass.BE.short_name == "BE"
+        assert TrafficClass.GB.short_name == "GB"
+        assert TrafficClass.GL.short_name == "GL"
+
+    def test_max_of_classes_is_highest_priority(self):
+        assert max([TrafficClass.BE, TrafficClass.GL, TrafficClass.GB]) is TrafficClass.GL
+
+
+class TestCounterMode:
+    @pytest.mark.parametrize("name,expected", [
+        ("subtract", CounterMode.SUBTRACT),
+        ("halve", CounterMode.HALVE),
+        ("reset", CounterMode.RESET),
+        ("SUBTRACT", CounterMode.SUBTRACT),
+        ("Halve", CounterMode.HALVE),
+    ])
+    def test_from_name_parses(self, name, expected):
+        assert CounterMode.from_name(name) is expected
+
+    def test_from_name_rejects_unknown_with_valid_list(self):
+        with pytest.raises(ValueError, match="subtract"):
+            CounterMode.from_name("bogus")
+
+    def test_three_modes_exist(self):
+        assert {m.value for m in CounterMode} == {"subtract", "halve", "reset"}
+
+
+class TestFlowId:
+    def test_defaults_to_gb(self):
+        assert FlowId(0, 1).traffic_class is TrafficClass.GB
+
+    def test_str_is_readable(self):
+        assert str(FlowId(2, 5, TrafficClass.GL)) == "GL[2->5]"
+
+    def test_rejects_negative_src(self):
+        with pytest.raises(ValueError):
+            FlowId(-1, 0)
+
+    def test_rejects_negative_dst(self):
+        with pytest.raises(ValueError):
+            FlowId(0, -2)
+
+    def test_hashable_and_equal_by_value(self):
+        assert FlowId(1, 2) == FlowId(1, 2)
+        assert len({FlowId(1, 2), FlowId(1, 2), FlowId(1, 3)}) == 2
+
+    def test_distinct_classes_are_distinct_flows(self):
+        assert FlowId(1, 2, TrafficClass.GB) != FlowId(1, 2, TrafficClass.GL)

@@ -1,0 +1,63 @@
+"""Mutation testing of the Section 4.1 verifier: it must catch bugs.
+
+A verifier that never fails could be vacuous. These tests deliberately
+corrupt the discharge logic (the kind of bug the paper's verification
+existed to catch) and assert the equivalence checker reports a mismatch.
+"""
+
+import pytest
+
+import repro.circuit.fabric as fabric_module
+from repro.circuit.verification import verify_exhaustive, verify_random
+from repro.errors import ArbitrationError, VerificationError
+
+
+@pytest.fixture
+def broken_discharge(monkeypatch):
+    """Invert the 'lane above my level' rule: discharge nothing there."""
+    original = fabric_module.discharge_decision
+
+    def corrupted(lane_index, therm_bits, lrg_row):
+        if therm_bits[lane_index] == 0:
+            return [0] * len(lrg_row)  # BUG: should be all ones
+        return original(lane_index, therm_bits, lrg_row)
+
+    monkeypatch.setattr(fabric_module, "discharge_decision", corrupted)
+
+
+@pytest.fixture
+def broken_lrg_row(monkeypatch):
+    """Use the *loser's* row: discharge inputs that beat us in a tie."""
+    original = fabric_module.discharge_decision
+
+    def corrupted(lane_index, therm_bits, lrg_row):
+        bits = original(lane_index, therm_bits, lrg_row)
+        if bits == list(lrg_row):  # the own-lane LRG case
+            return [1 - b for b in bits]
+        return bits
+
+    monkeypatch.setattr(fabric_module, "discharge_decision", corrupted)
+
+
+class TestVerifierCatchesMutations:
+    def test_exhaustive_catches_inverted_lane_rule(self, broken_discharge):
+        # Caught either as a wrong-winner mismatch (VerificationError) or
+        # as a violated single-charged-wire invariant (ArbitrationError).
+        with pytest.raises((VerificationError, ArbitrationError)):
+            verify_exhaustive(radix=3, num_levels=3)
+
+    def test_random_catches_inverted_lane_rule(self, broken_discharge):
+        with pytest.raises((VerificationError, ArbitrationError)):
+            verify_random(radix=4, num_levels=4, trials=500, seed=1)
+
+    def test_exhaustive_catches_flipped_lrg_row(self, broken_lrg_row):
+        # A flipped LRG row either elects the wrong winner or leaves
+        # zero/multiple charged wires; both must surface as errors.
+        with pytest.raises(Exception) as excinfo:
+            verify_exhaustive(radix=3, num_levels=3)
+        assert excinfo.type.__name__ in ("VerificationError", "ArbitrationError", "CircuitError")
+
+    def test_healthy_logic_still_passes(self):
+        """Sanity: without mutation the same sweeps are clean."""
+        verify_exhaustive(radix=3, num_levels=3)
+        verify_random(radix=4, num_levels=4, trials=200, seed=1)
