@@ -15,7 +15,7 @@ def test_exhaustive_radix4(benchmark):
 def test_randomized_radix8_with_gl(benchmark):
     report = run_once(
         benchmark, verify_random,
-        **{"radix": 8, "num_levels": 8, "trials": 5000, "gl_probability": 0.2},
+        **{"radix": 8, "num_levels": 8, "trials": 5000, "seed": 0, "gl_probability": 0.2},
     )
     assert report.trials == 5000
     benchmark.extra_info["decisions"] = report.trials

@@ -1,0 +1,57 @@
+"""``repro.analysis`` — self-hosted static analysis for the simulator.
+
+The paper's guarantees (SSVC bandwidth adherence, the GL worst-case bound
+of Eq. 1) hold only if the simulator preserves a set of cross-module
+invariants — seeded determinism, pure-select/explicit-commit arbitration,
+bounded thermometer levels. This package enforces them statically:
+
+* :mod:`repro.analysis.engine` — AST visitor framework, rule registry,
+  per-line/per-file suppressions, text & JSON reports.
+* :mod:`repro.analysis.rules` — simulator-specific hygiene rules (RL1xx).
+* :mod:`repro.analysis.contracts` — cross-module protocol contracts (RC1xx).
+* :mod:`repro.analysis.cli` — the ``repro-lint`` console entry point.
+
+The analyzer lints its own source (``repro-lint src/repro`` includes this
+package) and its catalogue is documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from .engine import (
+    Engine,
+    Finding,
+    Report,
+    Rule,
+    Severity,
+    SourceModule,
+    all_rules,
+    register,
+)
+
+# Importing the rule modules populates the registry.
+from . import rules as _rules  # noqa: F401,E402
+from . import contracts as _contracts  # noqa: F401,E402
+
+
+def lint_paths(paths: "list[str]", force_guarded: bool = False) -> Report:
+    """Lint files/directories with the full default rule set."""
+    return Engine(force_guarded=force_guarded).lint_paths(paths)
+
+
+def lint_source(
+    source: str, path: str = "<string>", force_guarded: bool = False
+) -> "list[Finding]":
+    """Lint a source string (test/tooling convenience)."""
+    return Engine(force_guarded=force_guarded).lint_source(source, path)
+
+
+__all__ = [
+    "Engine",
+    "Finding",
+    "Report",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

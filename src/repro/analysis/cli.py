@@ -1,0 +1,110 @@
+"""``repro-lint`` — the command-line front end of the analyzer.
+
+Exit codes: 0 clean (suppressed findings allowed), 1 open findings,
+2 a file failed to parse or a CLI argument was invalid.
+
+Examples::
+
+    repro-lint src/repro                       # lint the library
+    repro-lint src/repro --format json         # machine-readable report
+    repro-lint path.py --select RL001,RC101    # only these rules
+    repro-lint --list-rules                    # rule catalogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Set
+
+from .engine import Engine, all_rules, resolve_rule_tokens
+
+
+def _split_tokens(values: Sequence[str]) -> Set[str]:
+    tokens: List[str] = []
+    for value in values:
+        tokens.extend(part for part in value.split(",") if part.strip())
+    return resolve_rule_tokens(tokens)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analysis and contract verification for the QoS switch simulator.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids/names to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="comma-separated rule ids/names to skip",
+    )
+    parser.add_argument(
+        "--force-guarded",
+        action="store_true",
+        help="treat every file as determinism-guarded (apply RL002/RL007/RL008 everywhere)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _render_rule_list() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = "guarded packages" if rule.guarded_only else "all files"
+        lines.append(f"{rule.id}  {rule.name:<24} [{rule.severity}] ({scope})")
+        lines.append(f"       {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        print(_render_rule_list())
+        return 0
+    if not options.paths:
+        parser.error("no paths given (or use --list-rules)")
+    try:
+        select = _split_tokens(options.select)
+        ignore = _split_tokens(options.ignore)
+    except ValueError as exc:
+        parser.error(str(exc))
+    runner = Engine(
+        select=select or None,
+        ignore=ignore or None,
+        force_guarded=options.force_guarded,
+    )
+    report = runner.lint_paths(options.paths)
+    if options.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text(show_suppressed=options.show_suppressed))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

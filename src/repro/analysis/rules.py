@@ -1,0 +1,301 @@
+"""Simulator-specific AST rules (the RL1xx series).
+
+Each rule encodes an invariant the paper's guarantees depend on. The
+guarantees in question: SSVC bandwidth adherence (paper Fig. 4) requires
+bit-identical replay of arbitration decisions, and the GL worst-case bound
+(Eq. 1) is only checkable against a deterministic simulator. Hence the
+recurring theme below: nothing in the arbitration path may depend on
+global RNG state, wall-clock time, float round-off, or unordered
+container iteration.
+
+Rules are registered in id order; ``repro-lint --list-rules`` prints this
+module's docstrings as the authoritative rule catalogue (see
+``docs/STATIC_ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import ModuleContext, Rule, Severity, dotted_name, register
+
+#: Functions on the stdlib ``random`` module that consume the *global*
+#: (hidden, process-wide) Mersenne Twister state.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "sample",
+        "shuffle", "uniform", "gauss", "normalvariate", "expovariate",
+        "betavariate", "triangular", "seed", "getrandbits",
+    }
+)
+
+#: Legacy ``numpy.random.*`` module-level samplers backed by the global
+#: RandomState (as opposed to an injected ``Generator``).
+_GLOBAL_NUMPY_FNS = frozenset(
+    {
+        "random", "rand", "randn", "randint", "random_sample", "choice",
+        "shuffle", "permutation", "uniform", "normal", "poisson",
+        "exponential", "binomial", "geometric", "seed",
+    }
+)
+
+_NUMPY_ALIASES = ("numpy.random", "np.random")
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+
+@register
+class UnseededRngRule(Rule):
+    """RL001: every random draw must come from an injected, seeded generator.
+
+    Flags any use of the stdlib ``random`` module's global state
+    (``random.random()``, ``random.shuffle()``, ...), ``random.Random()``
+    constructed without a seed, ``numpy.random.default_rng()`` /
+    ``RandomState()`` without a seed, and the legacy global
+    ``numpy.random.<sampler>()`` functions. Seeded construction
+    (``default_rng(seed)``, ``Random(42)``) and drawing from an injected
+    ``Generator`` object are fine — the simulator's convention is
+    ``np.random.SeedSequence(master).spawn(...)`` per flow.
+    """
+
+    id = "RL001"
+    name = "unseeded-rng"
+    severity = Severity.ERROR
+    description = "RNG draw from global or unseeded state breaks seeded determinism"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        unseeded = not node.args and not node.keywords
+        head, _, tail = name.rpartition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+            ctx.report(self, node, f"{name}() draws from the global random state; inject a seeded Random/Generator instead")
+        elif name in ("random.Random", "Random") and unseeded:
+            ctx.report(self, node, f"{name}() without a seed is nondeterministic; pass an explicit seed")
+        elif head in _NUMPY_ALIASES and tail in ("default_rng", "RandomState"):
+            if unseeded or (len(node.args) == 1 and isinstance(node.args[0], ast.Constant) and node.args[0].value is None):
+                ctx.report(self, node, f"{name}() without a seed is nondeterministic; pass an explicit seed or SeedSequence")
+        elif head in _NUMPY_ALIASES and tail in _GLOBAL_NUMPY_FNS:
+            ctx.report(self, node, f"{name}() uses numpy's global RandomState; use an injected Generator")
+
+
+@register
+class WallClockRule(Rule):
+    """RL002: no wall-clock reads inside guarded simulator packages.
+
+    ``time.time()``, ``perf_counter()``, ``datetime.now()`` and friends
+    make behavior depend on the host machine. They are fine in benchmarks
+    and the experiment harness; inside ``repro.{core,switch,qos,
+    multiswitch}`` all time is the simulated cycle counter ``now``.
+    """
+
+    id = "RL002"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = "wall-clock read inside a determinism-guarded package"
+    node_types = (ast.Call,)
+    guarded_only = True
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name in _WALL_CLOCK_CALLS:
+            ctx.report(self, node, f"{name}() reads the wall clock; simulator code must use the cycle counter")
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RL003: no ``==``/``!=`` against float values.
+
+    auxVC counters, credits, and Vticks are floats accumulated over
+    millions of cycles; exact equality against them is round-off roulette.
+    Flags comparisons where an operand is a float literal, a ``float()``
+    cast, or a true-division expression. Use ``math.isclose``, an integer
+    representation, or an ordering comparison instead.
+    """
+
+    id = "RL003"
+    name = "float-equality"
+    severity = Severity.ERROR
+    description = "exact ==/!= comparison against a float expression"
+    node_types = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Compare)
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if self._is_floatish(side):
+                    ctx.report(self, node, "exact float comparison; use math.isclose or integer units")
+                    return
+
+    @staticmethod
+    def _is_floatish(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return True
+        if isinstance(node, ast.Call) and dotted_name(node.func) == "float":
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return True
+        return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL004: no mutable default arguments.
+
+    A ``def f(history=[])`` default is shared across *all* calls — per-run
+    state leaks between simulations and between repeats of the same
+    experiment. Use ``None`` plus an in-body default, or
+    ``dataclasses.field(default_factory=...)``.
+    """
+
+    id = "RL004"
+    name = "mutable-default"
+    severity = Severity.ERROR
+    description = "mutable default argument shared across calls"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                ctx.report(
+                    self,
+                    default,
+                    f"mutable default argument in {node.name}(); use None and create inside the body",
+                )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and dotted_name(node.func) in (
+            "list", "dict", "set", "bytearray", "collections.deque", "deque",
+        ):
+            return True
+        return False
+
+
+@register
+class BareExceptRule(Rule):
+    """RL005: no bare ``except:`` clauses.
+
+    A bare except swallows ``KeyboardInterrupt``/``SystemExit`` and hides
+    programming errors behind QoS-invariant violations. Catch
+    ``repro.errors.ReproError`` (the library-wide base class) or a
+    concrete exception type.
+    """
+
+    id = "RL005"
+    name = "bare-except"
+    severity = Severity.ERROR
+    description = "bare except clause hides programming errors"
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            ctx.report(self, node, "bare except; catch ReproError or a concrete exception type")
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """RL006: no silently swallowed exceptions.
+
+    ``except SomeError: pass`` (or ``...``) erases the only evidence that
+    an invariant broke. Either handle the error, re-raise, or log via the
+    stats collector; if swallowing is genuinely correct, say why with an
+    inline ``# reprolint: disable=swallowed-exception`` justification.
+    """
+
+    id = "RL006"
+    name = "swallowed-exception"
+    severity = Severity.WARNING
+    description = "exception handler whose only body is pass/..."
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        body = node.body
+        if len(body) == 1 and (
+            isinstance(body[0], ast.Pass)
+            or (isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant) and body[0].value.value is Ellipsis)
+        ):
+            ctx.report(self, node, "exception silently swallowed; handle it or justify the suppression inline")
+
+
+@register
+class SetIterationRule(Rule):
+    """RL007: no set iteration driving control flow in guarded packages.
+
+    Iterating a ``set``/``frozenset`` yields elements in hash order, which
+    varies run-to-run for str-keyed sets under hash randomization — the
+    classic way an arbitration loop silently loses determinism (a future
+    SW-QPS-style parallel scheduler is exactly the PR that would introduce
+    this). Sort the set, or keep candidates in a list/dict (dicts
+    preserve insertion order). ``dict.popitem()`` is flagged for the same
+    reason: "last inserted" is rarely the order an arbiter means.
+    """
+
+    id = "RL007"
+    name = "set-iteration"
+    severity = Severity.ERROR
+    description = "iteration over an unordered set inside a guarded package"
+    node_types = (ast.For, ast.AsyncFor, ast.comprehension, ast.Call)
+    guarded_only = True
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_iterable(node.iter, ctx)
+        elif isinstance(node, ast.comprehension):
+            self._check_iterable(node.iter, ctx)
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "popitem":
+                ctx.report(self, node, "dict.popitem() order is incidental; pop an explicit key")
+
+    def _check_iterable(self, iterable: ast.AST, ctx: ModuleContext) -> None:
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            ctx.report(self, iterable, "iterating a set literal; order is undefined — sort or use a list")
+        elif isinstance(iterable, ast.Call) and dotted_name(iterable.func) in ("set", "frozenset"):
+            ctx.report(self, iterable, "iterating set(...); order is undefined — use sorted(...) instead")
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """RL008: no ``print()`` in guarded simulator packages.
+
+    The core/switch/qos/multiswitch packages are library code driven by
+    benchmarks and million-packet experiments; a stray debug print both
+    floods output and (being I/O) distorts the perf numbers the ROADMAP
+    cares about. Reporting belongs in ``repro.metrics`` and the
+    experiment CLI.
+    """
+
+    id = "RL008"
+    name = "print-in-library"
+    severity = Severity.WARNING
+    description = "print() call inside a guarded library package"
+    node_types = (ast.Call,)
+    guarded_only = True
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Call)
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(self, node, "print() in library code; return data or use repro.metrics reporting")

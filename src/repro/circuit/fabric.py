@@ -50,6 +50,17 @@ class FabricRequest:
         if not self.is_gl and self.thermometer is None:
             raise CircuitError("GB requests must carry a thermometer code")
 
+    @property
+    def gb_thermometer(self) -> ThermometerCode:
+        """The thermometer code of a GB request, narrowed to non-None.
+
+        ``__post_init__`` guarantees GB requests carry one; asking a GL
+        request for its (nonexistent) code is a modelling bug.
+        """
+        if self.thermometer is None:
+            raise CircuitError("GL requests have no thermometer code")
+        return self.thermometer
+
 
 class ArbitrationFabric:
     """Wire-level single-cycle arbitration for one output.
@@ -135,7 +146,7 @@ class ArbitrationFabric:
                 self.gl_lane.apply_discharge(lrg_row, port)
                 discharges += sum(lrg_row)
                 continue
-            therm_bits = list(request.thermometer.bits)  # type: ignore[union-attr]
+            therm_bits = list(request.gb_thermometer.bits)
             for lane in self.gb_lanes:
                 bits = discharge_decision(lane.lane_index, therm_bits, lrg_row)
                 bits = gl_discharge_decision(False, bits)
@@ -153,7 +164,7 @@ class ArbitrationFabric:
             # the counter's MSBs — or the GL lane for GL requests; with a
             # GL request present a GB input's wire was force-discharged
             # and it reads a loss.
-            level = 0 if request.is_gl else request.thermometer.level  # type: ignore[union-attr]
+            level = 0 if request.is_gl else request.gb_thermometer.level
             wire = self.sense_muxes[port].select(level, gl_request=request.is_gl)
             lane_index, position = divmod(wire, self.radix)
             lane = self.gl_lane if lane_index == self.levels else self.gb_lanes[lane_index]

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.lrg import LRGState
 from ..core.thermometer import ThermometerCode
-from ..errors import VerificationError
+from ..errors import ConfigError, VerificationError
 from .fabric import ArbitrationFabric, FabricRequest
 
 
@@ -48,8 +48,16 @@ def reference_decision(
     gl = [p for p in requesters if gl_flags[p]]
     if gl:
         return min(gl, key=rank.__getitem__)
-    best = min(levels[p] for p in requesters)  # type: ignore[type-var]
-    tied = [p for p in requesters if levels[p] == best]
+    resolved: Dict[int, int] = {}
+    for p in requesters:
+        level = levels[p]
+        if level is None:
+            raise VerificationError(
+                f"GB requester {p} has no thermometer level (levels={levels})"
+            )
+        resolved[p] = level
+    best = min(resolved.values())
+    tied = [p for p in requesters if resolved[p] == best]
     return min(tied, key=rank.__getitem__)
 
 
@@ -146,15 +154,29 @@ def verify_random(
     radix: int = 8,
     num_levels: int = 8,
     trials: int = 2000,
-    seed: int = 0,
+    seed: Optional[int] = None,
     gl_probability: float = 0.15,
+    rng: Optional[np.random.Generator] = None,
 ) -> VerificationReport:
     """Randomized sweep for radices where exhaustion is infeasible.
 
+    The sweep (including the ``gl_probability`` coin flips that decide
+    which requesters are GL) draws every sample from one explicitly
+    seeded generator: pass either ``seed`` or an already-seeded ``rng``.
+    There is deliberately no fallback to ambient/global randomness — a
+    failure report that cannot name its seed cannot be replayed.
+
     Raises:
         VerificationError: on the first mismatching decision.
+        ConfigError: if neither ``seed`` nor ``rng`` is supplied.
     """
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        if seed is None:
+            raise ConfigError(
+                "verify_random requires an explicit seed (or a seeded rng); "
+                "an unseeded sweep cannot be replayed"
+            )
+        rng = np.random.default_rng(seed)
     ports = list(range(radix))
     for _ in range(trials):
         levels = tuple(int(v) for v in rng.integers(0, num_levels, size=radix))

@@ -34,7 +34,7 @@ from ..config import QoSConfig
 from ..core.ssvc import SSVCCore
 from ..errors import SimulationError, TrafficError
 from ..metrics.counters import StatsCollector
-from ..switch.flit import Packet
+from ..switch.flit import Packet, fresh_packet_ids
 from ..types import FlowId, TrafficClass
 from .topology import ClosTopology
 
@@ -316,8 +316,15 @@ class MultiStageSimulation:
         for t0, _ in arrival_heap:
             wake(t0)
 
+        packet_ids = fresh_packet_ids()  # per-run ids: replayable traces
+
         def make_packet(flow: ComposedFlow, created: int) -> Packet:
-            return Packet(flow=flow.flow_id, flits=flow.packet_flits, created_cycle=created)
+            return Packet(
+                flow=flow.flow_id,
+                flits=flow.packet_flits,
+                created_cycle=created,
+                packet_id=next(packet_ids),
+            )
 
         def refill(now: int) -> None:
             """Admit waiting packets, then saturating traffic, into VOQs.

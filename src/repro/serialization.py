@@ -36,10 +36,18 @@ from .traffic.generators import (
 )
 from .types import CounterMode, FlowId, TrafficClass
 
+#: The JSON object boundary. ``Any`` is irreducible here — ``json.load``
+#: returns untyped data by construction, and every consumer immediately
+#: funnels it through the validating constructors below (``SwitchConfig``
+#: et al. validate in ``__post_init__``), so the untyped surface is exactly
+#: this module. This is the one sanctioned ``Any`` in the package; new code
+#: should accept/return ``JSONDict`` rather than spelling ``Any`` again.
+JSONDict = Dict[str, Any]
+
 # --------------------------------------------------------------------- config
 
 
-def config_to_dict(config: SwitchConfig) -> Dict[str, Any]:
+def config_to_dict(config: SwitchConfig) -> JSONDict:
     """SwitchConfig -> plain dict (JSON-ready)."""
     return {
         "radix": config.radix,
@@ -64,7 +72,7 @@ def config_to_dict(config: SwitchConfig) -> Dict[str, Any]:
     }
 
 
-def config_from_dict(data: Dict[str, Any]) -> SwitchConfig:
+def config_from_dict(data: JSONDict) -> SwitchConfig:
     """Plain dict -> SwitchConfig (validation via the dataclasses).
 
     Unknown keys are rejected so typos fail loudly.
@@ -92,7 +100,7 @@ def config_from_dict(data: Dict[str, Any]) -> SwitchConfig:
 # ------------------------------------------------------------------ processes
 
 
-def process_to_dict(process: Optional[InjectionProcess]) -> Optional[Dict[str, Any]]:
+def process_to_dict(process: Optional[InjectionProcess]) -> Optional[JSONDict]:
     """Injection process -> tagged dict; None passes through."""
     if process is None:
         return None
@@ -112,7 +120,7 @@ def process_to_dict(process: Optional[InjectionProcess]) -> Optional[Dict[str, A
     raise ConfigError(f"cannot serialize process type {type(process).__name__}")
 
 
-def process_from_dict(data: Optional[Dict[str, Any]]) -> Optional[InjectionProcess]:
+def process_from_dict(data: Optional[JSONDict]) -> Optional[InjectionProcess]:
     """Tagged dict -> injection process."""
     if data is None:
         return None
@@ -135,7 +143,7 @@ def process_from_dict(data: Optional[Dict[str, Any]]) -> Optional[InjectionProce
 # ------------------------------------------------------------------- workload
 
 
-def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+def workload_to_dict(workload: Workload) -> JSONDict:
     """Workload -> plain dict."""
     flows = []
     for spec in workload:
@@ -154,7 +162,7 @@ def workload_to_dict(workload: Workload) -> Dict[str, Any]:
     return {"name": workload.name, "flows": flows}
 
 
-def workload_from_dict(data: Dict[str, Any]) -> Workload:
+def workload_from_dict(data: JSONDict) -> Workload:
     """Plain dict -> Workload (flow-level validation via FlowSpec)."""
     workload = Workload(name=data.get("name", "workload"))
     for raw in data.get("flows", []):

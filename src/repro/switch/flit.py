@@ -16,7 +16,21 @@ from typing import List, Optional
 from ..errors import SimulationError
 from ..types import FlowId, TrafficClass
 
+# Fallback id stream for packets constructed directly (tests, examples).
+# Simulators do NOT use this: each run owns a fresh counter (see
+# ``fresh_packet_ids``) so two runs with the same seed produce bit-identical
+# event streams — process-global state would make packet ids depend on what
+# ran earlier in the interpreter (tests/test_determinism_hash.py).
 _packet_ids = itertools.count()
+
+
+def fresh_packet_ids() -> "itertools.count[int]":
+    """A per-run packet id counter starting at 0.
+
+    Every simulator run must allocate its own stream and stamp packets
+    explicitly; replayability of event traces depends on it.
+    """
+    return itertools.count()
 
 
 @dataclass

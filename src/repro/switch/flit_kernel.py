@@ -29,7 +29,7 @@ from ..errors import SimulationError, TrafficError
 from ..metrics.counters import StatsCollector
 from ..switch.crossbar import ArbiterFactory, SwizzleSwitch
 from ..switch.events import GrantEvent
-from ..switch.flit import Packet
+from ..switch.flit import Packet, fresh_packet_ids
 from ..types import TrafficClass
 
 if False:  # TYPE_CHECKING — runtime import would be circular
@@ -179,6 +179,7 @@ class FlitLevelSimulation:
         from ..traffic.generators import FlowSource
 
         seeds = np.random.SeedSequence(self.seed).spawn(len(self.workload.flows))
+        packet_ids = fresh_packet_ids()  # per-run ids: replayable traces
         by_cycle: Dict[int, List[Packet]] = {}
         for spec, child in zip(self.workload, seeds):
             if spec.process is None:
@@ -189,6 +190,7 @@ class FlitLevelSimulation:
                 packet_length=spec.packet_length,
                 horizon=horizon,
                 rng=np.random.default_rng(child),
+                id_source=packet_ids,
             )
             while source.peek_time() is not None:
                 packet = source.pop_scheduled()

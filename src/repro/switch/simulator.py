@@ -37,7 +37,7 @@ if False:  # TYPE_CHECKING — imported lazily at runtime to avoid a cycle
     from ..traffic.generators import FlowSource
 from .crossbar import ArbiterFactory, SwizzleSwitch
 from .events import GrantEvent, PacketDelivered
-from .flit import Packet
+from .flit import Packet, fresh_packet_ids
 
 
 @dataclass
@@ -186,9 +186,10 @@ class Simulation:
             if spec.priority_level:
                 try:
                     self.switch.set_priority_level(spec.flow.src, spec.priority_level)
-                except Exception:
+                except Exception:  # reprolint: disable=swallowed-exception
                     # Levels are only meaningful for the fixed-priority
-                    # baseline; other arbiters ignore them by design.
+                    # baseline; other arbiters reject or ignore them by
+                    # design, so a failed set_priority_level is expected.
                     pass
         self._programmed = True
 
@@ -196,6 +197,7 @@ class Simulation:
         from ..traffic.generators import FlowSource
 
         seeds = np.random.SeedSequence(self.seed).spawn(len(self.workload.flows))
+        packet_ids = fresh_packet_ids()  # per-run ids: replayable traces
         sources = []
         for spec, child in zip(self.workload, seeds):
             if spec.process is None:
@@ -207,6 +209,7 @@ class Simulation:
                     packet_length=spec.packet_length,
                     horizon=horizon,
                     rng=np.random.default_rng(child),
+                    id_source=packet_ids,
                 )
             )
         return sources

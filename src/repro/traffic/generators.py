@@ -191,12 +191,14 @@ class FlowSource:
         packet_length: PacketLength,
         horizon: int,
         rng: np.random.Generator,
+        id_source: Optional[Iterator[int]] = None,
     ) -> None:
         _validate_length(packet_length)
         self.flow = flow
         self.process = process
         self.packet_length = packet_length
         self._rng = rng
+        self._ids = id_source
         self.created_count = 0
         if process.saturating:
             self._schedule: Optional[Iterator[int]] = None
@@ -218,8 +220,20 @@ class FlowSource:
         return int(self._rng.integers(lo, hi + 1))
 
     def make_packet(self, created_cycle: int) -> Packet:
-        """Create one packet stamped at ``created_cycle``."""
+        """Create one packet stamped at ``created_cycle``.
+
+        When the owning simulation supplied a per-run ``id_source``, the
+        packet id comes from it (replayable event traces); otherwise the
+        process-global fallback stream is used.
+        """
         self.created_count += 1
+        if self._ids is not None:
+            return Packet(
+                flow=self.flow,
+                flits=self._draw_length(),
+                created_cycle=created_cycle,
+                packet_id=next(self._ids),
+            )
         return Packet(flow=self.flow, flits=self._draw_length(), created_cycle=created_cycle)
 
     # ------------------------------------------------- scheduled-source API

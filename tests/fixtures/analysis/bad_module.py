@@ -1,0 +1,57 @@
+"""A deliberately broken module exercised by the reprolint test suite.
+
+Every statement below violates one analyzer rule; the expected finding set
+is asserted in ``tests/test_analysis_contracts.py``. This file is *not*
+imported anywhere — it only needs to parse.
+"""
+
+import random
+
+import numpy as np
+
+from repro.core import ThermometerCode
+
+
+def unseeded_draw():
+    """RL001: draws from the global Mersenne Twister."""
+    return random.random()
+
+
+def unseeded_generator():
+    """RL001: numpy Generator constructed without a seed."""
+    return np.random.default_rng()
+
+
+def float_equality(aux_vc_value):
+    """RL003: exact equality against a float credit value."""
+    return aux_vc_value == 0.5
+
+
+def mutable_default(history=[]):
+    """RL004: the default list is shared across every call."""
+    history.append(1)
+    return history
+
+
+def bare_except(action):
+    """RL005 + RL006: bare except that also swallows the error."""
+    try:
+        action()
+    except:
+        pass
+
+
+def select_without_commit(arbiter, requests, now):
+    """RC101: selects a winner but never commits/abandons/returns it."""
+    winner = arbiter.select(requests, now)
+    print("winner", winner)
+
+
+def out_of_range_thermometer():
+    """RC102: constant level 9 cannot fit 4 positions."""
+    return ThermometerCode(positions=4, level=9)
+
+
+def untyped_config_consumer(config):
+    """RC103: public function with an unannotated config parameter."""
+    return config

@@ -1,0 +1,65 @@
+"""The well-behaved twin of ``bad_module.py`` — must lint clean.
+
+Mirrors each violation in the bad module with the sanctioned pattern, so
+the contract tests prove the rules do not flag correct idioms.
+"""
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import SwitchConfig
+from repro.core import ThermometerCode
+from repro.errors import ReproError
+
+
+def seeded_draw(seed: int) -> float:
+    """Seeded construction is the sanctioned RNG idiom."""
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def float_comparison(aux_vc_value: float) -> bool:
+    """Tolerant comparison instead of exact equality."""
+    return math.isclose(aux_vc_value, 0.5)
+
+
+def immutable_default(history: Optional[list] = None) -> list:
+    """None default plus in-body construction."""
+    if history is None:
+        history = []
+    history.append(1)
+    return history
+
+
+def narrow_except(action) -> bool:
+    """Concrete exception type, error surfaced to the caller."""
+    try:
+        action()
+    except ReproError:
+        return False
+    return True
+
+
+def select_and_commit(arbiter, requests: Sequence, now: int):
+    """The full select/commit protocol."""
+    winner = arbiter.select(requests, now)
+    if winner is not None:
+        arbiter.commit(winner, now)
+    return winner
+
+
+def select_and_delegate(arbiter, requests: Sequence, now: int):
+    """Returning the selection passes the commit obligation upward."""
+    return arbiter.select(requests, now)
+
+
+def in_range_thermometer() -> ThermometerCode:
+    """Constant level inside [0, positions)."""
+    return ThermometerCode(positions=4, level=3)
+
+
+def typed_config_consumer(config: SwitchConfig) -> int:
+    """Annotated config parameter satisfies RC103."""
+    return config.radix

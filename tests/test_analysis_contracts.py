@@ -1,0 +1,132 @@
+"""Contract-checker integration tests: fixtures, the real tree, the CLI.
+
+The acceptance bar (ISSUE 1): the broken fixture module is flagged with
+the expected findings and a non-zero exit code; the real simulator
+modules — which follow the pure-select/explicit-commit protocol — are
+not; and ``repro-lint src/repro --format json`` exits 0 on the merged
+tree while reporting at least 8 distinct active rule ids.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Engine, lint_paths
+from repro.analysis.cli import main as lint_main
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+FIXTURES = REPO / "tests" / "fixtures" / "analysis"
+BAD = FIXTURES / "bad_module.py"
+GOOD = FIXTURES / "good_module.py"
+
+
+# ------------------------------------------------------------------ fixtures
+
+
+def test_bad_fixture_trips_the_expected_rules():
+    report = lint_paths([str(BAD)])
+    found = {f.rule_id for f in report.open_findings}
+    assert {"RL001", "RL003", "RL004", "RL005", "RL006", "RC101", "RC102", "RC103"} <= found
+    assert report.exit_code != 0
+
+
+def test_bad_fixture_select_without_commit_names_the_receiver():
+    report = lint_paths([str(BAD)])
+    rc101 = [f for f in report.open_findings if f.rule_id == "RC101"]
+    assert len(rc101) == 1
+    assert "arbiter.select()" in rc101[0].message
+    assert "select_without_commit" in rc101[0].message
+
+
+def test_good_fixture_is_clean():
+    report = lint_paths([str(GOOD)])
+    assert report.open_findings == []
+    assert report.exit_code == 0
+
+
+# ------------------------------------------------------------ the real tree
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "switch/simulator.py",
+        "switch/flit_kernel.py",
+        "multiswitch/simulator.py",
+        "qos/base.py",
+        "qos/ssvc_arbiter.py",
+        "qos/three_class.py",
+    ],
+)
+def test_real_arbitration_modules_satisfy_select_commit(module):
+    report = Engine(select={"RC101"}).lint_paths([str(SRC / module)])
+    assert report.open_findings == []
+
+
+def test_whole_tree_is_lint_clean():
+    """Self-hosting acceptance: zero open findings on src/repro, and the
+    analyzer's own source is part of the scanned set."""
+    report = lint_paths([str(SRC)])
+    assert [f.render() for f in report.open_findings] == []
+    assert report.files_scanned > 80
+
+
+def test_suppressions_in_tree_are_visible_in_report():
+    # The one sanctioned swallow in Simulation._program_switch stays
+    # auditable: suppressed, not invisible.
+    report = lint_paths([str(SRC / "switch" / "simulator.py")])
+    assert [f.rule_id for f in report.suppressed_findings] == ["RL006"]
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def test_cli_json_report_shape_and_exit_codes(capsys):
+    code = lint_main([str(BAD), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    rule_ids = {rule["id"] for rule in payload["rules"]}
+    assert len(rule_ids) >= 8
+    assert payload["summary"]["open_findings"] >= 8
+    finding_ids = {f["rule_id"] for f in payload["findings"]}
+    assert "RC101" in finding_ids
+
+
+def test_cli_clean_tree_exits_zero(capsys):
+    code = lint_main([str(SRC), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["summary"]["open_findings"] == 0
+    assert {rule["id"] for rule in payload["rules"]} >= {
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008",
+        "RC101", "RC102", "RC103",
+    }
+
+
+def test_cli_select_ignore_and_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    assert "RL001" in listing and "unseeded-rng" in listing
+
+    code = lint_main([str(BAD), "--select", "RC102"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RC102" in out and "RL001" not in out
+
+    # unknown rule tokens abort with an argparse error (exit code 2)
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main([str(BAD), "--select", "no-such-rule"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_parse_error_exits_two(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n", encoding="utf-8")
+    code = lint_main([str(broken)])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "parse error" in out

@@ -1,0 +1,210 @@
+"""Per-rule unit tests for the reprolint AST rules.
+
+Every rule is exercised three ways: a positive case (the violation is
+found), a negative case (the sanctioned idiom is not flagged), and a
+suppressed case (an inline ``# reprolint: disable=`` comment downgrades
+the finding to suppressed without losing it from the report).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Engine, all_rules, lint_source
+from repro.analysis.engine import resolve_rule_tokens
+
+#: Lint under a guarded-package path so guarded-only rules participate.
+GUARDED_PATH = "src/repro/core/example.py"
+#: A path outside the repro tree: only universal rules apply.
+PLAIN_PATH = "tools/example.py"
+
+
+def open_ids(source: str, path: str = GUARDED_PATH) -> list:
+    return [f.rule_id for f in lint_source(source, path=path) if not f.suppressed]
+
+
+def suppressed_ids(source: str, path: str = GUARDED_PATH) -> list:
+    return [f.rule_id for f in lint_source(source, path=path) if f.suppressed]
+
+
+# Each entry: rule id, positive snippet, negative snippet. The suppressed
+# case is derived from the positive snippet automatically.
+RULE_CASES = [
+    (
+        "RL001",
+        "import random\nx = random.random()\n",
+        "import numpy as np\nrng = np.random.default_rng(7)\nx = rng.random()\n",
+    ),
+    (
+        "RL002",
+        "import time\ndef f():\n    return time.time()\n",
+        "def f(now):\n    return now + 1\n",
+    ),
+    (
+        "RL003",
+        "def f(aux_vc):\n    return aux_vc == 0.25\n",
+        "def f(aux_vc):\n    return aux_vc >= 0.25\n",
+    ),
+    (
+        "RL004",
+        "def f(history=[]):\n    return history\n",
+        "def f(history=None):\n    return history or []\n",
+    ),
+    (
+        "RL005",
+        "def f(g):\n    try:\n        g()\n    except:\n        raise ValueError\n",
+        "def f(g):\n    try:\n        g()\n    except RuntimeError:\n        raise ValueError\n",
+    ),
+    (
+        "RL006",
+        "def f(g):\n    try:\n        g()\n    except ValueError:\n        pass\n",
+        "def f(g, log):\n    try:\n        g()\n    except ValueError as exc:\n        log(exc)\n",
+    ),
+    (
+        "RL007",
+        "def f(items):\n    for x in set(items):\n        yield x\n",
+        "def f(items):\n    for x in sorted(set(items)):\n        yield x\n",
+    ),
+    (
+        "RL008",
+        "def f(x):\n    print(x)\n",
+        "def f(x, sink):\n    sink.write(str(x))\n",
+    ),
+    (
+        "RC101",
+        "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    w.use()\n",
+        "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    arb.commit(w, now)\n",
+    ),
+    (
+        "RC102",
+        "t = ThermometerCode(positions=4, level=4)\n",
+        "t = ThermometerCode(positions=4, level=3)\n",
+    ),
+    (
+        "RC103",
+        "def build(config):\n    return config\n",
+        "def build(config: int) -> int:\n    return config\n",
+    ),
+]
+
+RULE_IDS = [case[0] for case in RULE_CASES]
+
+
+def _suppress(positive: str, rule_id: str) -> str:
+    """Prefix the positive snippet with a next-line suppression comment.
+
+    The comment guards only its following line, so it is attached to the
+    line each rule reports on (the flagged expression's line).
+    """
+    lines = positive.splitlines()
+    flagged = {f.line for f in lint_source(positive, path=GUARDED_PATH) if f.rule_id == rule_id}
+    out = []
+    for number, line in enumerate(lines, start=1):
+        if number in flagged:
+            indent = line[: len(line) - len(line.lstrip())]
+            out.append(f"{indent}# reprolint: disable={rule_id}")
+        out.append(line)
+    return "\n".join(out) + "\n"
+
+
+@pytest.mark.parametrize("rule_id,positive,negative", RULE_CASES, ids=RULE_IDS)
+def test_positive_case_is_flagged(rule_id, positive, negative):
+    assert rule_id in open_ids(positive)
+
+
+@pytest.mark.parametrize("rule_id,positive,negative", RULE_CASES, ids=RULE_IDS)
+def test_negative_case_is_clean(rule_id, positive, negative):
+    assert rule_id not in open_ids(negative)
+
+
+@pytest.mark.parametrize("rule_id,positive,negative", RULE_CASES, ids=RULE_IDS)
+def test_suppression_comment_downgrades_finding(rule_id, positive, negative):
+    suppressed_source = _suppress(positive, rule_id)
+    assert rule_id not in open_ids(suppressed_source)
+    assert rule_id in suppressed_ids(suppressed_source)
+
+
+# ------------------------------------------------------------- rule details
+
+
+def test_wall_clock_allowed_outside_guarded_packages():
+    source = "import time\ndef f():\n    return time.time()\n"
+    assert open_ids(source, path=PLAIN_PATH) == []
+    assert "RL002" in open_ids(source, path="src/repro/switch/x.py")
+
+
+def test_force_guarded_applies_guarded_rules_everywhere():
+    source = "import time\ndef f():\n    return time.time()\n"
+    findings = Engine(force_guarded=True).lint_source(source, path=PLAIN_PATH)
+    assert ["RL002"] == [f.rule_id for f in findings]
+
+
+def test_trailing_suppression_on_same_line():
+    source = "import random\nx = random.random()  # reprolint: disable=unseeded-rng\n"
+    assert open_ids(source) == []
+    assert suppressed_ids(source) == ["RL001"]
+
+
+def test_file_level_suppression_covers_all_occurrences():
+    source = (
+        "# reprolint: disable-file=RL004\n"
+        "def f(a=[]):\n    return a\n"
+        "def g(b={}):\n    return b\n"
+    )
+    assert open_ids(source) == []
+    assert suppressed_ids(source) == ["RL004", "RL004"]
+
+
+def test_suppression_inside_string_literal_is_ignored():
+    source = 'msg = "# reprolint: disable=RL004"\ndef f(a=[]):\n    return a\n'
+    assert "RL004" in open_ids(source)
+
+
+def test_unseeded_rng_flags_legacy_numpy_global_state():
+    source = "import numpy as np\nx = np.random.randint(0, 4)\n"
+    assert "RL001" in open_ids(source)
+
+
+def test_float_equality_flags_division_operand():
+    source = "def f(a, b, c):\n    return a == b / c\n"
+    assert "RL003" in open_ids(source)
+
+
+def test_select_with_keyword_arguments_is_not_the_arbiter_protocol():
+    # The sense-amp mux's select(level, gl_request=...) must not be
+    # mistaken for SSVCCore.select(candidates, now).
+    source = "def f(mux, level):\n    wire = mux.select(level, gl_request=True)\n    return wire + 1\n"
+    assert "RC101" not in open_ids(source)
+
+
+def test_pure_select_methods_are_exempt_from_rc101():
+    source = (
+        "class A:\n"
+        "    def select(self, reqs, now):\n"
+        "        return self.core.select(reqs, now)\n"
+    )
+    assert "RC101" not in open_ids(source)
+
+
+def test_rule_registry_is_complete_and_unique():
+    rules = all_rules()
+    ids = [r.id for r in rules]
+    assert len(ids) == len(set(ids))
+    assert len(ids) >= 8
+    assert set(RULE_IDS) <= set(ids)
+
+
+def test_resolve_rule_tokens_accepts_names_and_ids():
+    assert resolve_rule_tokens(["RL001"]) == {"RL001"}
+    assert resolve_rule_tokens(["unseeded-rng", "rc101"]) == {"RL001", "RC101"}
+    with pytest.raises(ValueError):
+        resolve_rule_tokens(["no-such-rule"])
+
+
+def test_engine_select_and_ignore_filters():
+    source = "import random\nx = random.random()\ny = {'k': 1}.popitem()\n"
+    only = Engine(select={"RL001"}).lint_source(source, path=GUARDED_PATH)
+    assert [f.rule_id for f in only] == ["RL001"]
+    without = Engine(ignore={"RL001"}).lint_source(source, path=GUARDED_PATH)
+    assert "RL001" not in [f.rule_id for f in without]
+    assert "RL007" in [f.rule_id for f in without]
