@@ -1,0 +1,33 @@
+"""The pinned ``repro-bench`` suite under pytest-benchmark.
+
+Same workloads as the ``repro-bench`` console script (``repro.bench.suite``)
+so interactive ``pytest benchmarks/`` runs and CI BENCH reports measure
+identical code paths. Each case runs once at its quick horizon; the QoS
+deltas land in ``extra_info`` next to the timing.
+"""
+
+import pytest
+
+from repro.bench.suite import SUITE, run_case
+from repro.obs.probe import CountingProbe
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("case", SUITE, ids=[c.name for c in SUITE])
+def test_bench_suite_case(benchmark, case):
+    grants, qos = run_once(benchmark, run_case, case, quick=True)
+    assert grants > 0
+    benchmark.extra_info["grants"] = grants
+    for key, value in qos.items():
+        benchmark.extra_info[key] = round(value, 4)
+
+
+def test_bench_probe_enabled_overhead(benchmark):
+    """The first suite case with a CountingProbe attached, for comparison
+    against its probe-free twin above."""
+    probe = CountingProbe()
+    grants, _ = run_once(benchmark, run_case, SUITE[0], quick=True, probe=probe)
+    assert grants > 0
+    assert probe.value("kernel.grants") == grants
+    benchmark.extra_info["counters"] = len(probe.counters)

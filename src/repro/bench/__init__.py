@@ -1,0 +1,14 @@
+"""The ``repro-bench`` regression harness.
+
+Runs a pinned suite of kernel workloads (:mod:`repro.bench.suite`), emits a
+``BENCH_*.json`` perf report (wall time, grants/sec, peak RSS, selected QoS
+deltas, probe overhead), and compares it against a previous report with a
+configurable wall-time regression threshold (:mod:`repro.bench.cli`). The
+pytest-benchmark wrapper in ``benchmarks/bench_kernel_suite.py`` reuses the
+same suite, so interactive and CI measurements come from identical
+workloads. See ``docs/OBSERVABILITY.md``.
+"""
+
+from .suite import BenchCase, SUITE, run_case
+
+__all__ = ["BenchCase", "SUITE", "run_case"]

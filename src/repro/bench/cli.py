@@ -1,0 +1,281 @@
+"""``repro-bench``: run the pinned suite, emit BENCH JSON, gate regressions.
+
+Usage::
+
+    repro-bench                        # full suite -> BENCH_2.json
+    repro-bench --quick                # CI smoke horizons
+    repro-bench --baseline auto       # compare vs. newest other BENCH_*.json
+    repro-bench --baseline BENCH_2.json --threshold 0.3
+
+Exit status: 0 on success (or no comparable baseline), 1 when any case's
+wall time regressed by more than ``--threshold`` (fraction, default 0.3),
+2 on usage errors. Reports are schema-checked on write *and* on read, so a
+hand-edited baseline fails loudly instead of comparing garbage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import re
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..obs.probe import CountingProbe
+from ..serialization import JSONDict
+from .suite import OVERHEAD_CASE, SUITE, run_case
+
+#: Bumped when the BENCH document layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Required top-level fields -> type; ``cases`` and ``probe_overhead`` are
+#: checked structurally below. A hand-rolled validator keeps the harness
+#: dependency-free (the container has no jsonschema).
+_TOP_FIELDS: Dict[str, type] = {
+    "schema_version": int,
+    "suite": str,
+    "python": str,
+    "platform": str,
+    "cases": list,
+    "probe_overhead": dict,
+}
+
+_CASE_FIELDS: Dict[str, type] = {
+    "name": str,
+    "description": str,
+    "horizon": int,
+    "wall_time_s": float,
+    "grants": int,
+    "grants_per_sec": float,
+    "peak_rss_kb": int,
+    "qos": dict,
+}
+
+_OVERHEAD_FIELDS: Dict[str, type] = {
+    "case": str,
+    "disabled_wall_s": float,
+    "enabled_wall_s": float,
+    "enabled_overhead_pct": float,
+}
+
+
+def validate_bench_document(doc: JSONDict) -> None:
+    """Raise ``ConfigError`` unless ``doc`` is a well-formed BENCH report."""
+
+    def check(obj: JSONDict, fields: Dict[str, type], where: str) -> None:
+        for key, kind in fields.items():
+            if key not in obj:
+                raise ConfigError(f"BENCH document: missing {where}.{key}")
+            value = obj[key]
+            if kind is float and isinstance(value, int) and not isinstance(value, bool):
+                continue  # JSON round-trips whole floats as ints
+            if not isinstance(value, kind) or isinstance(value, bool):
+                raise ConfigError(
+                    f"BENCH document: {where}.{key} must be {kind.__name__}, "
+                    f"got {type(value).__name__}"
+                )
+
+    check(doc, _TOP_FIELDS, "$")
+    if doc["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ConfigError(
+            f"BENCH document: schema_version {doc['schema_version']} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    names = set()
+    for i, case in enumerate(doc["cases"]):
+        if not isinstance(case, dict):
+            raise ConfigError(f"BENCH document: cases[{i}] must be an object")
+        check(case, _CASE_FIELDS, f"cases[{i}]")
+        if case["wall_time_s"] <= 0:
+            raise ConfigError(f"BENCH document: cases[{i}].wall_time_s must be > 0")
+        if case["name"] in names:
+            raise ConfigError(f"BENCH document: duplicate case {case['name']!r}")
+        names.add(case["name"])
+    check(doc["probe_overhead"], _OVERHEAD_FIELDS, "probe_overhead")
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water RSS in KiB (ru_maxrss is KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes on macOS
+        rss //= 1024
+    return int(rss)
+
+
+def _run_suite(quick: bool) -> Tuple[List[JSONDict], JSONDict]:
+    """Execute all cases plus the probe-overhead measurement."""
+    cases: List[JSONDict] = []
+    for case in SUITE:
+        start = time.perf_counter()
+        grants, qos = run_case(case, quick=quick)
+        elapsed = time.perf_counter() - start
+        cases.append(
+            {
+                "name": case.name,
+                "description": case.description,
+                "horizon": case.quick_horizon if quick else case.horizon,
+                "wall_time_s": round(elapsed, 4),
+                "grants": grants,
+                "grants_per_sec": round(grants / elapsed, 1) if elapsed > 0 else 0.0,
+                "peak_rss_kb": _peak_rss_kb(),
+                "qos": {k: round(v, 6) for k, v in qos.items()},
+            }
+        )
+    # Probe overhead: the same case with no probe (the disabled path every
+    # production run takes) vs. with a CountingProbe attached. The disabled
+    # path's only instrumentation cost is an `is not None` check per hook,
+    # bounded above by the enabled figure reported here.
+    start = time.perf_counter()
+    run_case(OVERHEAD_CASE, quick=quick, probe=None)
+    disabled = time.perf_counter() - start
+    start = time.perf_counter()
+    run_case(OVERHEAD_CASE, quick=quick, probe=CountingProbe())
+    enabled = time.perf_counter() - start
+    overhead = {
+        "case": OVERHEAD_CASE.name,
+        "disabled_wall_s": round(disabled, 4),
+        "enabled_wall_s": round(enabled, 4),
+        "enabled_overhead_pct": round(100.0 * (enabled - disabled) / disabled, 2),
+    }
+    return cases, overhead
+
+
+def _find_baseline(output: Path) -> Optional[Path]:
+    """Newest BENCH_<n>.json next to ``output``, excluding ``output`` itself."""
+    candidates = []
+    for path in output.parent.glob("BENCH_*.json"):
+        match = _BENCH_NAME.match(path.name)
+        if match and path.resolve() != output.resolve():
+            candidates.append((int(match.group(1)), path))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def _compare(
+    current: JSONDict, baseline: JSONDict, threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Return (regressions, notes) comparing wall times case-by-case."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    if baseline["suite"] != current["suite"]:
+        notes.append(
+            f"baseline suite {baseline['suite']!r} != current "
+            f"{current['suite']!r}; wall times not comparable — skipping"
+        )
+        return regressions, notes
+    by_name = {case["name"]: case for case in baseline["cases"]}
+    for case in current["cases"]:
+        base = by_name.get(case["name"])
+        if base is None:
+            notes.append(f"{case['name']}: new case, no baseline")
+            continue
+        if base["horizon"] != case["horizon"]:
+            notes.append(f"{case['name']}: horizon changed, not comparable")
+            continue
+        ratio = case["wall_time_s"] / base["wall_time_s"]
+        delta_pct = 100.0 * (ratio - 1.0)
+        notes.append(
+            f"{case['name']}: {base['wall_time_s']:.3f}s -> "
+            f"{case['wall_time_s']:.3f}s ({delta_pct:+.1f}%)"
+        )
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{case['name']} regressed {delta_pct:.1f}% "
+                f"(> {100 * threshold:.0f}% threshold)"
+            )
+    return regressions, notes
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point for the ``repro-bench`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the pinned kernel benchmark suite and gate regressions",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short horizons (CI smoke); only comparable to --quick baselines",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default="BENCH_2.json",
+        help="where to write the report (default: BENCH_2.json)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE|auto", default="auto",
+        help="previous BENCH_*.json to compare against; 'auto' picks the "
+        "newest one next to --output; 'none' disables comparison",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.3, metavar="FRACTION",
+        help="wall-time regression tolerance per case (default: 0.3 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error(f"--threshold must be >= 0, got {args.threshold}")
+
+    cases, overhead = _run_suite(args.quick)
+    document: JSONDict = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cases": cases,
+        "probe_overhead": overhead,
+    }
+    validate_bench_document(document)
+
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    for case in cases:
+        print(
+            f"{case['name']:<20} {case['wall_time_s']:>8.3f}s "
+            f"{case['grants_per_sec']:>12.0f} grants/s  rss {case['peak_rss_kb']} KiB"
+        )
+    print(
+        f"probe overhead ({overhead['case']}): disabled "
+        f"{overhead['disabled_wall_s']:.3f}s, enabled {overhead['enabled_wall_s']:.3f}s "
+        f"({overhead['enabled_overhead_pct']:+.1f}%)"
+    )
+    print(f"wrote {output}")
+
+    if args.baseline == "none":
+        return 0
+    if args.baseline == "auto":
+        baseline_path = _find_baseline(output)
+        if baseline_path is None:
+            print("no baseline BENCH_*.json found; skipping comparison")
+            return 0
+    else:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        validate_bench_document(baseline)
+    except (json.JSONDecodeError, ConfigError) as exc:
+        print(f"invalid baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+
+    regressions, notes = _compare(document, baseline, args.threshold)
+    print(f"comparison vs {baseline_path}:")
+    for note in notes:
+        print(f"  {note}")
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        return 1
+    print("no wall-time regressions")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Pinned benchmark workloads covering every kernel.
+
+Each :class:`BenchCase` fixes a configuration, workload, seed, and horizon
+(a full and a ``--quick`` variant), so two reports are comparable
+case-by-case: a wall-time difference means the *code* changed speed, not
+the experiment. Cases return the grant count (for grants/sec) plus a small
+dict of QoS deltas — numbers that should stay put while we optimise, so a
+perf win that silently breaks arbitration shows up in the same report.
+
+Cases deliberately exercise the measurement paths this harness exists to
+guard: the GL-policed case reports kernel-counted throttle events, the
+hotspot case reports the sustained-minimum windowed rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
+from ..multiswitch.simulator import ComposedFlow, MultiStageSimulation
+from ..multiswitch.topology import ClosTopology
+from ..obs.probe import Probe
+from ..switch.flit_kernel import FlitLevelSimulation
+from ..switch.simulator import Simulation
+from ..traffic.flows import Workload, be_flow, gb_flow, gl_flow
+from ..traffic.patterns import fig4_workload, uniform_random_workload
+from ..types import FlowId, TrafficClass
+
+#: What one case hands back: (grants, qos deltas).
+CaseResult = Tuple[int, Dict[str, float]]
+
+#: A case body: (horizon, probe) -> CaseResult.
+CaseFn = Callable[[int, Optional[Probe]], CaseResult]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned workload of the regression suite.
+
+    Attributes:
+        name: stable identifier (reports are joined on it).
+        description: one-line summary for the report.
+        horizon: cycles for the full suite.
+        quick_horizon: cycles for ``--quick`` (CI smoke).
+        fn: the case body.
+    """
+
+    name: str
+    description: str
+    horizon: int
+    quick_horizon: int
+    fn: CaseFn
+
+
+def _paper_config(radix: int = 8, **overrides: object) -> SwitchConfig:
+    defaults: Dict[str, object] = dict(
+        radix=radix,
+        channel_bits=128,
+        gb_buffer_flits=16,
+        be_buffer_flits=16,
+        gl_buffer_flits=16,
+        qos=QoSConfig(sig_bits=4, frac_bits=8),
+        gl_policer=GLPolicerConfig(reserved_rate=0.0),
+    )
+    defaults.update(overrides)
+    return SwitchConfig(**defaults)  # type: ignore[arg-type]
+
+
+def _fast_uniform(horizon: int, probe: Optional[Probe]) -> CaseResult:
+    """Event kernel, radix 8, uniform GB Bernoulli load at 70%."""
+    config = _paper_config()
+    workload = uniform_random_workload(8, inject_rate=0.7, reserved_share=0.9)
+    result = Simulation(config, workload, seed=1, probe=probe).run(horizon)
+    total = sum(result.output_utilization.values()) / config.radix
+    return result.grants, {"mean_utilization": total}
+
+
+def _fast_hotspot(horizon: int, probe: Optional[Probe]) -> CaseResult:
+    """Event kernel, Fig. 4 hotspot: 8 saturating GB flows on one output."""
+    config = _paper_config()
+    workload = fig4_workload(inject_rate=None)
+    result = Simulation(config, workload, seed=1, probe=probe).run(horizon)
+    # The 40%-reservation flow must sustain its share in every interior
+    # window — the windowed-rate guarantee Fig. 4(b) rests on.
+    big = result.stats.flow_stats(FlowId(0, 0, TrafficClass.GB))
+    sustained = big.windowed.sustained_minimum()
+    return result.grants, {
+        "flow0_accepted": result.accepted_rate(FlowId(0, 0, TrafficClass.GB)),
+        "flow0_sustained_min": sustained,
+    }
+
+
+def _fast_gl_policed(horizon: int, probe: Optional[Probe]) -> CaseResult:
+    """Event kernel: saturating GL aggressor vs. reserved GB, tight window."""
+    config = _paper_config(
+        radix=4,
+        channel_bits=64,
+        gl_policer=GLPolicerConfig(reserved_rate=0.05, burst_window=64),
+    )
+    workload = Workload(name="gl-policed")
+    workload.add(gl_flow(0, 0, packet_length=4, inject_rate=None))
+    workload.add(gb_flow(1, 0, reserved_rate=0.5, inject_rate=None))
+    workload.add(be_flow(2, 0, inject_rate=0.2))
+    result = Simulation(config, workload, seed=1, probe=probe).run(horizon)
+    throttles = sum(result.gl_throttle_events.values())
+    return result.grants, {
+        "gl_throttle_events": float(throttles),
+        "gb_accepted": result.accepted_rate(FlowId(1, 0, TrafficClass.GB)),
+    }
+
+
+def _flit_parity(horizon: int, probe: Optional[Probe]) -> CaseResult:
+    """Flit kernel, radix 4, scheduled GB load (the 10-50x slower engine)."""
+    config = _paper_config(radix=4, channel_bits=64)
+    workload = uniform_random_workload(4, inject_rate=0.5, reserved_share=0.8)
+    result = FlitLevelSimulation(config, workload, seed=1, probe=probe).run(horizon)
+    total = sum(result.output_utilization.values()) / config.radix
+    return result.grants, {"mean_utilization": total}
+
+
+def _multiswitch(horizon: int, probe: Optional[Probe]) -> CaseResult:
+    """Two-stage Clos, 4 groups x 4 hosts, all-to-all-groups GB traffic."""
+    topo = ClosTopology(groups=4, hosts_per_group=4)
+    flows = []
+    for src in range(16):
+        dst = (src * 5 + 3) % 16
+        flows.append(ComposedFlow(src=src, dst=dst, rate=0.4, inject_rate=0.3))
+    sim = MultiStageSimulation(topo, flows, seed=1, probe=probe)
+    result = sim.run(horizon)
+    grants = result.grants_ingress + result.grants_egress
+    return grants, {
+        "hol_blocked_cycles": float(result.hol_blocked_cycles),
+        "egress_grants": float(result.grants_egress),
+    }
+
+
+#: The pinned suite, in report order.
+SUITE: Tuple[BenchCase, ...] = (
+    BenchCase(
+        name="fast-uniform-gb",
+        description="event kernel, radix 8, uniform GB Bernoulli 0.7",
+        horizon=60_000,
+        quick_horizon=8_000,
+        fn=_fast_uniform,
+    ),
+    BenchCase(
+        name="fast-hotspot-fig4",
+        description="event kernel, Fig. 4 hotspot, saturating GB",
+        horizon=60_000,
+        quick_horizon=10_000,
+        fn=_fast_hotspot,
+    ),
+    BenchCase(
+        name="fast-gl-policed",
+        description="event kernel, saturating GL vs. GB, tight burst window",
+        horizon=40_000,
+        quick_horizon=8_000,
+        fn=_fast_gl_policed,
+    ),
+    BenchCase(
+        name="flit-uniform-gb",
+        description="flit kernel, radix 4, uniform GB Bernoulli 0.5",
+        horizon=12_000,
+        quick_horizon=3_000,
+        fn=_flit_parity,
+    ),
+    BenchCase(
+        name="multiswitch-clos",
+        description="two-stage Clos 4x4, permuted GB flows",
+        horizon=30_000,
+        quick_horizon=6_000,
+        fn=_multiswitch,
+    ),
+)
+
+#: Case used for the probe-overhead measurement (disabled vs. enabled).
+OVERHEAD_CASE = SUITE[0]
+
+
+def run_case(
+    case: BenchCase, quick: bool = False, probe: Optional[Probe] = None
+) -> CaseResult:
+    """Execute one case at the requested fidelity."""
+    horizon = case.quick_horizon if quick else case.horizon
+    return case.fn(horizon, probe)

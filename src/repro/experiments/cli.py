@@ -53,15 +53,38 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
 }
 
 
-def _run_custom(config_path: str, arbiter: str, horizon: int, seed: int) -> str:
+def _run_custom(
+    config_path: str,
+    arbiter: str,
+    horizon: int,
+    seed: int,
+    report_path: "str | None" = None,
+    trace_path: "str | None" = None,
+) -> str:
     """Run a JSON-described experiment and return its summary table."""
+    from ..obs.probe import CountingProbe, Probe
+    from ..obs.report import RunReport
+    from ..obs.trace import NDJSONTraceProbe
     from ..serialization import load_experiment
     from .common import run_simulation
+    from typing import Optional
 
     config, workload = load_experiment(config_path)
-    result = run_simulation(
-        config, workload, arbiter=arbiter, horizon=horizon, seed=seed
-    )
+    probe: Optional[Probe] = None
+    if trace_path:
+        probe = NDJSONTraceProbe(trace_path)
+    elif report_path:
+        probe = CountingProbe()
+    try:
+        result = run_simulation(
+            config, workload, arbiter=arbiter, horizon=horizon, seed=seed,
+            probe=probe,
+        )
+    finally:
+        if isinstance(probe, NDJSONTraceProbe):
+            probe.close()
+    if report_path:
+        RunReport.from_result(result, probe=probe).save(report_path)
     return result.summary_table()
 
 
@@ -112,12 +135,27 @@ def main(argv: "list[str] | None" = None) -> int:
         default=0,
         help="simulation seed for 'custom' (default: 0)",
     )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="for 'custom': write a RunReport JSON (kernel counters + flow "
+        "stats) to FILE after the run",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="for 'custom': stream an NDJSON event trace to FILE during the "
+        "run (implies counter collection)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "custom":
         if not args.config:
             parser.error("'custom' requires --config FILE")
-        report = _run_custom(args.config, args.arbiter, args.horizon, args.seed)
+        report = _run_custom(
+            args.config, args.arbiter, args.horizon, args.seed,
+            report_path=args.report, trace_path=args.trace,
+        )
         print(report)
         if args.output:
             with open(args.output, "a", encoding="utf-8") as fh:

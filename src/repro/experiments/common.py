@@ -7,6 +7,7 @@ from typing import Optional, Union
 
 from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
 from ..errors import ConfigError
+from ..obs.probe import Probe
 from ..qos import (
     ArrivalStampedVCArbiter,
     CCSPArbiter,
@@ -89,6 +90,7 @@ def run_simulation(
     seed: int = 0,
     warmup_cycles: Optional[int] = None,
     collect_events: bool = False,
+    probe: Optional[Probe] = None,
 ) -> SimulationResult:
     """Build and run one simulation (the single entry point experiments use)."""
     sim = Simulation(
@@ -98,6 +100,7 @@ def run_simulation(
         seed=seed,
         warmup_cycles=warmup_cycles,
         collect_events=collect_events,
+        probe=probe,
     )
     return sim.run(horizon)
 

@@ -51,9 +51,18 @@ class ThroughputWindow:
         are excluded by default.
 
         Raises:
-            SimulationError: if no complete interior windows remain.
+            SimulationError: if the skips are negative or no complete
+                interior windows remain (including ``skip_first`` +
+                ``skip_last`` >= ``num_windows``, which previously slipped
+                through as a slice over *every* trailing window).
         """
-        interior = self._windows[skip_first : len(self._windows) - skip_last or None]
+        if skip_first < 0 or skip_last < 0:
+            raise SimulationError(
+                f"skips must be >= 0, got skip_first={skip_first} "
+                f"skip_last={skip_last}"
+            )
+        end = len(self._windows) - skip_last
+        interior = self._windows[skip_first:end] if end > skip_first else []
         if not interior:
             raise SimulationError(
                 f"no interior windows (have {len(self._windows)}, "

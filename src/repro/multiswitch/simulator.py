@@ -34,6 +34,7 @@ from ..config import QoSConfig
 from ..core.ssvc import SSVCCore
 from ..errors import SimulationError, TrafficError
 from ..metrics.counters import StatsCollector
+from ..obs.probe import Probe
 from ..switch.flit import Packet, fresh_packet_ids
 from ..types import FlowId, TrafficClass
 from .topology import ClosTopology
@@ -158,6 +159,8 @@ class MultiStageSimulation:
         voq_capacity_flits: ingress per-uplink VOQ depth.
         downlink_capacity_flits: shared egress FIFO depth per downlink.
         seed: RNG seed for scheduled sources.
+        probe: optional :class:`~repro.obs.probe.Probe` fed per-stage
+            counters (``multiswitch.*`` namespace).
     """
 
     def __init__(
@@ -168,6 +171,7 @@ class MultiStageSimulation:
         voq_capacity_flits: int = 32,
         downlink_capacity_flits: int = 32,
         seed: int = 0,
+        probe: Optional[Probe] = None,
     ) -> None:
         if not flows:
             raise TrafficError("at least one flow is required")
@@ -185,6 +189,7 @@ class MultiStageSimulation:
         self.voq_capacity = voq_capacity_flits
         self.downlink_capacity = downlink_capacity_flits
         self.seed = seed
+        self.probe = probe
         self._build_qos_state()
 
     # ----------------------------------------------------------------- setup
@@ -304,6 +309,7 @@ class MultiStageSimulation:
         grants_ingress = 0
         grants_egress = 0
         hol_blocked = 0
+        probe = self.probe
 
         wake_heap: List[int] = [0]
         pending = {0}
@@ -312,6 +318,8 @@ class MultiStageSimulation:
             if t < horizon and t not in pending:
                 heapq.heappush(wake_heap, t)
                 pending.add(t)
+                if probe is not None:
+                    probe.count("multiswitch.heap_pushes")
 
         for t0, _ in arrival_heap:
             wake(t0)
@@ -364,6 +372,8 @@ class MultiStageSimulation:
             pending.discard(now)
             if now >= horizon:
                 continue
+            if probe is not None:
+                probe.count("multiswitch.wakes")
 
             # 1. Scheduled host arrivals.
             while arrival_heap and arrival_heap[0][0] <= now:
@@ -410,6 +420,8 @@ class MultiStageSimulation:
                         heads[local] = head
                     if not candidates:
                         continue
+                    if probe is not None:
+                        probe.count("multiswitch.ingress_arbitrations")
                     winner = core.select(candidates, now)
                     core.commit(winner, now)
                     packet = host_ports[gs][winner].pop(gd)
@@ -423,6 +435,18 @@ class MultiStageSimulation:
                     wake(delivered)
                     wake(arrive)
                     grants_ingress += 1
+                    if probe is not None:
+                        probe.count("multiswitch.ingress_grants")
+                        if probe.trace:
+                            probe.event(
+                                "ingress_grant",
+                                now,
+                                group=gs,
+                                uplink=gd,
+                                host=winner,
+                                packet_id=packet.packet_id,
+                                flits=packet.flits,
+                            )
 
             # 5. Egress arbitration: per (group, host output). Downlink
             #    heads request only their own target output; a head bound
@@ -441,6 +465,8 @@ class MultiStageSimulation:
                             for o in range(topo.hosts_per_group)
                         ):
                             hol_blocked += 1
+                            if probe is not None:
+                                probe.count("multiswitch.hol_blocked")
                         continue
                     requesting.setdefault(out, []).append(gs)
                 for out, sources in requesting.items():
@@ -448,6 +474,8 @@ class MultiStageSimulation:
                     eligible = [gs for gs in sources if core.is_registered(gs)]
                     if not eligible:
                         continue
+                    if probe is not None:
+                        probe.count("multiswitch.egress_arbitrations")
                     winner = core.select(eligible, now)
                     core.commit(winner, now)
                     packet = downlinks[gd][winner].pop()
@@ -459,6 +487,19 @@ class MultiStageSimulation:
                     stats.on_delivered(packet)
                     wake(delivered)
                     grants_egress += 1
+                    if probe is not None:
+                        probe.count("multiswitch.egress_grants")
+                        if probe.trace:
+                            probe.event(
+                                "egress_grant",
+                                now,
+                                group=gd,
+                                output=out,
+                                source_group=winner,
+                                packet_id=packet.packet_id,
+                                flits=packet.flits,
+                                latency=packet.latency,
+                            )
                     # Freed FIFO space may unblock an ingress grant; the
                     # credit update is visible from the next cycle.
                     wake(now + 1)

@@ -1,0 +1,102 @@
+"""The probe interface: counter, timer, and trace hooks.
+
+Kernels hold ``probe: Optional[Probe]`` and guard every hook call with a
+single ``if probe is not None`` check, so a run without a probe pays one
+pointer comparison per instrumentation point and nothing else. Event
+(trace) hooks are doubly guarded — kernels also check :attr:`Probe.trace`
+before building the event payload — so counter-only probes never pay for
+string formatting either.
+
+Counter names are dotted, lowercase, and stable; the kernel counters are
+documented in ``docs/OBSERVABILITY.md``. Probes are observation-only by
+contract: a probe must never influence simulation behaviour (determinism
+tests run with and without probes attached and expect identical schedules).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Union
+
+#: Values allowed in trace-event payload fields.
+EventValue = Union[int, float, str, bool, None]
+
+
+class Probe:
+    """Base probe: every hook is a no-op.
+
+    Subclass and override whichever hooks you need. The base class doubles
+    as a null probe for callers that prefer an unconditional ``probe.x()``
+    call style over ``Optional[Probe]`` guards.
+    """
+
+    #: When True, kernels build and emit ``event()`` payloads (structured
+    #: tracing); when False they skip the payload construction entirely.
+    trace: bool = False
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to counter ``name``."""
+
+    def gauge(self, name: str, value: int) -> None:
+        """Record an instantaneous level; the probe keeps the maximum."""
+
+    def event(self, kind: str, cycle: int, **fields: EventValue) -> None:
+        """Record one structured trace event at simulated ``cycle``."""
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock time spent inside the ``with`` body.
+
+        Timers are for harness code (benches, CLIs) — simulator kernels
+        never call them, keeping wall-clock reads out of the
+        determinism-guarded packages.
+        """
+        yield
+
+
+class CountingProbe(Probe):
+    """In-memory probe: counters, high-water gauges, and wall timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._maxima: Dict[str, int] = {}
+        self._timings: Dict[str, float] = {}
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: int) -> None:
+        current = self._maxima.get(name)
+        if current is None or value > current:
+            self._maxima[name] = value
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._timings[name] = self._timings.get(name, 0.0) + elapsed
+
+    # ----------------------------------------------------------------- views
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counter name -> accumulated value (copy)."""
+        return dict(self._counters)
+
+    @property
+    def maxima(self) -> Dict[str, int]:
+        """Gauge name -> highest value seen (copy)."""
+        return dict(self._maxima)
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Timer name -> accumulated wall seconds (copy)."""
+        return dict(self._timings)
+
+    def value(self, name: str) -> int:
+        """Counter value, 0 when never incremented."""
+        return self._counters.get(name, 0)

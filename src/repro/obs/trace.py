@@ -1,0 +1,69 @@
+"""NDJSON structured event trace.
+
+An opt-in alternative to the kernels' in-memory ``events`` list: each
+grant/delivery/throttle event is written as one JSON object per line the
+moment it happens, so trace size is bounded by disk, not RAM, and a
+crashed run still leaves a readable prefix. Lines look like::
+
+    {"kind": "grant", "cycle": 41, "output": 2, "input": 0, ...}
+
+The probe also inherits :class:`~repro.obs.probe.CountingProbe`, so a
+traced run gets kernel counters for free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from types import TracebackType
+from typing import IO, Optional, Type, Union
+
+from .probe import CountingProbe, EventValue
+
+
+class NDJSONTraceProbe(CountingProbe):
+    """Streams trace events to a file as newline-delimited JSON.
+
+    Args:
+        destination: path (opened for writing, truncated) or an already
+            open text stream (caller keeps ownership).
+
+    Use as a context manager, or call :meth:`close` explicitly when a path
+    was given.
+    """
+
+    trace = True
+
+    def __init__(self, destination: Union[str, Path, IO[str]]) -> None:
+        super().__init__()
+        if isinstance(destination, (str, Path)):
+            self._stream: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+        self.events_written = 0
+
+    def event(self, kind: str, cycle: int, **fields: EventValue) -> None:
+        record = {"kind": kind, "cycle": cycle}
+        record.update(fields)
+        self._stream.write(json.dumps(record) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the stream (only if this probe opened it)."""
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self) -> "NDJSONTraceProbe":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()

@@ -19,6 +19,8 @@ buys: with policing disabled, a saturating GL source starves the GB class.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..config import GLPolicerConfig
 from ..errors import ConfigError
 
@@ -41,6 +43,7 @@ class GLPolicer:
         self._clock = 0.0
         #: number of arbitration decisions where GL priority was withheld
         self.throttle_events = 0
+        self._last_throttle_cycle: Optional[int] = None
 
     @property
     def usage_clock(self) -> float:
@@ -59,8 +62,20 @@ class GLPolicer:
             return False
         return self.lead(now) <= self.config.burst_window
 
-    def note_throttled(self) -> None:
-        """Record that a pending GL request was denied absolute priority."""
+    def note_throttled(self, now: Optional[int] = None) -> None:
+        """Record that a pending GL request was denied absolute priority.
+
+        One output arbitrates at most once per cycle, so passing ``now``
+        deduplicates: the kernel (which sees GL heads it filtered out
+        before building requests) and :meth:`ThreeClassArbiter.select`
+        (which sees demoted GL requests that rode along) can both report
+        the same decision without double counting. Calling without ``now``
+        always counts (unit-test convenience).
+        """
+        if now is not None:
+            if self._last_throttle_cycle is not None and now == self._last_throttle_cycle:
+                return
+            self._last_throttle_cycle = now
         self.throttle_events += 1
 
     def on_transmit(self, packet_flits: int, now: int) -> None:

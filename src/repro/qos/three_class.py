@@ -89,7 +89,7 @@ class ThreeClassArbiter(OutputArbiter):
             winner_port = self.lrg.arbitrate(r.input_port for r in gl_requests)
             return next(r for r in gl_requests if r.input_port == winner_port)
         if gl_requests:
-            self.gl_policer.note_throttled()
+            self.gl_policer.note_throttled(now)
 
         gb_requests = groups[TrafficClass.GB]
         if gb_requests:

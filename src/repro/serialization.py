@@ -22,11 +22,16 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from .config import GLPolicerConfig, QoSConfig, SwitchConfig
 from .errors import ConfigError
 from .traffic.flows import FlowSpec, Workload
+
+if TYPE_CHECKING:  # type-only: repro.metrics imports the switch package,
+    # which must stay importable without this module (no cycle at runtime)
+    from .metrics.counters import FlowStats, StatsCollector
+    from .metrics.latency import LatencyStats
 from .traffic.generators import (
     BernoulliInjection,
     BurstyInjection,
@@ -181,6 +186,57 @@ def workload_from_dict(data: JSONDict) -> Workload:
             )
         )
     return workload
+
+
+# ----------------------------------------------------------------- run stats
+
+
+def latency_stats_to_dict(stats: "LatencyStats") -> JSONDict:
+    """LatencyStats -> summary dict (count/mean/min/max/percentiles)."""
+    if stats.count == 0:
+        return {"count": 0}
+    return {
+        "count": stats.count,
+        "mean": stats.mean,
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "p50": stats.p50,
+        "p95": stats.p95,
+        "p99": stats.p99,
+    }
+
+
+def flow_stats_to_dict(stats: "FlowStats", measured_cycles: Optional[int]) -> JSONDict:
+    """One flow's statistics -> plain dict (JSON-ready).
+
+    ``measured_cycles`` (from ``StatsCollector.measured_cycles``) converts
+    the flit totals into rates; pass ``None`` for an unfinished collector.
+    """
+    flow = stats.flow
+    doc: JSONDict = {
+        "src": flow.src,
+        "dst": flow.dst,
+        "class": flow.traffic_class.short_name,
+        "offered_packets": stats.offered_packets,
+        "offered_flits": stats.offered_flits,
+        "delivered_packets": stats.delivered_packets,
+        "delivered_flits": stats.delivered_flits,
+        "latency": latency_stats_to_dict(stats.latency),
+        "waiting": latency_stats_to_dict(stats.waiting),
+    }
+    if measured_cycles:
+        doc["offered_rate"] = stats.offered_rate(measured_cycles)
+        doc["accepted_rate"] = stats.accepted_rate(measured_cycles)
+    return doc
+
+
+def stats_collector_to_dict(collector: "StatsCollector") -> "list[JSONDict]":
+    """All per-flow statistics of a run, sorted by flow identity."""
+    measured = collector.measured_cycles if collector.horizon is not None else None
+    return [
+        flow_stats_to_dict(stats, measured)
+        for _, stats in sorted(collector.flows.items(), key=lambda kv: str(kv[0]))
+    ]
 
 
 # --------------------------------------------------------------------- files

@@ -27,6 +27,7 @@ from ..config import SwitchConfig
 from ..core.arbitration import Request
 from ..errors import SimulationError, TrafficError
 from ..metrics.counters import StatsCollector
+from ..obs.probe import Probe
 from ..switch.crossbar import ArbiterFactory, SwizzleSwitch
 from ..switch.events import GrantEvent
 from ..switch.flit import Packet, fresh_packet_ids
@@ -128,6 +129,19 @@ class _FlitInput:
             return gl_head
         return None
 
+    @property
+    def total_occupancy_flits(self) -> int:
+        """Flits buffered across all classes at this input.
+
+        Matches the fast kernel's ``InputPort.total_occupancy_flits`` so
+        occupancy-sensitive arbiters see the same ``queued_flits``; it
+        includes the not-yet-drained remainder of a transmitting packet,
+        which both kernels agree on whenever the input is free to request
+        (the drain has finished by then).
+        """
+        gb = sum(q.occupancy for q in self.gb.values())
+        return gb + self.be.occupancy + self.gl.occupancy
+
 
 @dataclass
 class _Transmission:
@@ -149,6 +163,8 @@ class FlitLevelSimulation:
         seed: source RNG seed.
         warmup_cycles: measurement start (default horizon // 10 at run).
         collect_events: record grant events for differential tests.
+        probe: optional :class:`~repro.obs.probe.Probe`, as for
+            ``Simulation`` (counter names are shared between kernels).
     """
 
     def __init__(
@@ -159,6 +175,7 @@ class FlitLevelSimulation:
         seed: int = 0,
         warmup_cycles: Optional[int] = None,
         collect_events: bool = False,
+        probe: Optional[Probe] = None,
     ) -> None:
         if config.packet_chaining:
             raise SimulationError("the flit-level engine does not model chaining")
@@ -174,6 +191,7 @@ class FlitLevelSimulation:
         self.seed = seed
         self._warmup_override = warmup_cycles
         self.collect_events = collect_events
+        self.probe = probe
 
     def _arrivals(self, horizon: int) -> Dict[int, List[Packet]]:
         from ..traffic.generators import FlowSource
@@ -226,8 +244,11 @@ class FlitLevelSimulation:
         events: List[object] = []
         grants = 0
         out_flits = [0] * radix
+        probe = self.probe
 
         for now in range(horizon):
+            if probe is not None:
+                probe.count("kernel.wakes")
             # 1. Flits cross the crossbar and free their buffer slots.
             for o, tx in list(active.items()):
                 if tx.first_flit_cycle <= now <= tx.last_flit_cycle:
@@ -261,10 +282,18 @@ class FlitLevelSimulation:
                 policer = getattr(arbiter, "gl_policer", None)
                 allow_gl = policer is None or policer.eligible(now)
                 requests = []
+                gl_denied = False
                 for port in inputs:
                     if port.busy_until > now:
                         continue
                     head = port.head_for_output(o, allow_gl=allow_gl)
+                    if not allow_gl:
+                        # Mirror the fast kernel: a policer-masked GL head
+                        # is a throttle decision even when a GB/BE head
+                        # requests in its place.
+                        gl_head = port.gl.head()
+                        if gl_head is not None and gl_head.dst == o:
+                            gl_denied = True
                     if head is None:
                         continue
                     requests.append(
@@ -272,6 +301,7 @@ class FlitLevelSimulation:
                             input_port=port.port,
                             traffic_class=head.traffic_class,
                             packet_flits=head.flits,
+                            queued_flits=port.total_occupancy_flits,
                             arrival_cycle=(
                                 head.injected_cycle
                                 if head.injected_cycle is not None
@@ -279,10 +309,20 @@ class FlitLevelSimulation:
                             ),
                         )
                     )
+                if gl_denied and policer is not None:
+                    policer.note_throttled(now)
+                    if probe is not None:
+                        probe.count("kernel.gl_throttles")
+                        if probe.trace:
+                            probe.event("gl_throttle", now, output=o)
                 if not requests:
                     continue
+                if probe is not None:
+                    probe.count("kernel.arbitrations")
                 winner = arbiter.select(requests, now)
                 if winner is None:
+                    if probe is not None:
+                        probe.count("kernel.declines")
                     continue
                 arbiter.commit(winner, now)
                 port = inputs[winner.input_port]
@@ -304,6 +344,22 @@ class FlitLevelSimulation:
                 stats.on_delivered(packet)
                 grants += 1
                 out_flits[o] += packet.flits
+                if probe is not None:
+                    probe.count("kernel.grants")
+                    if probe.trace:
+                        probe.event(
+                            "grant",
+                            now,
+                            output=o,
+                            input=winner.input_port,
+                            flow=str(packet.flow),
+                            packet_id=packet.packet_id,
+                            flits=packet.flits,
+                            contenders=len(requests),
+                            delivered=delivered,
+                            latency=packet.latency,
+                            waiting=packet.waiting_time,
+                        )
                 if self.collect_events:
                     events.append(
                         GrantEvent(
@@ -318,6 +374,11 @@ class FlitLevelSimulation:
                     )
 
         stats.finish(horizon)
+        gl_throttle_events: Dict[int, int] = {}
+        for o in range(radix):
+            policer = getattr(self.switch.arbiters[o], "gl_policer", None)
+            if policer is not None:
+                gl_throttle_events[o] = policer.throttle_events
         return SimulationResult(
             config=self.config,
             workload_name=self.workload.name,
@@ -329,4 +390,6 @@ class FlitLevelSimulation:
             },
             grants=grants,
             events=events,
+            gl_throttle_events=gl_throttle_events,
+            kernel="flit",
         )

@@ -30,6 +30,7 @@ from ..config import SwitchConfig
 from ..core.arbitration import Request
 from ..errors import SimulationError
 from ..metrics.counters import StatsCollector
+from ..obs.probe import Probe
 from ..types import FlowId, TrafficClass
 
 if False:  # TYPE_CHECKING — imported lazily at runtime to avoid a cycle
@@ -56,6 +57,10 @@ class SimulationResult:
         chained_grants: grants that skipped the arbitration bubble via
             packet chaining (0 unless ``config.packet_chaining``).
         events: grant/delivery trace when event collection was enabled.
+        gl_throttle_events: per-output count of arbitration decisions where
+            the GL policer withheld absolute priority from a pending GL
+            head (empty for arbiters without a ``gl_policer``).
+        kernel: which engine produced this result (``event``/``flit``).
     """
 
     config: SwitchConfig
@@ -67,6 +72,8 @@ class SimulationResult:
     grants: int
     chained_grants: int = 0
     events: List[object] = field(default_factory=list)
+    gl_throttle_events: Dict[int, int] = field(default_factory=dict)
+    kernel: str = "event"
 
     def accepted_rate(self, flow: FlowId) -> float:
         """Flow's delivered flits/cycle inside the measurement window."""
@@ -146,6 +153,11 @@ class Simulation:
         collect_events: record :class:`GrantEvent`/:class:`PacketDelivered`
             (memory-proportional to traffic; off by default).
         window_cycles: windowed-throughput bucket width.
+        probe: optional :class:`~repro.obs.probe.Probe` fed kernel counters
+            (wakes, heap pushes, arbitrations, declines, grants, chain
+            hits, GL throttles, overflow scans) and, when its ``trace``
+            flag is set, structured grant events. ``None`` (the default)
+            keeps the hot path free of instrumentation work.
     """
 
     def __init__(
@@ -157,6 +169,7 @@ class Simulation:
         warmup_cycles: Optional[int] = None,
         collect_events: bool = False,
         window_cycles: int = 1024,
+        probe: Optional[Probe] = None,
     ) -> None:
         workload.validate(config.radix, config.gl_policer.reserved_rate)
         _validate_packet_sizes(workload, config)
@@ -167,6 +180,7 @@ class Simulation:
         self._warmup_override = warmup_cycles
         self.collect_events = collect_events
         self.window_cycles = window_cycles
+        self.probe = probe
         self._programmed = False
 
     # ----------------------------------------------------------------- setup
@@ -232,6 +246,7 @@ class Simulation:
         sources = self._build_sources(horizon)
         events: List[object] = []
         grants = 0
+        probe = self.probe
 
         switch = self.switch
         radix = switch.radix
@@ -266,6 +281,8 @@ class Simulation:
             if t < horizon and t not in pending_wakes:
                 heapq.heappush(wake_heap, t)
                 pending_wakes.add(t)
+                if probe is not None:
+                    probe.count("kernel.heap_pushes")
 
         # Every scheduled source's first arrival must be a wake time.
         for t0, _, _ in arrival_heap:
@@ -287,16 +304,29 @@ class Simulation:
                         raise SimulationError("fits() and try_inject() disagree")
 
         def drain_overflow(now: int) -> None:
+            # Scans are O(flows with backlog): flows whose queue empties are
+            # pruned from the dict, so long-drained flows cost nothing here.
+            if not overflow:
+                return
+            if probe is not None:
+                probe.count("kernel.overflow_flows_scanned", len(overflow))
+            drained = []
             for flow, queue in overflow.items():
                 port = inputs[flow.src]
                 while queue and port.try_inject(queue[0], now):
                     queue.popleft()
+                if not queue:
+                    drained.append(flow)
+            for flow in drained:
+                del overflow[flow]
 
         while wake_heap:
             now = heapq.heappop(wake_heap)
             pending_wakes.discard(now)
             if now >= horizon:
                 continue
+            if probe is not None:
+                probe.count("kernel.wakes")
 
             # 1. Scheduled arrivals up to and including `now`.
             while arrival_heap and arrival_heap[0][0] <= now:
@@ -309,9 +339,17 @@ class Simulation:
                     flow_overflow.append(packet)  # FIFO behind older packets
                 elif not port.try_inject(packet, now):
                     overflow.setdefault(packet.flow, deque()).append(packet)
+                if probe is not None:
+                    probe.count("kernel.arrivals")
+                    queued = overflow.get(packet.flow)
+                    if queued is not None:
+                        probe.gauge("kernel.overflow_flows", len(overflow))
+                        probe.gauge("kernel.overflow_queue_depth", len(queued))
                 next_time = source.peek_time()
                 if next_time is not None:
                     heapq.heappush(arrival_heap, (next_time, idx, source))
+                    if probe is not None:
+                        probe.count("kernel.heap_pushes")
                     wake(int(next_time))
 
             # 2. Refill buffers: overflow first (older packets), then
@@ -330,10 +368,18 @@ class Simulation:
                 policer = getattr(arbiter, "gl_policer", None)
                 allow_gl = policer is None or policer.eligible(now)
                 requests = []
+                gl_denied = False
                 for port in inputs:
                     if port.busy_until > now:
                         continue
                     head = port.head_for_output(o, allow_gl=allow_gl)
+                    if not allow_gl:
+                        # A GL head masked by the policer is a throttle
+                        # decision even though it never becomes a request
+                        # (the GB/BE head in front of it requests instead).
+                        gl_head = port.gl_queue.head()
+                        if gl_head is not None and gl_head.dst == o:
+                            gl_denied = True
                     if head is None:
                         continue
                     requests.append(
@@ -349,10 +395,20 @@ class Simulation:
                             ),
                         )
                     )
+                if gl_denied and policer is not None:
+                    policer.note_throttled(now)
+                    if probe is not None:
+                        probe.count("kernel.gl_throttles")
+                        if probe.trace:
+                            probe.event("gl_throttle", now, output=o)
                 if not requests:
                     continue
+                if probe is not None:
+                    probe.count("kernel.arbitrations")
                 winner = arbiter.select(requests, now)
                 if winner is None:
+                    if probe is not None:
+                        probe.count("kernel.declines")
                     wake(now + 1)  # non-work-conserving decline: retry
                     continue
                 arbiter.commit(winner, now)
@@ -377,6 +433,8 @@ class Simulation:
                         arb_cycles = 0
                         chain_length[o] += 1
                         chained_grants += 1
+                        if probe is not None:
+                            probe.count("kernel.chain_grants")
                     else:
                         chain_length[o] = 0
                 delivered = channel.start_transmission(packet, now, arb_cycles)
@@ -385,6 +443,22 @@ class Simulation:
                 port.busy_until = delivered
                 stats.on_delivered(packet)
                 grants += 1
+                if probe is not None:
+                    probe.count("kernel.grants")
+                    if probe.trace:
+                        probe.event(
+                            "grant",
+                            now,
+                            output=o,
+                            input=winner.input_port,
+                            flow=str(packet.flow),
+                            packet_id=packet.packet_id,
+                            flits=packet.flits,
+                            contenders=len(requests),
+                            delivered=delivered,
+                            latency=packet.latency,
+                            waiting=packet.waiting_time,
+                        )
                 if self.collect_events:
                     events.append(
                         GrantEvent(
@@ -413,6 +487,11 @@ class Simulation:
                 top_up_input(winner.input_port, now)
 
         stats.finish(horizon)
+        gl_throttle_events: Dict[int, int] = {}
+        for o in range(radix):
+            policer = getattr(switch.arbiters[o], "gl_policer", None)
+            if policer is not None:
+                gl_throttle_events[o] = policer.throttle_events
         return SimulationResult(
             chained_grants=chained_grants,
             config=self.config,
@@ -425,4 +504,5 @@ class Simulation:
             },
             grants=grants,
             events=events,
+            gl_throttle_events=gl_throttle_events,
         )

@@ -50,6 +50,18 @@ def naive_simulate(
     overflow: Dict[FlowId, Deque[Packet]] = {}
     grants: List[GrantRecord] = []
 
+    def drain_overflow(now: int) -> None:
+        # Source queues exist only while backlogged: a drained flow leaves
+        # the dict, and a flow that overflows again rejoins at the back, so
+        # flows drain in the order they (most recently) became backlogged.
+        # The production kernel implements the same contract.
+        for flow, queue in list(overflow.items()):
+            port = inputs[flow.src]
+            while queue and port.try_inject(queue[0], now):
+                queue.popleft()
+            if not queue:
+                del overflow[flow]
+
     by_cycle: Dict[int, List[Packet]] = {}
     for created, flow, flits in sorted(arrivals, key=lambda a: (a[0], str(a[1]))):
         by_cycle.setdefault(created, []).append(
@@ -66,10 +78,7 @@ def naive_simulate(
             elif not port.try_inject(packet, now):
                 overflow.setdefault(packet.flow, deque()).append(packet)
         # 2. Drain overflow.
-        for flow, queue in overflow.items():
-            port = inputs[flow.src]
-            while queue and port.try_inject(queue[0], now):
-                queue.popleft()
+        drain_overflow(now)
         # 3. Arbitrate idle outputs, rotating start by `now`.
         for k in range(radix):
             o = (now + k) % radix
@@ -115,8 +124,5 @@ def naive_simulate(
             port.busy_until = delivered
             grants.append((now, o, winner.input_port, packet.flits))
             # 4. Freed buffer space admits overflow immediately.
-            for flow, queue in overflow.items():
-                src_port = inputs[flow.src]
-                while queue and src_port.try_inject(queue[0], now):
-                    queue.popleft()
+            drain_overflow(now)
     return grants

@@ -1,0 +1,157 @@
+"""The repro-bench regression harness: report schema, the regression gate's
+exit codes, and baseline discovery."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.cli import (
+    BENCH_SCHEMA_VERSION,
+    _compare,
+    _find_baseline,
+    main,
+    validate_bench_document,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    """One real --quick run shared by the module (the suite takes ~1s)."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_2.json"
+    code = main(["--quick", "--output", str(out), "--baseline", "none"])
+    assert code == 0
+    return out, json.loads(out.read_text())
+
+
+class TestReportSchema:
+    def test_emitted_report_validates(self, quick_report):
+        _, doc = quick_report
+        validate_bench_document(doc)  # must not raise
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["suite"] == "quick"
+        names = [case["name"] for case in doc["cases"]]
+        assert "fast-uniform-gb" in names
+        assert "flit-uniform-gb" in names
+        assert "multiswitch-clos" in names
+
+    def test_cases_carry_perf_and_qos_fields(self, quick_report):
+        _, doc = quick_report
+        for case in doc["cases"]:
+            assert case["wall_time_s"] > 0
+            assert case["grants"] > 0
+            assert case["grants_per_sec"] > 0
+            assert case["peak_rss_kb"] > 0
+        by_name = {c["name"]: c for c in doc["cases"]}
+        # The GL case proves throttle accounting; the hotspot case proves
+        # the fixed sustained-minimum metric is live.
+        assert by_name["fast-gl-policed"]["qos"]["gl_throttle_events"] > 0
+        assert by_name["fast-hotspot-fig4"]["qos"]["flow0_sustained_min"] > 0
+
+    def test_probe_overhead_section(self, quick_report):
+        _, doc = quick_report
+        over = doc["probe_overhead"]
+        assert over["disabled_wall_s"] > 0
+        assert over["enabled_wall_s"] > 0
+
+    def test_validator_rejects_mutations(self, quick_report):
+        _, doc = quick_report
+        missing = copy.deepcopy(doc)
+        del missing["cases"][0]["wall_time_s"]
+        with pytest.raises(ConfigError):
+            validate_bench_document(missing)
+        wrong_type = copy.deepcopy(doc)
+        wrong_type["cases"][0]["grants"] = "many"
+        with pytest.raises(ConfigError):
+            validate_bench_document(wrong_type)
+        wrong_version = copy.deepcopy(doc)
+        wrong_version["schema_version"] = 999
+        with pytest.raises(ConfigError):
+            validate_bench_document(wrong_version)
+        dup = copy.deepcopy(doc)
+        dup["cases"].append(copy.deepcopy(dup["cases"][0]))
+        with pytest.raises(ConfigError):
+            validate_bench_document(dup)
+
+
+class TestRegressionGate:
+    def test_doctored_baseline_makes_exit_nonzero(self, quick_report, tmp_path):
+        """A baseline claiming everything used to run 10x faster must fail
+        the run — the acceptance path for the whole harness."""
+        out, doc = quick_report
+        baseline = copy.deepcopy(doc)
+        for case in baseline["cases"]:
+            case["wall_time_s"] = round(case["wall_time_s"] / 10, 6)
+        baseline_path = tmp_path / "BENCH_1.json"
+        baseline_path.write_text(json.dumps(baseline))
+        code = main(["--quick", "--output", str(tmp_path / "BENCH_2.json"),
+                     "--baseline", str(baseline_path)])
+        assert code == 1
+
+    def test_compare_flags_only_past_threshold(self, quick_report):
+        _, doc = quick_report
+        baseline = copy.deepcopy(doc)
+        current = copy.deepcopy(doc)
+        for case in current["cases"]:
+            case["wall_time_s"] = round(case["wall_time_s"] * 1.2, 6)
+        regressions, notes = _compare(current, baseline, threshold=0.3)
+        assert regressions == []
+        regressions, _ = _compare(current, baseline, threshold=0.1)
+        assert len(regressions) == len(doc["cases"])
+
+    def test_suite_flavour_mismatch_skips_comparison(self, quick_report):
+        _, doc = quick_report
+        baseline = copy.deepcopy(doc)
+        baseline["suite"] = "full"
+        for case in baseline["cases"]:
+            case["wall_time_s"] = 1e-6  # would regress if compared
+        regressions, notes = _compare(doc, baseline, threshold=0.3)
+        assert regressions == []
+        assert any("not comparable" in n or "skipping" in n for n in notes)
+
+    def test_horizon_change_not_compared(self, quick_report):
+        _, doc = quick_report
+        baseline = copy.deepcopy(doc)
+        baseline["cases"][0]["horizon"] += 1
+        baseline["cases"][0]["wall_time_s"] = 1e-6
+        regressions, _ = _compare(doc, baseline, threshold=0.3)
+        assert regressions == []
+
+    def test_invalid_baseline_is_a_usage_error(self, quick_report, tmp_path):
+        bad = tmp_path / "BENCH_1.json"
+        bad.write_text("{\"not\": \"a bench doc\"}")
+        code = main(["--quick", "--output", str(tmp_path / "BENCH_2.json"),
+                     "--baseline", str(bad)])
+        assert code == 2
+
+    def test_negative_threshold_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--quick", "--threshold", "-0.5",
+                  "--output", str(tmp_path / "BENCH_2.json")])
+
+
+class TestBaselineDiscovery:
+    def test_picks_newest_numbered_sibling(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        (tmp_path / "BENCH_10.json").write_text("{}")
+        (tmp_path / "BENCH_notanumber.json").write_text("{}")
+        out = tmp_path / "BENCH_11.json"
+        found = _find_baseline(out)
+        assert found is not None and found.name == "BENCH_10.json"
+
+    def test_excludes_the_output_itself(self, tmp_path):
+        out = tmp_path / "BENCH_2.json"
+        out.write_text("{}")
+        assert _find_baseline(out) is None
+
+    def test_committed_trajectory_validates(self):
+        """The BENCH_*.json files at the repo root stay schema-valid."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        reports = sorted(root.glob("BENCH_*.json"))
+        assert reports, "expected committed BENCH_*.json reports"
+        for path in reports:
+            validate_bench_document(json.loads(path.read_text()))

@@ -10,7 +10,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import GLPolicerConfig, QoSConfig, SwitchConfig
-from repro.qos import LRGArbiter, SSVCArbiter, WFQArbiter
+from repro.qos import LRGArbiter, OutputArbiter, SSVCArbiter, WFQArbiter
 from repro.switch.events import GrantEvent
 from repro.switch.simulator import Simulation
 from repro.traffic.flows import FlowSpec, Workload
@@ -155,3 +155,95 @@ def test_two_cycle_arbitration_matches():
         horizon,
     )
     assert kernel == reference
+
+
+class LongestQueueFirstArbiter(OutputArbiter):
+    """Grants the input with the most queued flits, lowest port on ties.
+
+    Purely occupancy-sensitive: the decision depends on nothing but
+    ``Request.queued_flits``, so any kernel that fills that field wrongly
+    (the flit engine used to leave it 0) produces a divergent schedule.
+    """
+
+    name = "lqf"
+
+    def select(self, requests, now):
+        self._validate(requests)
+        if not requests:
+            return None
+        return max(requests, key=lambda r: (r.queued_flits, -r.input_port))
+
+    def commit(self, winner, now):
+        pass
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), radix=st.sampled_from([2, 4]))
+def test_occupancy_sensitive_schedules_match_reference(seed, radix):
+    """Fast kernel vs. naive reference under queue-depth arbitration."""
+    rng = np.random.default_rng(seed)
+    config = small_config(radix)
+    horizon = 600
+    arrivals = draw_arrivals(rng, radix, horizon, n_packets=40)
+    kernel = run_kernel(config, arrivals,
+                        lambda o, c: LongestQueueFirstArbiter(), horizon)
+    reference = naive_simulate(
+        config, arrivals, [LongestQueueFirstArbiter() for _ in range(radix)],
+        horizon,
+    )
+    assert kernel == reference
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 5000))
+def test_occupancy_sensitive_schedules_match_flit_kernel(seed):
+    """Fast vs. flit kernel under queue-depth arbitration.
+
+    Regression for the flit engine leaving ``queued_flits`` at 0: with an
+    arbiter that keys on occupancy, hotspot contention (several inputs with
+    different backlogs racing for one output) made the engines disagree on
+    winners. Buffers are deep enough that backpressure never binds, the
+    regime where the engines are contractually cycle-exact twins.
+    """
+    from repro.switch.flit_kernel import FlitLevelSimulation
+    from repro.traffic.flows import be_flow
+    from repro.traffic.generators import BernoulliInjection
+
+    radix, horizon = 4, 2_000
+    config = SwitchConfig(
+        radix=radix,
+        channel_bits=16 * radix,
+        gb_buffer_flits=64,
+        be_buffer_flits=64,
+        qos=QoSConfig(sig_bits=3, frac_bits=5),
+        gl_policer=GLPolicerConfig(reserved_rate=0.0),
+    )
+    rng = np.random.default_rng(seed)
+    workload = Workload(name="lqf-diff")
+    for src in range(radix):
+        # Everyone fights over output 0 (builds unequal backlogs) plus one
+        # random background flow per input.
+        workload.add(be_flow(src, 0, packet_length=int(rng.integers(2, 6)),
+                             process=BernoulliInjection(0.03)))
+        workload.add(be_flow(src, int(rng.integers(1, radix)),
+                             packet_length=int(rng.integers(1, 5)),
+                             process=BernoulliInjection(0.05)))
+
+    def factory(o, c):
+        return LongestQueueFirstArbiter()
+
+    def grants_of(result):
+        return [
+            (e.cycle, e.output, e.input_port, e.packet_flits)
+            for e in result.events
+            if isinstance(e, GrantEvent)
+        ]
+
+    fast = Simulation(config, workload, arbiter_factory=factory, seed=seed,
+                      warmup_cycles=0, collect_events=True).run(horizon)
+    flit = FlitLevelSimulation(config, workload, arbiter_factory=factory,
+                               seed=seed, warmup_cycles=0,
+                               collect_events=True).run(horizon)
+    assert grants_of(fast) == grants_of(flit)

@@ -79,6 +79,39 @@ class TestThroughputWindow:
         with pytest.raises(SimulationError):
             window.sustained_minimum()
 
+    def test_sustained_minimum_skip_last_zero_keeps_final_window(self):
+        window = ThroughputWindow(window_cycles=10)
+        for cycle, flits in [(5, 9), (15, 8), (25, 2)]:
+            window.add(cycle, flits)
+        assert window.sustained_minimum(skip_last=0) == 0.2
+
+    def test_sustained_minimum_skips_consuming_all_windows_raise(self):
+        # Regression: `windows[skip_first : len - skip_last or None]` bound
+        # `or None` to the subtraction, so len == skip_last silently meant
+        # "no upper bound" and the cooldown window leaked into the minimum.
+        window = ThroughputWindow(window_cycles=10)
+        for cycle, flits in [(5, 9), (15, 1)]:
+            window.add(cycle, flits)
+        with pytest.raises(SimulationError):
+            window.sustained_minimum(skip_first=0, skip_last=2)
+
+    def test_sustained_minimum_skip_last_equal_to_windows_raises(self):
+        window = ThroughputWindow(window_cycles=10)
+        for cycle, flits in [(5, 9), (15, 7), (25, 3)]:
+            window.add(cycle, flits)
+        # Pre-fix this returned min of ALL windows (0.3) instead of raising.
+        with pytest.raises(SimulationError):
+            window.sustained_minimum(skip_first=1, skip_last=3)
+
+    def test_sustained_minimum_negative_skips_raise(self):
+        window = ThroughputWindow(window_cycles=10)
+        for cycle, flits in [(5, 9), (15, 7), (25, 3)]:
+            window.add(cycle, flits)
+        with pytest.raises(SimulationError):
+            window.sustained_minimum(skip_first=-1)
+        with pytest.raises(SimulationError):
+            window.sustained_minimum(skip_last=-1)
+
     def test_invalid_samples_rejected(self):
         with pytest.raises(SimulationError):
             ThroughputWindow(10).add(-1, 5)

@@ -230,3 +230,54 @@ class TestEventCollection:
         assert first.contenders == 2
         assert first.output == 1
         assert first.packet_flits == 4
+
+
+class TestGLThrottleAccounting:
+    def _run_policed(self, horizon=4_000):
+        from repro.config import QoSConfig
+        from repro.traffic.flows import gl_flow
+
+        config = SwitchConfig(
+            radix=4,
+            channel_bits=64,
+            gb_buffer_flits=16,
+            be_buffer_flits=16,
+            gl_buffer_flits=16,
+            qos=QoSConfig(sig_bits=4, frac_bits=8),
+            gl_policer=GLPolicerConfig(reserved_rate=0.05, burst_window=64),
+        )
+        workload = Workload(name="gl-throttle")
+        workload.add(gl_flow(0, 0, packet_length=4, inject_rate=None))
+        workload.add(gb_flow(1, 0, reserved_rate=0.5, inject_rate=None))
+        return Simulation(config, workload, seed=1).run(horizon)
+
+    def test_saturating_gl_reports_nonzero_throttles(self):
+        """Regression: the kernel filters ineligible GL heads before the
+        arbiter ever sees them, so counting only inside
+        ``ThreeClassArbiter.select`` left ``throttle_events`` near zero
+        while the policer was in fact suppressing GL almost every cycle."""
+        result = self._run_policed()
+        assert result.gl_throttle_events[0] > 100
+        # Outputs with no GL traffic report zero, not missing keys.
+        assert set(result.gl_throttle_events) == {0, 1, 2, 3}
+        assert result.gl_throttle_events[1] == 0
+
+    def test_throttled_gl_still_respects_reservation(self):
+        """The aggressor is clamped near its 5% reservation; the GB flow
+        keeps the bulk of the channel."""
+        result = self._run_policed()
+        gl_rate = result.accepted_rate(FlowId(0, 0, TrafficClass.GL))
+        gb_rate = result.accepted_rate(FlowId(1, 0, TrafficClass.GB))
+        assert gl_rate < 0.15
+        assert gb_rate > 0.5
+
+    def test_per_cycle_dedupe_of_kernel_and_arbiter_counting(self):
+        """GLPolicer.note_throttled(now) counts one event per cycle no
+        matter how many call sites report the same decision."""
+        from repro.qos.gl_policer import GLPolicer
+
+        policer = GLPolicer(GLPolicerConfig(reserved_rate=0.1, burst_window=10))
+        policer.note_throttled(5)
+        policer.note_throttled(5)  # second report of the same cycle
+        policer.note_throttled(6)
+        assert policer.throttle_events == 2
