@@ -299,3 +299,60 @@ class PrintInLibraryRule(Rule):
         assert isinstance(node, ast.Call)
         if isinstance(node.func, ast.Name) and node.func.id == "print":
             ctx.report(self, node, "print() in library code; return data or use repro.metrics reporting")
+
+
+#: Module prefixes that spawn OS processes; fan-out must go through the
+#: one audited entry point instead.
+_FAN_OUT_MODULES = ("multiprocessing", "concurrent.futures")
+
+
+@register
+class FanOutImportRule(Rule):
+    """RL009: process fan-out only through ``repro.parallel``.
+
+    ``SweepExecutor`` is the single audited entry point for parallelism:
+    it derives per-point seeds, merges results in point order, and
+    surfaces worker crashes as ``SimulationError``. A direct
+    ``multiprocessing`` / ``concurrent.futures`` import anywhere else can
+    reorder results or leak global RNG state into workers, silently
+    breaking the serial == parallel determinism contract
+    (``docs/PARALLELISM.md``). Import ``repro.parallel`` instead.
+    """
+
+    id = "RL009"
+    name = "fan-out-import"
+    severity = Severity.ERROR
+    description = "process-pool import outside the repro.parallel subsystem"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if ctx.module.parts[:2] == ("repro", "parallel"):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if self._is_fan_out(alias.name):
+                    self._flag(node, alias.name, ctx)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:  # relative import
+                return
+            if self._is_fan_out(node.module):
+                self._flag(node, node.module, ctx)
+            elif node.module == "concurrent" and any(
+                alias.name == "futures" for alias in node.names
+            ):
+                self._flag(node, "concurrent.futures", ctx)
+
+    @staticmethod
+    def _is_fan_out(name: str) -> bool:
+        return any(
+            name == prefix or name.startswith(prefix + ".")
+            for prefix in _FAN_OUT_MODULES
+        )
+
+    def _flag(self, node: ast.AST, name: str, ctx: ModuleContext) -> None:
+        ctx.report(
+            self,
+            node,
+            f"direct {name} import bypasses the deterministic sweep "
+            "executor; use repro.parallel.SweepExecutor",
+        )

@@ -2,8 +2,9 @@
 
 Usage::
 
-    repro-bench                        # full suite -> BENCH_2.json
+    repro-bench                        # full suite -> BENCH_3.json
     repro-bench --quick                # CI smoke horizons
+    repro-bench --jobs 8               # workers for the parallel sweep case
     repro-bench --baseline auto       # compare vs. newest other BENCH_*.json
     repro-bench --baseline BENCH_2.json --threshold 0.3
 
@@ -23,12 +24,18 @@ import resource
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
 from ..obs.probe import CountingProbe
 from ..serialization import JSONDict
-from .suite import OVERHEAD_CASE, SUITE, run_case
+from .suite import (
+    OVERHEAD_CASE,
+    SUITE,
+    SWEEP_PARALLEL_CASE,
+    SWEEP_SERIAL_CASE,
+    run_case,
+)
 
 #: Bumped when the BENCH document layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
@@ -109,12 +116,22 @@ def _peak_rss_kb() -> int:
     return int(rss)
 
 
-def _run_suite(quick: bool) -> Tuple[List[JSONDict], JSONDict]:
-    """Execute all cases plus the probe-overhead measurement."""
+def _run_suite(
+    quick: bool, jobs: Optional[int] = None
+) -> Tuple[List[JSONDict], JSONDict, JSONDict]:
+    """Execute all cases, the probe-overhead pair, and the sweep summary.
+
+    ``jobs`` overrides the worker count of cases pinned above 1 (the
+    parallel sweep case); serial cases always stay serial so the baseline
+    side of the speedup ratio is meaningful.
+    """
     cases: List[JSONDict] = []
     for case in SUITE:
+        case_jobs = case.jobs
+        if jobs is not None and case.jobs > 1:
+            case_jobs = jobs
         start = time.perf_counter()
-        grants, qos = run_case(case, quick=quick)
+        grants, qos = run_case(case, quick=quick, jobs=case_jobs)
         elapsed = time.perf_counter() - start
         cases.append(
             {
@@ -129,22 +146,53 @@ def _run_suite(quick: bool) -> Tuple[List[JSONDict], JSONDict]:
             }
         )
     # Probe overhead: the same case with no probe (the disabled path every
-    # production run takes) vs. with a CountingProbe attached. The disabled
-    # path's only instrumentation cost is an `is not None` check per hook,
-    # bounded above by the enabled figure reported here.
-    start = time.perf_counter()
-    run_case(OVERHEAD_CASE, quick=quick, probe=None)
-    disabled = time.perf_counter() - start
-    start = time.perf_counter()
-    run_case(OVERHEAD_CASE, quick=quick, probe=CountingProbe())
-    enabled = time.perf_counter() - start
+    # production run takes) vs. with a CountingProbe attached. Best of 3
+    # each, interleaved, so one scheduler hiccup cannot fake a regression
+    # (or an improvement) in a sub-second measurement.
+    disabled = min(
+        _timed(lambda: run_case(OVERHEAD_CASE, quick=quick, probe=None))
+        for _ in range(3)
+    )
+    enabled = min(
+        _timed(lambda: run_case(OVERHEAD_CASE, quick=quick, probe=CountingProbe()))
+        for _ in range(3)
+    )
     overhead = {
         "case": OVERHEAD_CASE.name,
         "disabled_wall_s": round(disabled, 4),
         "enabled_wall_s": round(enabled, 4),
         "enabled_overhead_pct": round(100.0 * (enabled - disabled) / disabled, 2),
     }
-    return cases, overhead
+    return cases, overhead, _sweep_summary(cases)
+
+
+def _timed(fn: "Callable[[], object]") -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _sweep_summary(cases: List[JSONDict]) -> JSONDict:
+    """Serial-vs-parallel sweep pair: speedup and result-identity check."""
+    by_name = {case["name"]: case for case in cases}
+    serial = by_name[SWEEP_SERIAL_CASE]
+    parallel = by_name[SWEEP_PARALLEL_CASE]
+
+    def payload(case: JSONDict) -> JSONDict:
+        qos = dict(case["qos"])
+        qos.pop("jobs", None)  # the one field allowed to differ
+        qos["grants"] = case["grants"]
+        return qos
+
+    return {
+        "serial_case": SWEEP_SERIAL_CASE,
+        "parallel_case": SWEEP_PARALLEL_CASE,
+        "serial_wall_s": serial["wall_time_s"],
+        "parallel_wall_s": parallel["wall_time_s"],
+        "speedup": round(serial["wall_time_s"] / parallel["wall_time_s"], 3),
+        "jobs": int(parallel["qos"].get("jobs", 0)),
+        "results_match": payload(serial) == payload(parallel),
+    }
 
 
 def _find_baseline(output: Path) -> Optional[Path]:
@@ -205,8 +253,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="short horizons (CI smoke); only comparable to --quick baselines",
     )
     parser.add_argument(
-        "--output", metavar="FILE", default="BENCH_2.json",
-        help="where to write the report (default: BENCH_2.json)",
+        "--output", metavar="FILE", default="BENCH_3.json",
+        help="where to write the report (default: BENCH_3.json)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the parallel sweep case (default: the "
+        "case's pinned count; serial cases are never parallelized)",
     )
     parser.add_argument(
         "--baseline", metavar="FILE|auto", default="auto",
@@ -220,8 +273,10 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if args.threshold < 0:
         parser.error(f"--threshold must be >= 0, got {args.threshold}")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
-    cases, overhead = _run_suite(args.quick)
+    cases, overhead, sweep = _run_suite(args.quick, jobs=args.jobs)
     document: JSONDict = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": "quick" if args.quick else "full",
@@ -229,6 +284,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "platform": platform.platform(),
         "cases": cases,
         "probe_overhead": overhead,
+        "parallel_sweep": sweep,
     }
     validate_bench_document(document)
 
@@ -244,7 +300,20 @@ def main(argv: "list[str] | None" = None) -> int:
         f"{overhead['disabled_wall_s']:.3f}s, enabled {overhead['enabled_wall_s']:.3f}s "
         f"({overhead['enabled_overhead_pct']:+.1f}%)"
     )
+    print(
+        f"parallel sweep (jobs={sweep['jobs']}): serial "
+        f"{sweep['serial_wall_s']:.3f}s, parallel {sweep['parallel_wall_s']:.3f}s "
+        f"-> {sweep['speedup']:.2f}x, results "
+        f"{'identical' if sweep['results_match'] else 'DIVERGED'}"
+    )
     print(f"wrote {output}")
+    if not sweep["results_match"]:
+        print(
+            "REGRESSION: parallel sweep results diverged from serial — "
+            "determinism contract violated",
+            file=sys.stderr,
+        )
+        return 1
 
     if args.baseline == "none":
         return 0

@@ -30,8 +30,10 @@ from ..types import FlowId, TrafficClass
 #: What one case hands back: (grants, qos deltas).
 CaseResult = Tuple[int, Dict[str, float]]
 
-#: A case body: (horizon, probe) -> CaseResult.
-CaseFn = Callable[[int, Optional[Probe]], CaseResult]
+#: A case body: (horizon, probe, jobs) -> CaseResult. ``horizon`` is per
+#: simulation (per sweep point for sweep cases); single-run cases ignore
+#: ``jobs``.
+CaseFn = Callable[[int, Optional[Probe], int], CaseResult]
 
 
 @dataclass(frozen=True)
@@ -44,6 +46,9 @@ class BenchCase:
         horizon: cycles for the full suite.
         quick_horizon: cycles for ``--quick`` (CI smoke).
         fn: the case body.
+        jobs: worker processes the case is pinned to (sweep cases pin
+            1 and 4 so the serial/parallel pair is tracked side by side;
+            ``run_case(jobs=...)`` can override).
     """
 
     name: str
@@ -51,6 +56,7 @@ class BenchCase:
     horizon: int
     quick_horizon: int
     fn: CaseFn
+    jobs: int = 1
 
 
 def _paper_config(radix: int = 8, **overrides: object) -> SwitchConfig:
@@ -67,7 +73,7 @@ def _paper_config(radix: int = 8, **overrides: object) -> SwitchConfig:
     return SwitchConfig(**defaults)  # type: ignore[arg-type]
 
 
-def _fast_uniform(horizon: int, probe: Optional[Probe]) -> CaseResult:
+def _fast_uniform(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
     """Event kernel, radix 8, uniform GB Bernoulli load at 70%."""
     config = _paper_config()
     workload = uniform_random_workload(8, inject_rate=0.7, reserved_share=0.9)
@@ -76,7 +82,7 @@ def _fast_uniform(horizon: int, probe: Optional[Probe]) -> CaseResult:
     return result.grants, {"mean_utilization": total}
 
 
-def _fast_hotspot(horizon: int, probe: Optional[Probe]) -> CaseResult:
+def _fast_hotspot(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
     """Event kernel, Fig. 4 hotspot: 8 saturating GB flows on one output."""
     config = _paper_config()
     workload = fig4_workload(inject_rate=None)
@@ -91,7 +97,7 @@ def _fast_hotspot(horizon: int, probe: Optional[Probe]) -> CaseResult:
     }
 
 
-def _fast_gl_policed(horizon: int, probe: Optional[Probe]) -> CaseResult:
+def _fast_gl_policed(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
     """Event kernel: saturating GL aggressor vs. reserved GB, tight window."""
     config = _paper_config(
         radix=4,
@@ -110,7 +116,7 @@ def _fast_gl_policed(horizon: int, probe: Optional[Probe]) -> CaseResult:
     }
 
 
-def _flit_parity(horizon: int, probe: Optional[Probe]) -> CaseResult:
+def _flit_parity(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
     """Flit kernel, radix 4, scheduled GB load (the 10-50x slower engine)."""
     config = _paper_config(radix=4, channel_bits=64)
     workload = uniform_random_workload(4, inject_rate=0.5, reserved_share=0.8)
@@ -119,7 +125,7 @@ def _flit_parity(horizon: int, probe: Optional[Probe]) -> CaseResult:
     return result.grants, {"mean_utilization": total}
 
 
-def _multiswitch(horizon: int, probe: Optional[Probe]) -> CaseResult:
+def _multiswitch(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
     """Two-stage Clos, 4 groups x 4 hosts, all-to-all-groups GB traffic."""
     topo = ClosTopology(groups=4, hosts_per_group=4)
     flows = []
@@ -132,6 +138,31 @@ def _multiswitch(horizon: int, probe: Optional[Probe]) -> CaseResult:
     return grants, {
         "hol_blocked_cycles": float(result.hol_blocked_cycles),
         "egress_grants": float(result.grants_egress),
+    }
+
+
+#: Injection rates for the Fig. 4 sweep pair (a fast subset of the figure).
+_SWEEP_RATES = (0.05, 0.08, 0.10, 0.15, 0.20, 0.40, 1.0)
+
+
+def _fig4_sweep(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+    """Fast Fig. 4 SSVC sweep through repro.parallel (7 rate points).
+
+    The serial/parallel case pair shares this body; only ``jobs`` differs,
+    so their qos deltas must match exactly (the executor's determinism
+    contract) while the wall times expose the fan-out speedup.
+    """
+    del probe  # sweep wall time is the measurement; kernels run bare
+    from ..experiments.fig4_bandwidth import run_fig4
+
+    result = run_fig4("ssvc", _SWEEP_RATES, horizon=horizon, jobs=jobs)
+    grants = sum(result.grants.values())
+    shares = result.saturation_shares
+    return grants, {
+        "sweep_points": float(len(_SWEEP_RATES)),
+        "jobs": float(jobs),
+        "flow0_at_saturation": shares[0],
+        "total_at_saturation": result.total_throughput[1.0],
     }
 
 
@@ -172,15 +203,45 @@ SUITE: Tuple[BenchCase, ...] = (
         quick_horizon=6_000,
         fn=_multiswitch,
     ),
+    BenchCase(
+        name="fig4-sweep-serial",
+        description="fast Fig. 4 SSVC sweep, 7 points, serial executor",
+        horizon=20_000,
+        quick_horizon=2_500,
+        fn=_fig4_sweep,
+        jobs=1,
+    ),
+    BenchCase(
+        name="fig4-sweep-parallel",
+        description="fast Fig. 4 SSVC sweep, 7 points, 4 worker processes",
+        horizon=20_000,
+        quick_horizon=2_500,
+        fn=_fig4_sweep,
+        jobs=4,
+    ),
 )
 
 #: Case used for the probe-overhead measurement (disabled vs. enabled).
 OVERHEAD_CASE = SUITE[0]
 
+#: The sweep pair whose wall-time ratio is the parallel-speedup metric.
+SWEEP_SERIAL_CASE = "fig4-sweep-serial"
+SWEEP_PARALLEL_CASE = "fig4-sweep-parallel"
+
 
 def run_case(
-    case: BenchCase, quick: bool = False, probe: Optional[Probe] = None
+    case: BenchCase,
+    quick: bool = False,
+    probe: Optional[Probe] = None,
+    jobs: Optional[int] = None,
 ) -> CaseResult:
-    """Execute one case at the requested fidelity."""
+    """Execute one case at the requested fidelity.
+
+    Args:
+        case: the pinned case.
+        quick: use the CI-smoke horizon.
+        probe: optional probe threaded into the kernel.
+        jobs: override of the case's pinned worker count.
+    """
     horizon = case.quick_horizon if quick else case.horizon
-    return case.fn(horizon, probe)
+    return case.fn(horizon, probe, case.jobs if jobs is None else jobs)

@@ -168,9 +168,33 @@ class SSVCCore:
         cands = list(candidates)
         if not cands:
             raise ArbitrationError("SSVC select requires at least one candidate")
-        levels = {i: self.level(i, now) for i in cands}
-        best = min(levels.values())
-        tied = [i for i in cands if levels[i] == best]
+        # Single pass with the quantum/levels lookups hoisted; keeps the
+        # running best level and its ties in candidate order — equivalent
+        # to a levels dict + min + filter without building any of them
+        # (this runs once per arbitration, the simulator's hottest call).
+        quantum = self.qos.quantum
+        top_level = self.qos.levels - 1
+        flows = self._flows
+        sync_needed = self.qos.counter_mode is CounterMode.SUBTRACT
+        best = -1
+        tied: List[int] = []
+        for i in cands:
+            try:
+                flow = flows[i]
+            except KeyError:
+                raise ArbitrationError(
+                    f"input {i} has no GB reservation at this output"
+                ) from None
+            if sync_needed:
+                self._sync(flow, now)
+            level = int(flow.value // quantum)
+            if level > top_level:
+                level = top_level
+            if best < 0 or level < best:
+                best = level
+                tied = [i]
+            elif level == best:
+                tied.append(i)
         if len(tied) == 1:
             return tied[0]
         return self.lrg.arbitrate(tied)

@@ -16,6 +16,7 @@ from typing import List
 
 from ..circuit.verification import VerificationReport, verify_exhaustive, verify_random
 from ..metrics.report import format_table
+from ..parallel import SweepExecutor, SweepPoint
 
 
 @dataclass
@@ -39,21 +40,51 @@ class CircuitVerificationResult:
         return table + f"\ntotal: {self.total_trials} decisions"
 
 
-def run_circuit_verification(fast: bool = False) -> CircuitVerificationResult:
+def _verification_point(point: SweepPoint) -> VerificationReport:
+    """Worker: one sweep (exhaustive or randomized), fully point-driven."""
+    if point.param("kind") == "exhaustive":
+        return verify_exhaustive(
+            radix=point.param("radix"), num_levels=point.param("num_levels")
+        )
+    return verify_random(
+        radix=point.param("radix"),
+        num_levels=point.param("num_levels"),
+        trials=point.param("trials"),
+        seed=point.seed,
+    )
+
+
+def run_circuit_verification(
+    fast: bool = False, jobs: int = 1
+) -> CircuitVerificationResult:
     """Exhaustive small-radix sweep plus randomized larger-radix sweeps.
 
     Raises:
-        VerificationError: on the first disagreement between the wire
-            model and the reference decision (none are expected).
+        SimulationError: wrapping the first :class:`VerificationError`
+            disagreement between the wire model and the reference decision
+            (none are expected), naming the sweep that failed.
     """
-    reports = [verify_exhaustive(radix=3, num_levels=3)]
+    specs = [("exhaustive", 3, 3, 0, 0)]
     if not fast:
-        reports.append(verify_exhaustive(radix=4, num_levels=4))
-    reports.append(verify_random(radix=8, num_levels=8, trials=300 if fast else 3000, seed=8))
-    reports.append(verify_random(radix=16, num_levels=16, trials=100 if fast else 1000, seed=16))
-    return CircuitVerificationResult(reports=reports)
+        specs.append(("exhaustive", 4, 4, 0, 0))
+    specs.append(("random", 8, 8, 300 if fast else 3000, 8))
+    specs.append(("random", 16, 16, 100 if fast else 1000, 16))
+    points = [
+        SweepPoint.make(
+            i,
+            f"verify:{kind}:r{radix}",
+            seed=seed,
+            kind=kind,
+            radix=radix,
+            num_levels=num_levels,
+            trials=trials,
+        )
+        for i, (kind, radix, num_levels, trials, seed) in enumerate(specs)
+    ]
+    results = SweepExecutor(jobs=jobs).map(_verification_point, points)
+    return CircuitVerificationResult(reports=[r.value for r in results])
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, jobs: int = 1) -> str:
     """CLI entry."""
-    return run_circuit_verification(fast=fast).format()
+    return run_circuit_verification(fast=fast, jobs=jobs).format()

@@ -52,6 +52,12 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "composition": composition.main,
 }
 
+#: Experiments whose ``main`` additionally accepts ``jobs=`` (sweeps that
+#: fan out through repro.parallel); --jobs is a no-op for the others.
+PARALLEL_EXPERIMENTS = frozenset(
+    {"fig4", "rate-adherence", "scalability", "circuit"}
+)
+
 
 def _run_custom(
     config_path: str,
@@ -109,6 +115,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="shorter horizons / fewer cases (for smoke testing)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep experiments (default: 1 = serial; "
+        "results are bit-identical at any value, see docs/PARALLELISM.md)",
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         help="also append the report(s) to FILE",
@@ -148,6 +162,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "run (implies counter collection)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.experiment == "custom":
         if not args.config:
@@ -165,7 +181,10 @@ def main(argv: "list[str] | None" = None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     sections = []
     for name in names:
-        report = EXPERIMENTS[name](args.fast)
+        if name in PARALLEL_EXPERIMENTS:
+            report = EXPERIMENTS[name](args.fast, jobs=args.jobs)
+        else:
+            report = EXPERIMENTS[name](args.fast)
         sections.append(f"=== {name} ===\n{report}\n")
         print(sections[-1])
     if args.output:

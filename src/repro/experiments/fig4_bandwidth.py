@@ -19,10 +19,11 @@ Expected shapes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..metrics.report import format_table
+from ..parallel import SweepExecutor, SweepPoint
 from ..traffic.patterns import FIG4_RESERVED_RATES
 from ..types import FlowId, TrafficClass
 from .common import gb_only_config, run_simulation
@@ -41,6 +42,8 @@ class Fig4Result:
         injection_rates: swept x-axis values (1.0 == saturating sources).
         accepted: ``accepted[inject_rate][input] ->`` flits/cycle.
         total_throughput: output throughput per injection rate.
+        grants: arbitration grants performed per injection rate (lets the
+            bench suite report grants/sec for a whole sweep).
     """
 
     arbiter: str
@@ -48,6 +51,7 @@ class Fig4Result:
     injection_rates: Tuple[float, ...]
     accepted: Dict[float, List[float]] = field(default_factory=dict)
     total_throughput: Dict[float, float] = field(default_factory=dict)
+    grants: Dict[float, int] = field(default_factory=dict)
 
     @property
     def saturation_shares(self) -> List[float]:
@@ -88,6 +92,41 @@ class Fig4Result:
         )
 
 
+def _fig4_point(point: SweepPoint) -> Tuple[List[float], float, int]:
+    """Worker: one injection-rate point, rebuilt entirely from the envelope.
+
+    Module-level and driven only by ``point`` so the parallel executor can
+    pickle it into worker processes; returns plain floats/ints.
+    """
+    config = gb_only_config(radix=8, channel_bits=128, sig_bits=4)
+    arbitration_cycles = point.param("arbitration_cycles")
+    if arbitration_cycles is not None:
+        config = replace(config, arbitration_cycles=arbitration_cycles)
+    reserved_rates = point.param("reserved_rates")
+    rate = point.param("rate")
+    from ..traffic.patterns import single_output_workload
+
+    workload = single_output_workload(
+        num_inputs=len(reserved_rates),
+        output=0,
+        reserved_rates=list(reserved_rates),
+        packet_length=point.param("packet_flits"),
+        inject_rate=None if rate >= 1.0 else rate,
+    )
+    sim_result = run_simulation(
+        config,
+        workload,
+        arbiter=point.param("arbiter"),
+        horizon=point.param("horizon"),
+        seed=point.seed,
+    )
+    per_flow = [
+        sim_result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
+        for src in range(len(reserved_rates))
+    ]
+    return per_flow, sim_result.stats.output_throughput(0), sim_result.grants
+
+
 def run_fig4(
     arbiter: str,
     injection_rates: Sequence[float] = DEFAULT_SWEEP,
@@ -96,6 +135,7 @@ def run_fig4(
     reserved_rates: Sequence[float] = FIG4_RESERVED_RATES,
     seed: int = 11,
     arbitration_cycles: Optional[int] = None,
+    jobs: int = 1,
 ) -> Fig4Result:
     """Run one Fig. 4 panel (``arbiter="lrg"`` for (a), ``"ssvc"`` for (b)).
 
@@ -106,59 +146,58 @@ def run_fig4(
         horizon: cycles per point.
         packet_flits: packet size (paper: 8).
         reserved_rates: per-input reserved fractions (paper's mix).
-        seed: RNG seed.
+        seed: RNG seed (every point pins it, so results are independent of
+            the sweep's composition and of ``jobs``).
         arbitration_cycles: override of the re-arbitration bubble (the
             bubble ablation passes 0).
+        jobs: sweep-point worker processes; 1 runs in-process and is
+            bit-identical to any parallel run (see docs/PARALLELISM.md).
     """
-    config = gb_only_config(radix=8, channel_bits=128, sig_bits=4)
-    if arbitration_cycles is not None:
-        from dataclasses import replace
-
-        config = replace(config, arbitration_cycles=arbitration_cycles)
     result = Fig4Result(
         arbiter=arbiter,
         reserved_rates=tuple(reserved_rates),
         injection_rates=tuple(injection_rates),
     )
-    from ..traffic.patterns import single_output_workload
-
-    for rate in injection_rates:
-        inject = None if rate >= 1.0 else rate
-        workload = single_output_workload(
-            num_inputs=len(reserved_rates),
-            output=0,
-            reserved_rates=list(reserved_rates),
-            packet_length=packet_flits,
-            inject_rate=inject,
+    points = [
+        SweepPoint.make(
+            i,
+            f"fig4:{arbiter}@{rate:g}",
+            seed=seed,
+            rate=rate,
+            arbiter=arbiter,
+            horizon=horizon,
+            packet_flits=packet_flits,
+            reserved_rates=tuple(reserved_rates),
+            arbitration_cycles=arbitration_cycles,
         )
-        sim_result = run_simulation(
-            config, workload, arbiter=arbiter, horizon=horizon, seed=seed
-        )
-        per_flow = [
-            sim_result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
-            for src in range(len(reserved_rates))
-        ]
+        for i, rate in enumerate(injection_rates)
+    ]
+    for point_result in SweepExecutor(jobs=jobs).map(_fig4_point, points):
+        rate = point_result.point.param("rate")
+        per_flow, total, grants = point_result.value
         result.accepted[rate] = per_flow
-        result.total_throughput[rate] = sim_result.stats.output_throughput(0)
+        result.total_throughput[rate] = total
+        result.grants[rate] = grants
     return result
 
 
 def run_both_panels(
     injection_rates: Sequence[float] = DEFAULT_SWEEP,
     horizon: int = 60_000,
+    jobs: int = 1,
 ) -> Tuple[Fig4Result, Fig4Result]:
     """Run Fig. 4(a) (LRG) and Fig. 4(b) (SSVC)."""
     return (
-        run_fig4("lrg", injection_rates, horizon),
-        run_fig4("ssvc", injection_rates, horizon),
+        run_fig4("lrg", injection_rates, horizon, jobs=jobs),
+        run_fig4("ssvc", injection_rates, horizon, jobs=jobs),
     )
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, jobs: int = 1) -> str:
     """CLI entry: run both panels and return the formatted report."""
     horizon = 20_000 if fast else 60_000
     sweep = (0.05, 0.10, 0.20, 0.40, 1.0) if fast else DEFAULT_SWEEP
-    lrg, ssvc = run_both_panels(sweep, horizon)
+    lrg, ssvc = run_both_panels(sweep, horizon, jobs=jobs)
     return "\n\n".join(
         [lrg.format(), lrg.chart(), ssvc.format(), ssvc.chart()]
     )

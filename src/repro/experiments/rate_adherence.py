@@ -18,6 +18,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from ..metrics.report import format_table
+from ..parallel import SweepExecutor, SweepPoint
 from ..traffic.patterns import single_output_workload
 from ..types import CounterMode, FlowId, TrafficClass
 from .common import gb_only_config, run_simulation
@@ -113,6 +114,32 @@ def random_feasible_rates(
     return [float(r) for r in rates]
 
 
+def _adherence_point(point: SweepPoint) -> Tuple[float, ...]:
+    """Worker: simulate one pre-drawn reservation mix to saturation."""
+    counter_mode = CounterMode(point.param("counter_mode"))
+    config = gb_only_config(radix=8, sig_bits=4, counter_mode=counter_mode)
+    rates = list(point.param("rates"))
+    num_inputs = len(rates)
+    workload = single_output_workload(
+        num_inputs=num_inputs,
+        output=0,
+        reserved_rates=rates,
+        packet_length=point.param("packet_flits"),
+        inject_rate=None,  # saturate
+    )
+    sim_result = run_simulation(
+        config,
+        workload,
+        arbiter="ssvc",
+        horizon=point.param("horizon"),
+        seed=point.seed,
+    )
+    return tuple(
+        sim_result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
+        for src in range(num_inputs)
+    )
+
+
 def run_rate_adherence(
     num_cases: int = 20,
     num_inputs: int = 8,
@@ -120,46 +147,53 @@ def run_rate_adherence(
     counter_mode: CounterMode = CounterMode.SUBTRACT,
     horizon: int = 120_000,
     seed: int = 5,
+    jobs: int = 1,
 ) -> AdherenceResult:
     """Run the Section 4.2 sweep: ``num_cases`` random mixes.
 
     Packet sizes rotate through ``packet_sizes`` ("a variety of packet
-    sizes"); all sources saturate so congestion is permanent.
+    sizes"); all sources saturate so congestion is permanent. All
+    reservation vectors are drawn up-front from one seeded stream (the
+    simulations never touch it), so the draws — and every simulation,
+    which pins ``seed + case_index`` — are identical at any ``jobs``.
     """
     rng = np.random.default_rng(seed)
     result = AdherenceResult(counter_mode=counter_mode)
-    config = gb_only_config(radix=8, sig_bits=4, counter_mode=counter_mode)
+    points = []
     for case_index in range(num_cases):
         packet_flits = packet_sizes[case_index % len(packet_sizes)]
         rates = random_feasible_rates(num_inputs, packet_flits, rng)
-        workload = single_output_workload(
-            num_inputs=num_inputs,
-            output=0,
-            reserved_rates=rates,
-            packet_length=packet_flits,
-            inject_rate=None,  # saturate
+        points.append(
+            SweepPoint.make(
+                case_index,
+                f"adherence:{counter_mode.value}#{case_index}",
+                seed=seed + case_index,
+                rates=tuple(rates),
+                packet_flits=packet_flits,
+                counter_mode=counter_mode.value,
+                horizon=horizon,
+            )
         )
-        sim_result = run_simulation(
-            config, workload, arbiter="ssvc", horizon=horizon, seed=seed + case_index
-        )
-        accepted = tuple(
-            sim_result.accepted_rate(FlowId(src, 0, TrafficClass.GB))
-            for src in range(num_inputs)
-        )
+    for point_result in SweepExecutor(jobs=jobs).map(_adherence_point, points):
+        point = point_result.point
         result.cases.append(
-            AdherenceCase(rates=tuple(rates), packet_flits=packet_flits, accepted=accepted)
+            AdherenceCase(
+                rates=point.param("rates"),
+                packet_flits=point.param("packet_flits"),
+                accepted=point_result.value,
+            )
         )
     return result
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, jobs: int = 1) -> str:
     """CLI entry: all three counter modes."""
     cases = 6 if fast else 20
     horizon = 40_000 if fast else 120_000
     reports = []
     for mode in CounterMode:
         result = run_rate_adherence(
-            num_cases=cases, counter_mode=mode, horizon=horizon
+            num_cases=cases, counter_mode=mode, horizon=horizon, jobs=jobs
         )
         reports.append(result.format())
     return "\n\n".join(reports)

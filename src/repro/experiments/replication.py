@@ -15,9 +15,25 @@ from typing import Callable, Dict, List, Mapping, Sequence
 import numpy as np
 
 from ..errors import ConfigError
+from ..parallel import SweepExecutor, SweepPoint
 
 #: An experiment run: seed in, named scalar metrics out.
 MetricFn = Callable[[int], Mapping[str, float]]
+
+
+class _MetricPointFn:
+    """Adapter: run a :data:`MetricFn` from a sweep-point envelope.
+
+    A class (not a closure) so the adapter pickles whenever the wrapped
+    function does; an unpicklable ``fn`` (a lambda, a local closure) makes
+    the executor fall back to its serial path automatically.
+    """
+
+    def __init__(self, fn: MetricFn) -> None:
+        self.fn = fn
+
+    def __call__(self, point: SweepPoint) -> Dict[str, float]:
+        return {name: float(v) for name, v in dict(self.fn(point.seed)).items()}
 
 
 @dataclass(frozen=True)
@@ -45,13 +61,17 @@ class MetricSummary:
         return f"{self.name}: {self.mean:.3f} ± {self.ci95_half_width:.3f} (95% CI)"
 
 
-def replicate(fn: MetricFn, seeds: Sequence[int]) -> Dict[str, MetricSummary]:
+def replicate(
+    fn: MetricFn, seeds: Sequence[int], jobs: int = 1
+) -> Dict[str, MetricSummary]:
     """Run ``fn`` once per seed and summarize every metric it returns.
 
     Args:
         fn: maps a seed to a dict of scalar metrics. Every run must return
             the same metric names.
         seeds: at least two seeds.
+        jobs: worker processes for the per-seed runs; an unpicklable
+            ``fn`` silently degrades to the serial path.
 
     Returns:
         One :class:`MetricSummary` per metric name.
@@ -61,10 +81,16 @@ def replicate(fn: MetricFn, seeds: Sequence[int]) -> Dict[str, MetricSummary]:
     """
     if len(seeds) < 2:
         raise ConfigError(f"replication needs >= 2 seeds, got {len(seeds)}")
+    points = [
+        SweepPoint.make(i, f"seed:{seed}", seed=seed)
+        for i, seed in enumerate(seeds)
+    ]
+    results = SweepExecutor(jobs=jobs).map(_MetricPointFn(fn), points)
     per_metric: Dict[str, List[float]] = {}
     names = None
-    for seed in seeds:
-        metrics = dict(fn(seed))
+    for point_result in results:
+        metrics = point_result.value
+        seed = point_result.point.seed
         if names is None:
             names = set(metrics)
         elif set(metrics) != names:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..hw.lanes import lane_feasibility_table
 from ..metrics.report import format_table
+from ..parallel import SweepExecutor, SweepPoint
 from ..traffic.flows import Workload, gb_flow
 from ..traffic.generators import BernoulliInjection
 from ..traffic.patterns import single_output_workload
@@ -72,50 +73,72 @@ class ScalabilityResult:
         return lanes + "\n\n" + acc
 
 
+def _sig_bits_point(point: SweepPoint) -> Tuple[float, float]:
+    """Worker: both runs (saturated + near-reservation) for one sig_bits."""
+    sig_bits = point.param("sig_bits")
+    rates = list(point.param("rates"))
+    horizon = point.param("horizon")
+    num_inputs = len(rates)
+    config = gb_only_config(radix=num_inputs, sig_bits=sig_bits)
+    # Saturated run: rate adherence.
+    workload = single_output_workload(
+        num_inputs, 0, rates, packet_length=8, inject_rate=None
+    )
+    saturated = run_simulation(
+        config, workload, arbiter="ssvc", horizon=horizon, seed=point.seed
+    )
+    shortfalls = []
+    for src, rate in enumerate(rates):
+        accepted = saturated.accepted_rate(FlowId(src, 0, TrafficClass.GB))
+        shortfalls.append(max(0.0, (rate - accepted) / rate))
+    # Offered-near-reservation run: latency spread across allocations.
+    loaded = Workload(name="sigbits-load")
+    for src, rate in enumerate(rates):
+        loaded.add(
+            gb_flow(
+                src, 0, rate, packet_length=8,
+                process=BernoulliInjection(rate * 0.95),
+            )
+        )
+    light = run_simulation(
+        config, loaded, arbiter="ssvc", horizon=horizon, seed=point.seed
+    )
+    latencies = [
+        light.mean_latency(FlowId(src, 0, TrafficClass.GB))
+        for src in range(num_inputs)
+    ]
+    return max(shortfalls), float(np.std(np.asarray(latencies)))
+
+
 def run_sig_bits_sweep(
     sig_bits_values: Sequence[int] = (1, 2, 3, 4, 5),
     allocations: Sequence[float] = SWEEP_ALLOCATIONS,
     horizon: int = 120_000,
     seed: int = 13,
+    jobs: int = 1,
 ) -> List[SigBitsPoint]:
     """Measure adherence and latency spread at each quantization."""
-    points = []
     num_inputs = 8
     rates = list(allocations) + [0.01] * (num_inputs - len(allocations))
-    for sig_bits in sig_bits_values:
-        config = gb_only_config(radix=num_inputs, sig_bits=sig_bits)
-        # Saturated run: rate adherence.
-        workload = single_output_workload(
-            num_inputs, 0, rates, packet_length=8, inject_rate=None
+    sweep = [
+        SweepPoint.make(
+            i,
+            f"sigbits:{sig_bits}",
+            seed=seed,
+            sig_bits=sig_bits,
+            rates=tuple(rates),
+            horizon=horizon,
         )
-        saturated = run_simulation(
-            config, workload, arbiter="ssvc", horizon=horizon, seed=seed
-        )
-        shortfalls = []
-        for src, rate in enumerate(rates):
-            accepted = saturated.accepted_rate(FlowId(src, 0, TrafficClass.GB))
-            shortfalls.append(max(0.0, (rate - accepted) / rate))
-        # Offered-near-reservation run: latency spread across allocations.
-        loaded = Workload(name="sigbits-load")
-        for src, rate in enumerate(rates):
-            loaded.add(
-                gb_flow(
-                    src, 0, rate, packet_length=8,
-                    process=BernoulliInjection(rate * 0.95),
-                )
-            )
-        light = run_simulation(
-            config, loaded, arbiter="ssvc", horizon=horizon, seed=seed
-        )
-        latencies = [
-            light.mean_latency(FlowId(src, 0, TrafficClass.GB))
-            for src in range(num_inputs)
-        ]
+        for i, sig_bits in enumerate(sig_bits_values)
+    ]
+    points = []
+    for point_result in SweepExecutor(jobs=jobs).map(_sig_bits_point, sweep):
+        worst_shortfall, latency_spread = point_result.value
         points.append(
             SigBitsPoint(
-                sig_bits=sig_bits,
-                worst_shortfall=max(shortfalls),
-                latency_spread=float(np.std(np.asarray(latencies))),
+                sig_bits=point_result.point.param("sig_bits"),
+                worst_shortfall=worst_shortfall,
+                latency_spread=latency_spread,
             )
         )
     return points
@@ -124,16 +147,17 @@ def run_sig_bits_sweep(
 def run_scalability(
     horizon: int = 120_000,
     sig_bits_values: Sequence[int] = (1, 2, 3, 4, 5),
+    jobs: int = 1,
 ) -> ScalabilityResult:
     """Lane table plus the quantization accuracy sweep."""
     return ScalabilityResult(
         lane_rows=lane_feasibility_table(),
-        accuracy=run_sig_bits_sweep(sig_bits_values, horizon=horizon),
+        accuracy=run_sig_bits_sweep(sig_bits_values, horizon=horizon, jobs=jobs),
     )
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, jobs: int = 1) -> str:
     """CLI entry."""
     horizon = 40_000 if fast else 120_000
     bits = (2, 4) if fast else (1, 2, 3, 4, 5)
-    return run_scalability(horizon=horizon, sig_bits_values=bits).format()
+    return run_scalability(horizon=horizon, sig_bits_values=bits, jobs=jobs).format()

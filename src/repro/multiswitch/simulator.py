@@ -34,7 +34,7 @@ from ..config import QoSConfig
 from ..core.ssvc import SSVCCore
 from ..errors import SimulationError, TrafficError
 from ..metrics.counters import StatsCollector
-from ..obs.probe import Probe
+from ..obs.probe import Probe, resolve_hooks
 from ..switch.flit import Packet, fresh_packet_ids
 from ..types import FlowId, TrafficClass
 from .topology import ClosTopology
@@ -310,16 +310,24 @@ class MultiStageSimulation:
         grants_egress = 0
         hol_blocked = 0
         probe = self.probe
+        # Hooks resolved once; counters batch in locals and flush after the
+        # horizon (only trace events are emitted inline — they are ordered).
+        hooks = resolve_hooks(probe)
+        event_hook = hooks.event
+        wakes = 0
+        heap_pushes = 0
+        ingress_arbitrations = 0
+        egress_arbitrations = 0
 
         wake_heap: List[int] = [0]
         pending = {0}
 
         def wake(t: int) -> None:
+            nonlocal heap_pushes
             if t < horizon and t not in pending:
                 heapq.heappush(wake_heap, t)
                 pending.add(t)
-                if probe is not None:
-                    probe.count("multiswitch.heap_pushes")
+                heap_pushes += 1
 
         for t0, _ in arrival_heap:
             wake(t0)
@@ -372,8 +380,7 @@ class MultiStageSimulation:
             pending.discard(now)
             if now >= horizon:
                 continue
-            if probe is not None:
-                probe.count("multiswitch.wakes")
+            wakes += 1
 
             # 1. Scheduled host arrivals.
             while arrival_heap and arrival_heap[0][0] <= now:
@@ -420,8 +427,7 @@ class MultiStageSimulation:
                         heads[local] = head
                     if not candidates:
                         continue
-                    if probe is not None:
-                        probe.count("multiswitch.ingress_arbitrations")
+                    ingress_arbitrations += 1
                     winner = core.select(candidates, now)
                     core.commit(winner, now)
                     packet = host_ports[gs][winner].pop(gd)
@@ -435,18 +441,16 @@ class MultiStageSimulation:
                     wake(delivered)
                     wake(arrive)
                     grants_ingress += 1
-                    if probe is not None:
-                        probe.count("multiswitch.ingress_grants")
-                        if probe.trace:
-                            probe.event(
-                                "ingress_grant",
-                                now,
-                                group=gs,
-                                uplink=gd,
-                                host=winner,
-                                packet_id=packet.packet_id,
-                                flits=packet.flits,
-                            )
+                    if event_hook is not None:
+                        event_hook(
+                            "ingress_grant",
+                            now,
+                            group=gs,
+                            uplink=gd,
+                            host=winner,
+                            packet_id=packet.packet_id,
+                            flits=packet.flits,
+                        )
 
             # 5. Egress arbitration: per (group, host output). Downlink
             #    heads request only their own target output; a head bound
@@ -465,8 +469,6 @@ class MultiStageSimulation:
                             for o in range(topo.hosts_per_group)
                         ):
                             hol_blocked += 1
-                            if probe is not None:
-                                probe.count("multiswitch.hol_blocked")
                         continue
                     requesting.setdefault(out, []).append(gs)
                 for out, sources in requesting.items():
@@ -474,8 +476,7 @@ class MultiStageSimulation:
                     eligible = [gs for gs in sources if core.is_registered(gs)]
                     if not eligible:
                         continue
-                    if probe is not None:
-                        probe.count("multiswitch.egress_arbitrations")
+                    egress_arbitrations += 1
                     winner = core.select(eligible, now)
                     core.commit(winner, now)
                     packet = downlinks[gd][winner].pop()
@@ -487,23 +488,35 @@ class MultiStageSimulation:
                     stats.on_delivered(packet)
                     wake(delivered)
                     grants_egress += 1
-                    if probe is not None:
-                        probe.count("multiswitch.egress_grants")
-                        if probe.trace:
-                            probe.event(
-                                "egress_grant",
-                                now,
-                                group=gd,
-                                output=out,
-                                source_group=winner,
-                                packet_id=packet.packet_id,
-                                flits=packet.flits,
-                                latency=packet.latency,
-                            )
+                    if event_hook is not None:
+                        event_hook(
+                            "egress_grant",
+                            now,
+                            group=gd,
+                            output=out,
+                            source_group=winner,
+                            packet_id=packet.packet_id,
+                            flits=packet.flits,
+                            latency=packet.latency,
+                        )
                     # Freed FIFO space may unblock an ingress grant; the
                     # credit update is visible from the next cycle.
                     wake(now + 1)
             refill(now)
+
+        count_hook = hooks.count
+        if count_hook is not None:
+            for name, total in (
+                ("multiswitch.wakes", wakes),
+                ("multiswitch.heap_pushes", heap_pushes),
+                ("multiswitch.ingress_arbitrations", ingress_arbitrations),
+                ("multiswitch.ingress_grants", grants_ingress),
+                ("multiswitch.hol_blocked", hol_blocked),
+                ("multiswitch.egress_arbitrations", egress_arbitrations),
+                ("multiswitch.egress_grants", grants_egress),
+            ):
+                if total:
+                    count_hook(name, total)
 
         stats.finish(horizon)
         return MultiStageResult(

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Union
 
 #: Values allowed in trace-event payload fields.
 EventValue = Union[int, float, str, bool, None]
@@ -53,6 +54,53 @@ class Probe:
         determinism-guarded packages.
         """
         yield
+
+
+#: Bound hook signatures as stored on :class:`ProbeHooks`.
+CountHook = Callable[..., None]
+GaugeHook = Callable[[str, int], None]
+EventHook = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class ProbeHooks:
+    """Pre-resolved probe hooks for kernel hot loops.
+
+    Each field is either the probe's bound method or ``None`` when the
+    probe never overrode that hook — so a kernel checks one local slot
+    (``if count is not None``) instead of paying a dynamic attribute
+    lookup and a no-op call per instrumentation point. Resolve once per
+    run with :func:`resolve_hooks`; hook resolution must never happen
+    inside the per-wake loop.
+    """
+
+    count: Optional[CountHook]
+    gauge: Optional[GaugeHook]
+    event: Optional[EventHook]
+
+
+#: Hooks for the no-probe case: every slot is None.
+NO_HOOKS = ProbeHooks(count=None, gauge=None, event=None)
+
+
+def resolve_hooks(probe: Optional[Probe]) -> ProbeHooks:
+    """Resolve a probe's overridden hooks to bound methods, once.
+
+    A hook slot is non-``None`` only when the probe's class actually
+    overrides it — a probe inheriting the base no-op costs the kernel
+    nothing. The ``event`` slot additionally requires ``probe.trace`` to
+    be set, folding the old double guard (``probe is not None and
+    probe.trace``) into a single slot check.
+    """
+    if probe is None:
+        return NO_HOOKS
+    cls = type(probe)
+    count = probe.count if cls.count is not Probe.count else None
+    gauge = probe.gauge if cls.gauge is not Probe.gauge else None
+    event: Optional[EventHook] = None
+    if probe.trace and cls.event is not Probe.event:
+        event = probe.event
+    return ProbeHooks(count=count, gauge=gauge, event=event)
 
 
 class CountingProbe(Probe):

@@ -1,0 +1,19 @@
+"""Deterministic sweep fan-out.
+
+The only sanctioned home for process-based parallelism in this repository
+(lint rule RL009 flags ``multiprocessing``/``concurrent.futures`` imports
+anywhere else). See ``docs/PARALLELISM.md`` for the executor contract,
+the seed-derivation scheme, and the determinism guarantees.
+"""
+
+from .envelope import PointResult, SweepPoint, result_hash, spawn_seeds
+from .executor import PointFn, SweepExecutor
+
+__all__ = [
+    "PointFn",
+    "PointResult",
+    "SweepExecutor",
+    "SweepPoint",
+    "result_hash",
+    "spawn_seeds",
+]

@@ -1,0 +1,108 @@
+"""Picklable sweep envelopes and deterministic per-point seed derivation.
+
+Every experiment in this reproduction is a *sweep*: Fig. 4 sweeps injection
+rates, rate adherence sweeps random reservation mixes, scalability sweeps
+auxVC significant bits, circuit verification sweeps radices. A sweep point
+is wrapped in a :class:`SweepPoint` envelope — a frozen, picklable record
+of everything a worker process needs to reproduce the point from scratch
+(parameters as primitives, plus the point's own seed) — so the executor can
+ship it across a process boundary and the result merges back by ``index``
+regardless of which worker finished first.
+
+Seed scheme: callers either pin each point's seed explicitly (the paper
+experiments do, so their published numbers never move), or derive a family
+of independent per-point seeds from one master seed with
+:func:`spawn_seeds`, which walks ``np.random.SeedSequence(master).spawn``
+— the same construction the simulator uses for per-flow streams. Both
+schemes are pure functions of their inputs: the same master seed always
+yields the same point seeds, in the same order, in any process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One unit of sweep work, self-contained and picklable.
+
+    Attributes:
+        index: unique position key; results merge back in ``index`` order
+            no matter which worker ran the point.
+        label: human-readable name used in progress and error messages
+            (a crashed point is reported by this label).
+        seed: the RNG seed this point's simulation must use.
+        params: ordered ``(name, value)`` pairs; values must be picklable
+            primitives (or tuples thereof) so the envelope crosses process
+            boundaries without importing experiment modules eagerly.
+    """
+
+    index: int
+    label: str
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, index: int, label: str, seed: int, **params: Any) -> "SweepPoint":
+        """Build a point from keyword parameters (insertion-ordered)."""
+        return cls(index=index, label=label, seed=seed, params=tuple(params.items()))
+
+    def param(self, name: str) -> Any:
+        """The value of one named parameter.
+
+        Raises:
+            ConfigError: when the point does not carry the parameter.
+        """
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise ConfigError(f"sweep point {self.label!r} has no parameter {name!r}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Parameters as a dict (insertion order preserved)."""
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """A sweep point paired with the value its worker returned."""
+
+    point: SweepPoint
+    value: Any
+
+
+def spawn_seeds(master_seed: int, count: int) -> List[int]:
+    """Derive ``count`` independent child seeds from one master seed.
+
+    Uses ``np.random.SeedSequence(master_seed).spawn(count)`` so the child
+    streams are statistically independent *and* the derivation is a pure
+    function: the same master always yields the same children, in order,
+    on every platform and in every process. Adding points to the end of a
+    sweep never changes the seeds of earlier points.
+    """
+    if count < 0:
+        raise ConfigError(f"seed count must be >= 0, got {count}")
+    children = np.random.SeedSequence(master_seed).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+def result_hash(values: Iterable[Any]) -> str:
+    """Stable digest of a sweep's ordered result payloads.
+
+    Hashes the ``repr`` of each value (floats round-trip exactly through
+    ``repr``), separated by NUL bytes. Two runs of the same sweep — serial
+    or parallel, any job count — must produce the same digest; the
+    determinism tests and the CI sweep check are built on this.
+    """
+    digest = hashlib.sha256()
+    for value in values:
+        digest.update(repr(value).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()

@@ -1,0 +1,176 @@
+"""Deterministic fan-out of sweep points over a process pool.
+
+All process-based parallelism in this repository goes through
+:class:`SweepExecutor` (lint rule RL009 forbids importing
+``multiprocessing``/``concurrent.futures`` anywhere else). The executor
+guarantees that for a fixed point list the merged results are identical —
+value for value, in order — whether it runs serially, with 2 jobs, or
+with 40: each point carries its own seed, workers never share mutable
+state, and results merge by the point's ``index``, not completion order.
+
+Failure surfacing is part of the contract: a point that raises inside a
+worker is shipped back as data and re-raised here as a
+:class:`~repro.errors.SimulationError` naming the point; a worker process
+that dies outright (``BrokenProcessPool``) is reported with the labels of
+the chunk it was running. Neither case hangs the parent.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError, SimulationError
+from .envelope import PointResult, SweepPoint
+
+#: A worker function: takes one envelope, returns a picklable payload.
+PointFn = Callable[[SweepPoint], Any]
+
+#: ``(index, ok, payload)`` triples shipped back from a worker chunk;
+#: payload is the point's return value on success, or the formatted
+#: traceback text on failure.
+_ChunkItem = Tuple[int, bool, Any]
+
+
+def _run_chunk(fn: PointFn, points: Sequence[SweepPoint]) -> List[_ChunkItem]:
+    """Worker-side body: run a chunk of points, shipping failures as data.
+
+    Stops at the first failing point in the chunk — later points in the
+    same chunk would only be discarded by the parent anyway once it
+    raises for the failure.
+    """
+    out: List[_ChunkItem] = []
+    for point in points:
+        try:
+            out.append((point.index, True, fn(point)))
+        except Exception as exc:  # noqa: BLE001 - shipped back, re-raised by parent
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            out.append((point.index, False, detail))
+            break
+    return out
+
+
+class SweepExecutor:
+    """Map a function over sweep points, optionally across processes.
+
+    Args:
+        jobs: worker process count. ``1`` (the default) is the serial
+            path — no pool is created and results are bit-identical to
+            calling ``fn`` in a plain loop.
+        chunk_size: points per submitted task. Defaults to
+            ``ceil(len(points) / (jobs * 4))`` so each worker sees ~4
+            tasks — small enough to balance uneven point costs, large
+            enough to amortize pickling.
+
+    Attributes:
+        last_fallback: why the most recent :meth:`map` call ran serially
+            despite ``jobs > 1`` (``None`` when it actually fanned out).
+    """
+
+    def __init__(self, jobs: int = 1, chunk_size: Optional[int] = None) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.last_fallback: Optional[str] = None
+
+    def map(self, fn: PointFn, points: Sequence[SweepPoint]) -> List[PointResult]:
+        """Run ``fn`` over every point; results in original point order.
+
+        Raises:
+            ConfigError: on duplicate point indices.
+            SimulationError: when any point fails or a worker dies; the
+                message names the failed point(s).
+        """
+        pts = list(points)
+        seen: Dict[int, str] = {}
+        for point in pts:
+            if point.index in seen:
+                raise ConfigError(
+                    f"duplicate sweep point index {point.index}: "
+                    f"{seen[point.index]!r} vs {point.label!r}"
+                )
+            seen[point.index] = point.label
+        self.last_fallback = None
+        if self.jobs == 1:
+            return self._map_serial(fn, pts)
+        if len(pts) < 2:
+            self.last_fallback = "fewer than 2 points"
+            return self._map_serial(fn, pts)
+        unpicklable = self._pickle_check(fn, pts)
+        if unpicklable is not None:
+            self.last_fallback = unpicklable
+            return self._map_serial(fn, pts)
+        return self._map_parallel(fn, pts)
+
+    @staticmethod
+    def _pickle_check(fn: PointFn, pts: Sequence[SweepPoint]) -> Optional[str]:
+        """A reason to fall back to serial, or None when fan-out is safe."""
+        try:
+            pickle.dumps(fn)
+        except Exception:
+            return f"worker function {getattr(fn, '__name__', fn)!r} is not picklable"
+        try:
+            pickle.dumps(pts)
+        except Exception:
+            return "sweep points are not picklable"
+        return None
+
+    @staticmethod
+    def _map_serial(fn: PointFn, pts: Sequence[SweepPoint]) -> List[PointResult]:
+        results: List[PointResult] = []
+        for point in pts:
+            try:
+                value = fn(point)
+            except SimulationError:
+                raise
+            except Exception as exc:
+                raise SimulationError(
+                    f"sweep point {point.index} ({point.label}) failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            results.append(PointResult(point, value))
+        return results
+
+    def _map_parallel(self, fn: PointFn, pts: Sequence[SweepPoint]) -> List[PointResult]:
+        chunk = self.chunk_size or max(1, -(-len(pts) // (self.jobs * 4)))
+        chunks = [pts[i : i + chunk] for i in range(0, len(pts), chunk)]
+        values: Dict[int, Any] = {}
+        failures: Dict[int, str] = {}
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks)))
+        try:
+            futures = [(c, pool.submit(_run_chunk, fn, c)) for c in chunks]
+            for chunk_points, future in futures:
+                try:
+                    items = future.result()
+                except BrokenProcessPool as exc:
+                    labels = ", ".join(p.label for p in chunk_points)
+                    raise SimulationError(
+                        "worker process died while running sweep "
+                        f"points [{labels}]"
+                    ) from exc
+                for index, ok, payload in items:
+                    if ok:
+                        values[index] = payload
+                    else:
+                        failures[index] = str(payload)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if failures:
+            order = {point.index: pos for pos, point in enumerate(pts)}
+            first = min(failures, key=lambda idx: order[idx])
+            label = next(p.label for p in pts if p.index == first)
+            raise SimulationError(
+                f"sweep point {first} ({label}) failed in worker:\n"
+                f"{failures[first]}"
+            )
+        missing = [p for p in pts if p.index not in values]
+        if missing:
+            names = ", ".join(p.label for p in missing)
+            raise SimulationError(f"sweep lost results for points [{names}]")
+        return [PointResult(point, values[point.index]) for point in pts]

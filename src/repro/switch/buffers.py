@@ -110,6 +110,11 @@ class InputPort:
         }
         #: cycle until which this input's channel is held by a transmission
         self.busy_until = 0
+        # Flits buffered across all classes, maintained incrementally by
+        # try_inject/pop_packet (the only mutation paths) so the per-request
+        # queued_flits read in the arbitration loop is O(1), not a sum over
+        # radix+2 queues.
+        self._total_occupancy = 0
 
     # ------------------------------------------------------------- admission
 
@@ -142,6 +147,7 @@ class InputPort:
             return False
         packet.injected_cycle = now
         queue.push(packet)
+        self._total_occupancy += packet.flits
         return True
 
     # -------------------------------------------------------------- requests
@@ -200,9 +206,9 @@ class InputPort:
                 f"granted packet {packet.packet_id} is not at the head of its queue"
             )
         queue.pop()
+        self._total_occupancy -= packet.flits
 
     @property
     def total_occupancy_flits(self) -> int:
-        """Flits buffered across all classes at this input."""
-        gb = sum(q.occupancy_flits for q in self.gb_queues.values())
-        return gb + self.be_queue.occupancy_flits + self.gl_queue.occupancy_flits
+        """Flits buffered across all classes at this input (O(1))."""
+        return self._total_occupancy

@@ -27,7 +27,7 @@ from ..config import SwitchConfig
 from ..core.arbitration import Request
 from ..errors import SimulationError, TrafficError
 from ..metrics.counters import StatsCollector
-from ..obs.probe import Probe
+from ..obs.probe import Probe, resolve_hooks
 from ..switch.crossbar import ArbiterFactory, SwizzleSwitch
 from ..switch.events import GrantEvent
 from ..switch.flit import Packet, fresh_packet_ids
@@ -99,6 +99,10 @@ class _FlitInput:
         self.gl = _FlitQueue(config.gl_buffer_flits)
         self.source: Deque[Packet] = deque()
         self.busy_until = 0
+        # Incremental mirror of the per-queue occupancies; bumped on inject,
+        # decremented flit-by-flit as transmissions drain (the run loop owns
+        # the decrement because _FlitQueue has no back-reference to us).
+        self._total_occupancy = 0
 
     def queue_for(self, packet: Packet) -> _FlitQueue:
         if packet.traffic_class is TrafficClass.GB:
@@ -113,6 +117,7 @@ class _FlitInput:
             return False
         packet.injected_cycle = now
         queue.push(packet)
+        self._total_occupancy += packet.flits
         return True
 
     def head_for_output(self, output: int, allow_gl: bool = True) -> Optional[Packet]:
@@ -139,14 +144,15 @@ class _FlitInput:
         which both kernels agree on whenever the input is free to request
         (the drain has finished by then).
         """
-        gb = sum(q.occupancy for q in self.gb.values())
-        return gb + self.be.occupancy + self.gl.occupancy
+        return self._total_occupancy
 
 
 @dataclass
 class _Transmission:
     packet: Packet
     queue: _FlitQueue
+    #: the input the packet drains from (occupancy bookkeeping)
+    port: "_FlitInput"
     #: cycles at which flits cross (first_flit_cycle .. last inclusive)
     first_flit_cycle: int
     last_flit_cycle: int
@@ -236,7 +242,10 @@ class FlitLevelSimulation:
         radix = self.config.radix
         inputs = [_FlitInput(i, self.config) for i in range(radix)]
         out_busy = [0] * radix
-        active: Dict[int, _Transmission] = {}
+        # One slot per output; a slot holds the in-flight transmission. A
+        # fixed array avoids the per-cycle dict snapshot the old loop paid.
+        active: List[Optional[_Transmission]] = [None] * radix
+        active_count = 0
         arrivals = self._arrivals(horizon)
         for packets in arrivals.values():
             for packet in packets:
@@ -245,16 +254,29 @@ class FlitLevelSimulation:
         grants = 0
         out_flits = [0] * radix
         probe = self.probe
+        hooks = resolve_hooks(probe)
+        event_hook = hooks.event
+        arbitrations = 0
+        declines = 0
+        gl_throttles = 0
+        arbiters = self.switch.arbiters
+        policers = [getattr(arbiters[o], "gl_policer", None) for o in range(radix)]
+        arb_cycles_for = [self.switch.arbitration_cycles_for(o) for o in range(radix)]
+        collect = self.collect_events
 
         for now in range(horizon):
-            if probe is not None:
-                probe.count("kernel.wakes")
             # 1. Flits cross the crossbar and free their buffer slots.
-            for o, tx in list(active.items()):
-                if tx.first_flit_cycle <= now <= tx.last_flit_cycle:
-                    tx.queue.drain_one_flit()
-                if now == tx.last_flit_cycle:
-                    del active[o]
+            if active_count:
+                for o in range(radix):
+                    tx = active[o]
+                    if tx is None:
+                        continue
+                    if tx.first_flit_cycle <= now <= tx.last_flit_cycle:
+                        tx.queue.drain_one_flit()
+                        tx.port._total_occupancy -= 1
+                    if now == tx.last_flit_cycle:
+                        active[o] = None
+                        active_count -= 1
             # 2. Arrivals, behind any overflowed packet of the same flow.
             for packet in arrivals.get(now, ()):  # noqa: B905
                 port = inputs[packet.src]
@@ -265,6 +287,8 @@ class FlitLevelSimulation:
                     port.source.append(packet)
             # 3. Drain source queues in FIFO order.
             for port in inputs:
+                if not port.source:
+                    continue
                 still_blocked: Deque[Packet] = deque()
                 while port.source:
                     head = port.source.popleft()
@@ -278,14 +302,17 @@ class FlitLevelSimulation:
                 o = (now + k) % radix
                 if out_busy[o] > now:
                     continue
-                arbiter = self.switch.arbiters[o]
-                policer = getattr(arbiter, "gl_policer", None)
+                arbiter = arbiters[o]
+                policer = policers[o]
                 allow_gl = policer is None or policer.eligible(now)
                 requests = []
                 gl_denied = False
                 for port in inputs:
                     if port.busy_until > now:
                         continue
+                    queued = port._total_occupancy
+                    if queued == 0:
+                        continue  # empty input: no head, no masked GL
                     head = port.head_for_output(o, allow_gl=allow_gl)
                     if not allow_gl:
                         # Mirror the fast kernel: a policer-masked GL head
@@ -301,7 +328,7 @@ class FlitLevelSimulation:
                             input_port=port.port,
                             traffic_class=head.traffic_class,
                             packet_flits=head.flits,
-                            queued_flits=port.total_occupancy_flits,
+                            queued_flits=queued,
                             arrival_cycle=(
                                 head.injected_cycle
                                 if head.injected_cycle is not None
@@ -311,25 +338,22 @@ class FlitLevelSimulation:
                     )
                 if gl_denied and policer is not None:
                     policer.note_throttled(now)
-                    if probe is not None:
-                        probe.count("kernel.gl_throttles")
-                        if probe.trace:
-                            probe.event("gl_throttle", now, output=o)
+                    gl_throttles += 1
+                    if event_hook is not None:
+                        event_hook("gl_throttle", now, output=o)
                 if not requests:
                     continue
-                if probe is not None:
-                    probe.count("kernel.arbitrations")
+                arbitrations += 1
                 winner = arbiter.select(requests, now)
                 if winner is None:
-                    if probe is not None:
-                        probe.count("kernel.declines")
+                    declines += 1
                     continue
                 arbiter.commit(winner, now)
                 port = inputs[winner.input_port]
                 packet = port.head_for_output(o, allow_gl=allow_gl)
                 queue = port.queue_for(packet)
                 queue.start_drain(packet)
-                arb = self.switch.arbitration_cycles_for(o)
+                arb = arb_cycles_for[o]
                 delivered = now + arb + packet.flits
                 packet.grant_cycle = now
                 packet.delivered_cycle = delivered
@@ -338,29 +362,29 @@ class FlitLevelSimulation:
                 active[o] = _Transmission(
                     packet=packet,
                     queue=queue,
+                    port=port,
                     first_flit_cycle=now + arb + 1,
                     last_flit_cycle=delivered,
                 )
+                active_count += 1
                 stats.on_delivered(packet)
                 grants += 1
                 out_flits[o] += packet.flits
-                if probe is not None:
-                    probe.count("kernel.grants")
-                    if probe.trace:
-                        probe.event(
-                            "grant",
-                            now,
-                            output=o,
-                            input=winner.input_port,
-                            flow=str(packet.flow),
-                            packet_id=packet.packet_id,
-                            flits=packet.flits,
-                            contenders=len(requests),
-                            delivered=delivered,
-                            latency=packet.latency,
-                            waiting=packet.waiting_time,
-                        )
-                if self.collect_events:
+                if event_hook is not None:
+                    event_hook(
+                        "grant",
+                        now,
+                        output=o,
+                        input=winner.input_port,
+                        flow=str(packet.flow),
+                        packet_id=packet.packet_id,
+                        flits=packet.flits,
+                        contenders=len(requests),
+                        delivered=delivered,
+                        latency=packet.latency,
+                        waiting=packet.waiting_time,
+                    )
+                if collect:
                     events.append(
                         GrantEvent(
                             cycle=now,
@@ -373,12 +397,24 @@ class FlitLevelSimulation:
                         )
                     )
 
+        # Flush aggregates once (one wake per cycle in this engine).
+        count_hook = hooks.count
+        if count_hook is not None:
+            for name, total in (
+                ("kernel.wakes", horizon),
+                ("kernel.arbitrations", arbitrations),
+                ("kernel.declines", declines),
+                ("kernel.grants", grants),
+                ("kernel.gl_throttles", gl_throttles),
+            ):
+                if total:
+                    count_hook(name, total)
+
         stats.finish(horizon)
         gl_throttle_events: Dict[int, int] = {}
         for o in range(radix):
-            policer = getattr(self.switch.arbiters[o], "gl_policer", None)
-            if policer is not None:
-                gl_throttle_events[o] = policer.throttle_events
+            if policers[o] is not None:
+                gl_throttle_events[o] = policers[o].throttle_events
         return SimulationResult(
             config=self.config,
             workload_name=self.workload.name,

@@ -30,7 +30,7 @@ from ..config import SwitchConfig
 from ..core.arbitration import Request
 from ..errors import SimulationError
 from ..metrics.counters import StatsCollector
-from ..obs.probe import Probe
+from ..obs.probe import Probe, resolve_hooks
 from ..types import FlowId, TrafficClass
 
 if False:  # TYPE_CHECKING — imported lazily at runtime to avoid a cycle
@@ -247,11 +247,33 @@ class Simulation:
         events: List[object] = []
         grants = 0
         probe = self.probe
+        # Hooks are resolved once per run; the loop below keeps plain local
+        # counters and flushes aggregates to the probe after the horizon.
+        # Only trace events (ordered, payload-bearing) are emitted inline.
+        hooks = resolve_hooks(probe)
+        gauge_hook = hooks.gauge
+        event_hook = hooks.event
+        wakes = 0
+        heap_pushes = 0
+        arrivals = 0
+        arbitrations = 0
+        declines = 0
+        gl_throttles = 0
+        overflow_scans = 0
+        max_overflow_flows = 0
+        max_overflow_depth = 0
 
         switch = self.switch
         radix = switch.radix
         inputs = switch.inputs
         outputs = switch.outputs
+        arbiters = switch.arbiters
+        # Per-output structures that cannot change during a run.
+        policers = [getattr(arbiters[o], "gl_policer", None) for o in range(radix)]
+        arb_cycles_for = [switch.arbitration_cycles_for(o) for o in range(radix)]
+        packet_chaining = self.config.packet_chaining
+        max_chain_length = self.config.max_chain_length
+        collect = self.collect_events
 
         # Saturating sources grouped by input so top-up is O(active inputs).
         saturating: Dict[int, List[FlowSource]] = {}
@@ -278,11 +300,11 @@ class Simulation:
         pending_wakes = {0}
 
         def wake(t: int) -> None:
+            nonlocal heap_pushes
             if t < horizon and t not in pending_wakes:
                 heapq.heappush(wake_heap, t)
                 pending_wakes.add(t)
-                if probe is not None:
-                    probe.count("kernel.heap_pushes")
+                heap_pushes += 1
 
         # Every scheduled source's first arrival must be a wake time.
         for t0, _, _ in arrival_heap:
@@ -306,10 +328,10 @@ class Simulation:
         def drain_overflow(now: int) -> None:
             # Scans are O(flows with backlog): flows whose queue empties are
             # pruned from the dict, so long-drained flows cost nothing here.
+            nonlocal overflow_scans
             if not overflow:
                 return
-            if probe is not None:
-                probe.count("kernel.overflow_flows_scanned", len(overflow))
+            overflow_scans += len(overflow)
             drained = []
             for flow, queue in overflow.items():
                 port = inputs[flow.src]
@@ -325,8 +347,7 @@ class Simulation:
             pending_wakes.discard(now)
             if now >= horizon:
                 continue
-            if probe is not None:
-                probe.count("kernel.wakes")
+            wakes += 1
 
             # 1. Scheduled arrivals up to and including `now`.
             while arrival_heap and arrival_heap[0][0] <= now:
@@ -339,17 +360,18 @@ class Simulation:
                     flow_overflow.append(packet)  # FIFO behind older packets
                 elif not port.try_inject(packet, now):
                     overflow.setdefault(packet.flow, deque()).append(packet)
-                if probe is not None:
-                    probe.count("kernel.arrivals")
+                arrivals += 1
+                if gauge_hook is not None:
                     queued = overflow.get(packet.flow)
                     if queued is not None:
-                        probe.gauge("kernel.overflow_flows", len(overflow))
-                        probe.gauge("kernel.overflow_queue_depth", len(queued))
+                        if len(overflow) > max_overflow_flows:
+                            max_overflow_flows = len(overflow)
+                        if len(queued) > max_overflow_depth:
+                            max_overflow_depth = len(queued)
                 next_time = source.peek_time()
                 if next_time is not None:
                     heapq.heappush(arrival_heap, (next_time, idx, source))
-                    if probe is not None:
-                        probe.count("kernel.heap_pushes")
+                    heap_pushes += 1
                     wake(int(next_time))
 
             # 2. Refill buffers: overflow first (older packets), then
@@ -364,14 +386,17 @@ class Simulation:
                 channel = outputs[o]
                 if not channel.is_idle(now):
                     continue
-                arbiter = switch.arbiters[o]
-                policer = getattr(arbiter, "gl_policer", None)
+                arbiter = arbiters[o]
+                policer = policers[o]
                 allow_gl = policer is None or policer.eligible(now)
                 requests = []
                 gl_denied = False
                 for port in inputs:
                     if port.busy_until > now:
                         continue
+                    queued = port.total_occupancy_flits
+                    if queued == 0:
+                        continue  # empty input: no head, no masked GL
                     head = port.head_for_output(o, allow_gl=allow_gl)
                     if not allow_gl:
                         # A GL head masked by the policer is a throttle
@@ -387,7 +412,7 @@ class Simulation:
                             input_port=port.port,
                             traffic_class=head.traffic_class,
                             packet_flits=head.flits,
-                            queued_flits=port.total_occupancy_flits,
+                            queued_flits=queued,
                             arrival_cycle=(
                                 head.injected_cycle
                                 if head.injected_cycle is not None
@@ -397,18 +422,15 @@ class Simulation:
                     )
                 if gl_denied and policer is not None:
                     policer.note_throttled(now)
-                    if probe is not None:
-                        probe.count("kernel.gl_throttles")
-                        if probe.trace:
-                            probe.event("gl_throttle", now, output=o)
+                    gl_throttles += 1
+                    if event_hook is not None:
+                        event_hook("gl_throttle", now, output=o)
                 if not requests:
                     continue
-                if probe is not None:
-                    probe.count("kernel.arbitrations")
+                arbitrations += 1
                 winner = arbiter.select(requests, now)
                 if winner is None:
-                    if probe is not None:
-                        probe.count("kernel.declines")
+                    declines += 1
                     wake(now + 1)  # non-work-conserving decline: retry
                     continue
                 arbiter.commit(winner, now)
@@ -420,12 +442,12 @@ class Simulation:
                         f"at input {winner.input_port}"
                     )
                 port.pop_packet(packet)
-                arb_cycles = switch.arbitration_cycles_for(o)
-                if self.config.packet_chaining:
+                arb_cycles = arb_cycles_for[o]
+                if packet_chaining:
                     if (
                         chain_last_input[o] == winner.input_port
                         and chain_last_delivered[o] == now
-                        and chain_length[o] < self.config.max_chain_length
+                        and chain_length[o] < max_chain_length
                     ):
                         # Back-to-back repeat winner: the chain request was
                         # raised during the previous tail flit, so no
@@ -433,8 +455,6 @@ class Simulation:
                         arb_cycles = 0
                         chain_length[o] += 1
                         chained_grants += 1
-                        if probe is not None:
-                            probe.count("kernel.chain_grants")
                     else:
                         chain_length[o] = 0
                 delivered = channel.start_transmission(packet, now, arb_cycles)
@@ -443,23 +463,21 @@ class Simulation:
                 port.busy_until = delivered
                 stats.on_delivered(packet)
                 grants += 1
-                if probe is not None:
-                    probe.count("kernel.grants")
-                    if probe.trace:
-                        probe.event(
-                            "grant",
-                            now,
-                            output=o,
-                            input=winner.input_port,
-                            flow=str(packet.flow),
-                            packet_id=packet.packet_id,
-                            flits=packet.flits,
-                            contenders=len(requests),
-                            delivered=delivered,
-                            latency=packet.latency,
-                            waiting=packet.waiting_time,
-                        )
-                if self.collect_events:
+                if event_hook is not None:
+                    event_hook(
+                        "grant",
+                        now,
+                        output=o,
+                        input=winner.input_port,
+                        flow=str(packet.flow),
+                        packet_id=packet.packet_id,
+                        flits=packet.flits,
+                        contenders=len(requests),
+                        delivered=delivered,
+                        latency=packet.latency,
+                        waiting=packet.waiting_time,
+                    )
+                if collect:
                     events.append(
                         GrantEvent(
                             cycle=now,
@@ -486,12 +504,34 @@ class Simulation:
                 drain_overflow(now)
                 top_up_input(winner.input_port, now)
 
+        # Flush locally-accumulated aggregates to the probe once. Counters
+        # that never fired stay absent, matching the old inline behaviour.
+        count_hook = hooks.count
+        if count_hook is not None:
+            for name, total in (
+                ("kernel.wakes", wakes),
+                ("kernel.heap_pushes", heap_pushes),
+                ("kernel.arrivals", arrivals),
+                ("kernel.arbitrations", arbitrations),
+                ("kernel.declines", declines),
+                ("kernel.grants", grants),
+                ("kernel.chain_grants", chained_grants),
+                ("kernel.gl_throttles", gl_throttles),
+                ("kernel.overflow_flows_scanned", overflow_scans),
+            ):
+                if total:
+                    count_hook(name, total)
+        if gauge_hook is not None:
+            if max_overflow_flows:
+                gauge_hook("kernel.overflow_flows", max_overflow_flows)
+            if max_overflow_depth:
+                gauge_hook("kernel.overflow_queue_depth", max_overflow_depth)
+
         stats.finish(horizon)
         gl_throttle_events: Dict[int, int] = {}
         for o in range(radix):
-            policer = getattr(switch.arbiters[o], "gl_policer", None)
-            if policer is not None:
-                gl_throttle_events[o] = policer.throttle_events
+            if policers[o] is not None:
+                gl_throttle_events[o] = policers[o].throttle_events
         return SimulationResult(
             chained_grants=chained_grants,
             config=self.config,

@@ -6,10 +6,17 @@ imported anywhere — it only needs to parse.
 """
 
 import random
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from repro.core import ThermometerCode
+
+
+def direct_fan_out(tasks):
+    """RL009: process pool created outside repro.parallel."""
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(str, tasks))
 
 
 def unseeded_draw():

@@ -12,6 +12,7 @@ import numpy as np
 from repro.config import SwitchConfig
 from repro.core import ThermometerCode
 from repro.errors import ReproError
+from repro.parallel import SweepExecutor, SweepPoint
 
 
 def seeded_draw(seed: int) -> float:
@@ -63,3 +64,12 @@ def in_range_thermometer() -> ThermometerCode:
 def typed_config_consumer(config: SwitchConfig) -> int:
     """Annotated config parameter satisfies RC103."""
     return config.radix
+
+
+def sanctioned_fan_out(fn, seeds: Sequence[int], jobs: int) -> list:
+    """Parallelism through the audited executor satisfies RL009."""
+    points = [
+        SweepPoint.make(i, f"seed:{seed}", seed=seed)
+        for i, seed in enumerate(seeds)
+    ]
+    return SweepExecutor(jobs=jobs).map(fn, points)

@@ -71,6 +71,11 @@ RULE_CASES = [
         "def f(x, sink):\n    sink.write(str(x))\n",
     ),
     (
+        "RL009",
+        "import multiprocessing\np = multiprocessing.Pool()\n",
+        "from repro.parallel import SweepExecutor\nex = SweepExecutor(jobs=2)\n",
+    ),
+    (
         "RC101",
         "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    w.use()\n",
         "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    arb.commit(w, now)\n",
@@ -184,6 +189,22 @@ def test_pure_select_methods_are_exempt_from_rc101():
         "        return self.core.select(reqs, now)\n"
     )
     assert "RC101" not in open_ids(source)
+
+
+def test_fan_out_import_exempts_the_parallel_subsystem():
+    source = "from concurrent.futures import ProcessPoolExecutor\n"
+    assert "RL009" in open_ids(source, path=PLAIN_PATH)
+    assert "RL009" in open_ids(source, path="src/repro/experiments/x.py")
+    assert open_ids(source, path="src/repro/parallel/executor.py") == []
+
+
+def test_fan_out_import_flags_the_concurrent_package_spellings():
+    for source in (
+        "import concurrent.futures\n",
+        "from concurrent import futures\n",
+        "from multiprocessing.pool import ThreadPool\n",
+    ):
+        assert "RL009" in open_ids(source, path=PLAIN_PATH), source
 
 
 def test_rule_registry_is_complete_and_unique():

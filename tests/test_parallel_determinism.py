@@ -1,0 +1,66 @@
+"""Serial == parallel determinism for the sweep experiments.
+
+The executor's contract (docs/PARALLELISM.md): for a fixed point list the
+merged results are identical at any job count. These tests run each
+wired-up experiment serially and with 2 and 4 workers at small horizons
+and compare full result payloads by :func:`repro.parallel.result_hash` —
+the same digest the CI sweep check uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.circuit_verification import run_circuit_verification
+from repro.experiments.fig4_bandwidth import run_fig4
+from repro.experiments.rate_adherence import run_rate_adherence
+from repro.parallel import result_hash
+
+#: A fast subset of Fig. 4's x-axis: below, at, and past saturation.
+_FIG4_RATES = (0.05, 0.2, 1.0)
+
+
+def _fig4_payload(result) -> list:
+    return [
+        (rate, tuple(result.accepted[rate]), result.total_throughput[rate],
+         result.grants[rate])
+        for rate in result.injection_rates
+    ]
+
+
+def _adherence_payload(result) -> list:
+    return [
+        (case.rates, case.packet_flits, case.accepted)
+        for case in result.cases
+    ]
+
+
+def _circuit_payload(result) -> list:
+    return [(r.radix, r.levels, r.trials) for r in result.reports]
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_fig4_sweep_is_job_count_invariant(jobs):
+    serial = run_fig4("ssvc", _FIG4_RATES, horizon=3_000)
+    parallel = run_fig4("ssvc", _FIG4_RATES, horizon=3_000, jobs=jobs)
+    assert result_hash(_fig4_payload(parallel)) == result_hash(
+        _fig4_payload(serial)
+    )
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_rate_adherence_sweep_is_job_count_invariant(jobs):
+    serial = run_rate_adherence(num_cases=4, horizon=5_000)
+    parallel = run_rate_adherence(num_cases=4, horizon=5_000, jobs=jobs)
+    assert result_hash(_adherence_payload(parallel)) == result_hash(
+        _adherence_payload(serial)
+    )
+
+
+def test_circuit_verification_sweep_is_job_count_invariant():
+    serial = run_circuit_verification(fast=True)
+    parallel = run_circuit_verification(fast=True, jobs=2)
+    assert result_hash(_circuit_payload(parallel)) == result_hash(
+        _circuit_payload(serial)
+    )
+    assert parallel.total_trials == serial.total_trials
