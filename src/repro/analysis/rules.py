@@ -356,3 +356,51 @@ class FanOutImportRule(Rule):
             f"direct {name} import bypasses the deterministic sweep "
             "executor; use repro.parallel.SweepExecutor",
         )
+
+
+@register
+class FaultDeepImportRule(Rule):
+    """RL010: fault hooks imported only through the ``repro.faults`` facade.
+
+    The fault subsystem's public surface — :class:`FaultPlan`,
+    :class:`FaultInjector`, ``resolve_injector``, the spec constructors,
+    and the declared contracts — is re-exported from the package root.
+    The submodules behind it (``plan``, ``injector``) are free to move,
+    and the injection hosts validate plans against the facade's
+    invariants (empty plan == no plan, layer-checked kinds). A deep
+    import like ``from repro.faults.injector import FaultInjector``
+    couples kernels to internals and sidesteps that contract, so it is
+    flagged everywhere outside the ``repro.faults`` package itself.
+    """
+
+    id = "RL010"
+    name = "fault-deep-import"
+    severity = Severity.ERROR
+    description = "deep import into repro.faults internals instead of the facade"
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if ctx.module.parts[:2] == ("repro", "faults"):
+            return
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.faults."):
+                    self._flag(node, alias.name, ctx)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level:
+                # Relative deep import: ``from ..faults.plan import X``
+                # parses as level=2, module="faults.plan".
+                parts = module.split(".")
+                if len(parts) >= 2 and parts[0] == "faults":
+                    self._flag(node, "." * node.level + module, ctx)
+            elif module.startswith("repro.faults."):
+                self._flag(node, module, ctx)
+
+    def _flag(self, node: ast.AST, name: str, ctx: ModuleContext) -> None:
+        ctx.report(
+            self,
+            node,
+            f"deep import {name} reaches into repro.faults internals; "
+            "import from the repro.faults package root",
+        )

@@ -141,6 +141,48 @@ def _multiswitch(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseRes
     }
 
 
+def _faulted_hotspot(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+    """Event kernel, Fig. 4 hotspot with an active behavioral fault plan.
+
+    Guards the fault-injection hot paths: the keyed-hash draws and the
+    stall/dead masking run inside the arbitration loop, so a slowdown
+    here that ``fast-hotspot-fig4`` does not show is fault-hook overhead.
+    The ``faults.*`` probe counters double as behavioral pins — a changed
+    drop/dup count means the draw stream (not just speed) changed.
+    """
+    from ..faults import (
+        FaultPlan,
+        crosspoint_dead,
+        input_stall,
+        packet_drop,
+        packet_dup,
+    )
+    from ..obs.probe import CountingProbe
+
+    config = _paper_config()
+    workload = fig4_workload(inject_rate=None)
+    plan = FaultPlan(
+        seed=1,
+        faults=(
+            input_stall(1, start=horizon // 4, duration=horizon // 8),
+            crosspoint_dead(2, 0),
+            packet_drop(0.05, output=0),
+            packet_dup(0.02, output=0),
+        ),
+    )
+    counting = probe if isinstance(probe, CountingProbe) else CountingProbe()
+    result = Simulation(
+        config, workload, seed=1, probe=counting, fault_plan=plan
+    ).run(horizon)
+    counters = counting.counters
+    return result.grants, {
+        "fault_drops": float(counters.get("faults.packet_drops", 0)),
+        "fault_dups": float(counters.get("faults.packet_dups", 0)),
+        "fault_stall_masks": float(counters.get("faults.stall_masked", 0)),
+        "flow0_accepted": result.accepted_rate(FlowId(0, 0, TrafficClass.GB)),
+    }
+
+
 #: Injection rates for the Fig. 4 sweep pair (a fast subset of the figure).
 _SWEEP_RATES = (0.05, 0.08, 0.10, 0.15, 0.20, 0.40, 1.0)
 
@@ -188,6 +230,13 @@ SUITE: Tuple[BenchCase, ...] = (
         horizon=40_000,
         quick_horizon=8_000,
         fn=_fast_gl_policed,
+    ),
+    BenchCase(
+        name="fast-hotspot-faulted",
+        description="event kernel, Fig. 4 hotspot with active fault plan",
+        horizon=60_000,
+        quick_horizon=10_000,
+        fn=_faulted_hotspot,
     ),
     BenchCase(
         name="flit-uniform-gb",

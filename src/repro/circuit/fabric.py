@@ -24,9 +24,53 @@ from typing import Dict, List, Optional, Sequence
 from ..core.lrg import LRGState
 from ..core.thermometer import ThermometerCode
 from ..errors import ArbitrationError, CircuitError
+from ..faults import FaultInjector, FaultKind, FaultPlan, resolve_injector
 from .bitline import Lane
 from .discharge import discharge_decision, gl_discharge_decision
 from .sense_amp import SenseAmpMux
+
+#: Fault kinds the wire-level model can host; behavioral kinds (stalls,
+#: drops, ...) belong to the kernels in :mod:`repro.switch`.
+_CIRCUIT_FAULT_KINDS = (
+    FaultKind.BITLINE_STUCK,
+    FaultKind.BITLINE_LEAK,
+    FaultKind.SENSE_FLAKY,
+)
+
+
+def _checked_circuit_injector(
+    plan: Optional[FaultPlan], radix: int, levels: int
+) -> Optional[FaultInjector]:
+    """Resolve a fault plan against this fabric's geometry, failing fast."""
+    injector = resolve_injector(plan)
+    if injector is None:
+        return None
+    for spec in injector.plan.faults:
+        if spec.kind not in _CIRCUIT_FAULT_KINDS:
+            raise CircuitError(
+                f"{spec.kind.value} is a behavioral fault; inject it into a "
+                f"repro.switch kernel, not the arbitration fabric"
+            )
+        if spec.kind is FaultKind.SENSE_FLAKY:
+            assert spec.input_port is not None
+            if not 0 <= spec.input_port < radix:
+                raise CircuitError(
+                    f"sense-flaky fault targets input {spec.input_port} "
+                    f"outside radix {radix}"
+                )
+        else:
+            assert spec.lane is not None and spec.position is not None
+            if not 0 <= spec.lane <= levels:
+                raise CircuitError(
+                    f"bitline fault targets lane {spec.lane} outside "
+                    f"[0, {levels}] (the GL lane is {levels})"
+                )
+            if not 0 <= spec.position < radix:
+                raise CircuitError(
+                    f"bitline fault targets position {spec.position} "
+                    f"outside radix {radix}"
+                )
+    return injector
 
 
 @dataclass(frozen=True)
@@ -70,15 +114,28 @@ class ArbitrationFabric:
         levels: number of GB thermometer levels (GB lanes).
         lrg: the output's LRG state; its priority rows are replicated into
             every crosspoint, exactly as in hardware.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` of circuit
+            faults (stuck/leaky bitlines, flaky sense amps). Such faults
+            break the one-charged-wire invariant, so their declared
+            contract is ``raise``: arbitration surfaces them as
+            :class:`~repro.errors.ArbitrationError`. Behavioral fault
+            kinds are rejected here.
     """
 
-    def __init__(self, radix: int, levels: int, lrg: Optional[LRGState] = None) -> None:
+    def __init__(
+        self,
+        radix: int,
+        levels: int,
+        lrg: Optional[LRGState] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if radix < 1:
             raise CircuitError(f"radix must be >= 1, got {radix}")
         if levels < 1:
             raise CircuitError(f"levels must be >= 1, got {levels}")
         self.radix = radix
         self.levels = levels
+        self._fault_injector = _checked_circuit_injector(fault_plan, radix, levels)
         self.lrg = lrg if lrg is not None else LRGState(radix)
         self.gb_lanes: List[Lane] = [Lane(i, radix) for i in range(levels)]
         self.gl_lane = Lane(levels, radix)
@@ -94,6 +151,11 @@ class ArbitrationFabric:
         #: cumulative precharge events (every precharged wire must be
         #: recharged after a discharged cycle).
         self.total_arbitrations = 0
+        #: wires pulled down by injected faults (kept out of the energy
+        #: proxies above — a defect's leakage is not request activity).
+        self.fault_forced_discharges = 0
+        #: sense-amp misreads injected so far.
+        self.fault_sense_flips = 0
 
     @property
     def bus_bits_required(self) -> int:
@@ -134,6 +196,22 @@ class ArbitrationFabric:
             lane.precharge()
         self.gl_lane.precharge()
 
+        # 1b. Fault injection: stuck bitlines read discharged every cycle;
+        #     leaky ones lose their precharge on keyed per-arbitration
+        #     draws. The sentinel -1 marks a pull-down no input performed.
+        injector = self._fault_injector
+        arb_index = self.total_arbitrations
+        if injector is not None:
+            forced = injector.stuck_bitlines() + injector.leaky_discharges(arb_index)
+            for lane_index, position in forced:
+                lane = (
+                    self.gl_lane
+                    if lane_index == self.levels
+                    else self.gb_lanes[lane_index]
+                )
+                lane.bitlines[position].discharge(-1)
+                self.fault_forced_discharges += 1
+
         # 2. Discharge.
         discharges = 0
         for request in requests:
@@ -169,6 +247,12 @@ class ArbitrationFabric:
             lane_index, position = divmod(wire, self.radix)
             lane = self.gl_lane if lane_index == self.levels else self.gb_lanes[lane_index]
             charged = lane.sense(position, port)
+            if injector is not None and injector.sense_flip(port, arb_index):
+                # A flaky sense amp inverts this read; the winner check
+                # below then sees zero or multiple charged wires and
+                # raises, per the fault kind's "raise" contract.
+                charged = not charged
+                self.fault_sense_flips += 1
             if charged:
                 winners[port] = request
         if len(winners) != 1:

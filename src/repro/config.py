@@ -89,7 +89,9 @@ class GLPolicerConfig:
             for the GL class as a whole (shared by all inputs).
         burst_window: slack, in cycles, by which the GL usage counter may
             run ahead of real time before policing engages. ``None``
-            disables policing (used by the ablation bench).
+            disables policing (used by the ablation bench) — but only with
+            a positive ``reserved_rate``; at rate 0 there is no reservation
+            to charge, so GL never receives absolute priority.
     """
 
     reserved_rate: float = 0.05

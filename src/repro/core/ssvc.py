@@ -23,11 +23,18 @@ range (:class:`repro.types.CounterMode`):
 This module is deliberately independent of the cycle-level simulator so it
 can be driven directly by unit/property tests and by the wire-level circuit
 model (which consumes :meth:`SSVCCore.thermometer`).
+
+Counter accounting is exact: values are stored as integers in *subtick*
+units (cycles scaled by the largest power-of-two denominator among the
+registered Vticks), so long-horizon accumulation cannot drift the way the
+former float path did (which flipped coarse thermometer levels — see
+``tests/test_vtick_drift.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, Iterable, List, Optional
 
 from ..config import QoSConfig
@@ -42,16 +49,19 @@ from .virtual_clock import compute_vtick
 class _FlowState:
     """Per-(input, output) crosspoint QoS state.
 
-    ``value`` is the auxVC register content in cycles. Its meaning depends
-    on the counter mode: in SUBTRACT mode it is the flow's lead over the
-    real-time window (decays by one quantum per quantum of real time); in
-    HALVE/RESET modes it is an accumulated relative value.
+    ``value_num`` is the auxVC register content in integer *subticks* —
+    cycles scaled by the core's ``_scale`` — so accumulation is exact. Its
+    meaning depends on the counter mode: in SUBTRACT mode it is the flow's
+    lead over the real-time window (decays by one quantum per quantum of
+    real time); in HALVE/RESET modes it is an accumulated relative value.
+    ``vtick_num`` is the flow's Vtick in the same subtick units.
     """
 
     vtick: float
+    vtick_num: int
     reserved_rate: float
     packet_flits: int
-    value: float = 0.0
+    value_num: int = 0
     epoch: int = 0
     transmit_count: int = field(default=0, repr=False)
 
@@ -90,6 +100,14 @@ class SSVCCore:
                 f"LRG state sized for {self.lrg.n} inputs, switch has {num_inputs}"
             )
         self._flows: Dict[int, _FlowState] = {}
+        # Exact accounting: counters are integers in units of 1/_scale
+        # cycles. Every float Vtick has a power-of-two denominator, so the
+        # running maximum of those denominators makes all registered
+        # Vticks exact integers — no float accumulation drift (the float
+        # path flipped coarse levels; see tests/test_vtick_drift.py).
+        self._scale = 1
+        self._quantum_num = qos.quantum
+        self._saturation_num = qos.saturation
         #: statistics exposed for tests and the experiment harness
         self.halve_events = 0
         self.reset_events = 0
@@ -109,10 +127,26 @@ class SSVCCore:
                 f"input_port {input_port} out of range [0, {self.num_inputs})"
             )
         vtick = compute_vtick(reserved_rate, packet_flits)
+        exact = Fraction(vtick)  # exact rational of the float; dyadic
+        if exact.denominator > self._scale:
+            self._rescale(exact.denominator)
         self._flows[input_port] = _FlowState(
-            vtick=vtick, reserved_rate=reserved_rate, packet_flits=packet_flits
+            vtick=vtick,
+            vtick_num=exact.numerator * (self._scale // exact.denominator),
+            reserved_rate=reserved_rate,
+            packet_flits=packet_flits,
         )
         return vtick
+
+    def _rescale(self, new_scale: int) -> None:
+        """Grow the subtick denominator to admit a finer Vtick."""
+        factor = new_scale // self._scale
+        self._scale = new_scale
+        self._quantum_num *= factor
+        self._saturation_num *= factor
+        for flow in self._flows.values():
+            flow.value_num *= factor
+            flow.vtick_num *= factor
 
     def is_registered(self, input_port: int) -> bool:
         """True when the input holds a GB reservation at this output."""
@@ -131,10 +165,8 @@ class SSVCCore:
             return
         epoch = now // self.qos.quantum
         if epoch > flow.epoch:
-            decay = (epoch - flow.epoch) * self.qos.quantum
-            if flow.value > 0 and flow.value - decay <= 0:
-                pass  # floored below; counted as shifts for visibility
-            flow.value = max(flow.value - decay, 0.0)
+            decay = (epoch - flow.epoch) * self._quantum_num
+            flow.value_num = max(flow.value_num - decay, 0)
             self.window_shifts += epoch - flow.epoch
             flow.epoch = epoch
 
@@ -142,12 +174,19 @@ class SSVCCore:
         """Current auxVC register content (relative cycles) for a flow."""
         flow = self._flow(input_port)
         self._sync(flow, now)
-        return flow.value
+        return flow.value_num / self._scale
+
+    def counter_value_exact(self, input_port: int, now: int) -> Fraction:
+        """Exact auxVC register content in cycles (for property tests)."""
+        flow = self._flow(input_port)
+        self._sync(flow, now)
+        return Fraction(flow.value_num, self._scale)
 
     def level(self, input_port: int, now: int) -> int:
         """Coarse priority level of the flow at ``now`` (0 = highest)."""
-        value = self.counter_value(input_port, now)
-        return min(int(value // self.qos.quantum), self.qos.levels - 1)
+        flow = self._flow(input_port)
+        self._sync(flow, now)
+        return min(flow.value_num // self._quantum_num, self.qos.levels - 1)
 
     def thermometer(self, input_port: int, now: int) -> ThermometerCode:
         """Thermometer-code register content for the wire-level model."""
@@ -172,7 +211,7 @@ class SSVCCore:
         # running best level and its ties in candidate order — equivalent
         # to a levels dict + min + filter without building any of them
         # (this runs once per arbitration, the simulator's hottest call).
-        quantum = self.qos.quantum
+        quantum_num = self._quantum_num
         top_level = self.qos.levels - 1
         flows = self._flows
         sync_needed = self.qos.counter_mode is CounterMode.SUBTRACT
@@ -187,7 +226,7 @@ class SSVCCore:
                 ) from None
             if sync_needed:
                 self._sync(flow, now)
-            level = int(flow.value // quantum)
+            level = flow.value_num // quantum_num
             if level > top_level:
                 level = top_level
             if best < 0 or level < best:
@@ -209,34 +248,57 @@ class SSVCCore:
         """
         flow = self._flow(winner)
         self._sync(flow, now)
-        flow.value += flow.vtick
+        flow.value_num += flow.vtick_num
         flow.transmit_count += 1
         self.lrg.grant(winner)
         self._manage_saturation(now)
 
+    # ------------------------------------------------------- fault injection
+
+    def inject_counter_bitflip(self, input_port: int, bit: int, now: int) -> None:
+        """Flip bit ``bit`` of the flow's coarse cycle count (fault model).
+
+        Models a transient upset of the auxVC/thermometer register: the
+        integer-cycle part of the counter has one bit XORed, clamped to the
+        register's saturation range. Used only by
+        :mod:`repro.faults`; never called on the healthy path.
+        """
+        if bit < 0 or bit >= self.qos.counter_bits:
+            raise ConfigError(
+                f"bit {bit} outside the {self.qos.counter_bits}-bit register"
+            )
+        flow = self._flow(input_port)
+        self._sync(flow, now)
+        cycles = flow.value_num // self._scale
+        flow.value_num += ((cycles ^ (1 << bit)) - cycles) * self._scale
+        if flow.value_num > self._saturation_num:
+            flow.value_num = self._saturation_num
+
     # ----------------------------------------------------- counter management
 
     def _manage_saturation(self, now: int) -> None:
-        saturation = float(self.qos.saturation)
+        saturation_num = self._saturation_num
         mode = self.qos.counter_mode
         # The hardware register saturates: it can never hold more than the
         # saturation value, in any mode, so overflow beyond the window is
         # forgotten before the management policy runs.
         saturated = False
         for flow in self._flows.values():
-            if flow.value >= saturation:
-                flow.value = saturation
+            if flow.value_num >= saturation_num:
+                flow.value_num = saturation_num
                 saturated = True
         if mode is CounterMode.SUBTRACT or not saturated:
             # SUBTRACT relies on real-time decay to pull values back down.
             return
         if mode is CounterMode.HALVE:
+            # Hardware right-shift: floors to the subtick grid (error
+            # < 1 subtick, never accumulated — the register stays exact).
             for flow in self._flows.values():
-                flow.value /= 2.0
+                flow.value_num //= 2
             self.halve_events += 1
         elif mode is CounterMode.RESET:
             for flow in self._flows.values():
-                flow.value = 0.0
+                flow.value_num = 0
             self.reset_events += 1
 
     # ---------------------------------------------------------------- helpers

@@ -14,9 +14,14 @@ Virtual Clock" baseline of Fig. 5; the coarse-grained SSVC variant lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Union
 
 from ..errors import ConfigError
+
+#: Times and counter values the clock accepts: simulator cycles (int),
+#: configured float ticks, or exact rationals.
+TimeLike = Union[int, float, Fraction]
 
 
 def compute_vtick(reserved_rate: float, packet_flits: int) -> float:
@@ -47,7 +52,6 @@ def compute_vtick(reserved_rate: float, packet_flits: int) -> float:
     return packet_flits / reserved_rate
 
 
-@dataclass
 class VirtualClockCounter:
     """Fine-grained auxVC counter with the paper's transmit-time update.
 
@@ -59,50 +63,73 @@ class VirtualClockCounter:
        original algorithm — an idle flow may not bank priority)
     2. ``auxVC <- auxVC + Vtick``
 
+    Accounting is exact: the configured float ``vtick`` is converted to a
+    rational once and every update happens in :class:`~fractions.Fraction`
+    arithmetic. Accumulating the float directly drifts over long horizons
+    (e.g. ``8 / 0.3`` summed 300k cycles), which flips coarse thermometer
+    levels against the SSVC path; exact accounting keeps the fine-grained
+    baseline and the quantized SSVC comparison on the same virtual
+    timeline (regression: ``tests/test_vtick_drift.py``).
+
     Attributes:
-        vtick: virtual time advanced per transmitted packet (cycles).
-        value: current auxVC value in absolute cycles.
+        vtick: virtual time advanced per transmitted packet (cycles), as
+            configured.
+        value: current auxVC value in absolute cycles (exact rational).
     """
 
-    vtick: float
-    value: float = 0.0
-    transmit_count: int = field(default=0, repr=False)
+    __slots__ = ("vtick", "_vtick_exact", "_value", "transmit_count")
 
-    def __post_init__(self) -> None:
-        if self.vtick <= 0:
-            raise ConfigError(f"vtick must be positive, got {self.vtick}")
+    def __init__(
+        self, vtick: float, value: TimeLike = 0.0, transmit_count: int = 0
+    ) -> None:
+        if vtick <= 0:
+            raise ConfigError(f"vtick must be positive, got {vtick}")
+        self.vtick = float(vtick)
+        self._vtick_exact = Fraction(vtick)
+        self._value = Fraction(value)
+        self.transmit_count = transmit_count
 
-    def effective(self, now: float) -> float:
+    def __repr__(self) -> str:
+        return (
+            f"VirtualClockCounter(vtick={self.vtick!r}, value={float(self._value)!r})"
+        )
+
+    @property
+    def value(self) -> Fraction:
+        """Current auxVC value in absolute cycles (exact)."""
+        return self._value
+
+    def effective(self, now: TimeLike) -> Fraction:
         """The counter value the arbiter compares at time ``now``.
 
         The anti-burst floor is applied lazily: a flow whose clock fell
         behind real time competes as if its clock read ``now``.
         """
-        return max(self.value, now)
+        return max(self._value, Fraction(now))
 
-    def lead(self, now: float) -> float:
+    def lead(self, now: TimeLike) -> Fraction:
         """How far the flow's virtual time runs ahead of real time (>= 0).
 
         A large lead means the flow has recently consumed more than its
         reserved rate and will be deprioritized accordingly.
         """
-        return max(self.value - now, 0.0)
+        return max(self._value - Fraction(now), Fraction(0))
 
-    def on_transmit(self, now: float) -> float:
+    def on_transmit(self, now: TimeLike) -> Fraction:
         """Apply the transmit-time update and return the new value."""
-        self.value = max(self.value, now) + self.vtick
+        self._value = max(self._value, Fraction(now)) + self._vtick_exact
         self.transmit_count += 1
-        return self.value
+        return self._value
 
-    def stamp_arrival(self, now: float) -> float:
+    def stamp_arrival(self, now: TimeLike) -> Fraction:
         """Stamp a packet per the *original* (arrival-time) algorithm.
 
         Provided for completeness/tests; the switch arbiters use
         :meth:`on_transmit`. Returns the stamp the packet would carry.
         """
-        self.value = max(self.value, now) + self.vtick
-        return self.value
+        self._value = max(self._value, Fraction(now)) + self._vtick_exact
+        return self._value
 
     def reset(self) -> None:
         """Clear the counter (used by the RESET management policy)."""
-        self.value = 0.0
+        self._value = Fraction(0)

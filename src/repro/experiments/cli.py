@@ -13,6 +13,7 @@ Runs any of the paper's experiments and prints its report::
     repro-exp circuit
     repro-exp baselines
     repro-exp composition   # Section 4.4 multi-switch study (extension)
+    repro-exp faults        # QoS resilience under injected faults
     repro-exp all           # everything (slow)
     repro-exp custom --config exp.json   # run a serialized experiment
 """
@@ -27,6 +28,7 @@ from . import (
     baseline_comparison,
     circuit_verification,
     composition,
+    faults_resilience,
     fig4_bandwidth,
     fig5_latency_fairness,
     gl_burst,
@@ -50,12 +52,14 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "circuit": circuit_verification.main,
     "baselines": baseline_comparison.main,
     "composition": composition.main,
+    "faults": faults_resilience.main,
 }
 
 #: Experiments whose ``main`` additionally accepts ``jobs=`` (sweeps that
 #: fan out through repro.parallel); --jobs is a no-op for the others.
 PARALLEL_EXPERIMENTS = frozenset(
-    {"fig4", "rate-adherence", "scalability", "circuit"}
+    {"fig4", "fig5", "rate-adherence", "scalability", "circuit",
+     "composition", "faults"}
 )
 
 

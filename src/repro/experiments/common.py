@@ -7,6 +7,7 @@ from typing import Optional, Union
 
 from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
 from ..errors import ConfigError
+from ..faults import FaultPlan
 from ..obs.probe import Probe
 from ..qos import (
     ArrivalStampedVCArbiter,
@@ -91,6 +92,7 @@ def run_simulation(
     warmup_cycles: Optional[int] = None,
     collect_events: bool = False,
     probe: Optional[Probe] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Build and run one simulation (the single entry point experiments use)."""
     sim = Simulation(
@@ -101,6 +103,7 @@ def run_simulation(
         warmup_cycles=warmup_cycles,
         collect_events=collect_events,
         probe=probe,
+        fault_plan=fault_plan,
     )
     return sim.run(horizon)
 

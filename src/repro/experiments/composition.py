@@ -24,13 +24,14 @@ latency — plus the shared downlink FIFO adds head-of-line blocking across
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
 from ..metrics.report import format_table
 from ..multiswitch.simulator import ComposedFlow, MultiStageSimulation
 from ..multiswitch.storage import composed_storage_overhead
 from ..multiswitch.topology import ClosTopology
+from ..parallel import SweepExecutor, SweepPoint
 from ..traffic.flows import Workload, gb_flow
 from ..types import FlowId, TrafficClass
 from .common import run_simulation
@@ -143,40 +144,81 @@ def _single_switch_workload(
     return workload
 
 
+def _composition_point(point: SweepPoint) -> Tuple[float, float, int]:
+    """Worker: one leg of the study (``single`` or ``composed``).
+
+    Returns ``(victim_rate, victim_mean_latency, hol_blocked_cycles)``;
+    the single-switch reference has no shared downlink FIFO, so its HoL
+    count is always zero.
+    """
+    topology = ClosTopology(
+        groups=point.param("groups"),
+        hosts_per_group=point.param("hosts_per_group"),
+        link_latency=point.param("link_latency"),
+    )
+    horizon: int = point.param("horizon")
+    background_rate: float = point.param("background_rate")
+    if point.param("leg") == "single":
+        config = SwitchConfig(
+            radix=topology.num_hosts,
+            channel_bits=16 * topology.num_hosts,
+            gb_buffer_flits=32,
+            qos=QoSConfig(sig_bits=4, frac_bits=8),
+            gl_policer=GLPolicerConfig(reserved_rate=0.0),
+        )
+        single = run_simulation(
+            config,
+            _single_switch_workload(topology, background_rate),
+            arbiter="ssvc",
+            horizon=horizon,
+            seed=point.seed,
+        )
+        victim_flow = FlowId(*VICTIM, TrafficClass.GB)
+        return (
+            single.accepted_rate(victim_flow),
+            single.stats.flow_stats(victim_flow).latency.mean,
+            0,
+        )
+    composed = MultiStageSimulation(
+        topology,
+        _composed_flows(topology, background_rate),
+        qos=QoSConfig(sig_bits=4, frac_bits=8),
+        seed=point.seed,
+    ).run(horizon)
+    return (
+        composed.accepted_rate(*VICTIM),
+        composed.mean_latency(*VICTIM),
+        composed.hol_blocked_cycles,
+    )
+
+
 def run_composition(
     topology: ClosTopology = DEFAULT_TOPOLOGY,
     horizon: int = 80_000,
     background_rate: float = 0.10,
     seed: int = 3,
+    jobs: int = 1,
 ) -> CompositionResult:
-    """Run the victim/aggressor study on both networks."""
-    # Reference: one switch with radix = host count.
-    config = SwitchConfig(
-        radix=topology.num_hosts,
-        channel_bits=16 * topology.num_hosts,
-        gb_buffer_flits=32,
-        qos=QoSConfig(sig_bits=4, frac_bits=8),
-        gl_policer=GLPolicerConfig(reserved_rate=0.0),
-    )
-    single = run_simulation(
-        config,
-        _single_switch_workload(topology, background_rate),
-        arbiter="ssvc",
-        horizon=horizon,
-        seed=seed,
-    )
-    victim_flow = FlowId(*VICTIM, TrafficClass.GB)
-    single_rate = single.accepted_rate(victim_flow)
-    single_latency = single.stats.flow_stats(victim_flow).latency.mean
+    """Run the victim/aggressor study on both networks.
 
-    composed = MultiStageSimulation(
-        topology,
-        _composed_flows(topology, background_rate),
-        qos=QoSConfig(sig_bits=4, frac_bits=8),
-        seed=seed,
-    ).run(horizon)
-    composed_rate = composed.accepted_rate(*VICTIM)
-    composed_latency = composed.mean_latency(*VICTIM)
+    The two legs are independent simulations, so they dispatch through
+    :class:`~repro.parallel.SweepExecutor` (``jobs=2`` overlaps them;
+    results are bit-identical at any job count).
+    """
+    shared = dict(
+        groups=topology.groups,
+        hosts_per_group=topology.hosts_per_group,
+        link_latency=topology.link_latency,
+        horizon=horizon,
+        background_rate=background_rate,
+    )
+    points = [
+        SweepPoint.make(0, "composition:single", seed=seed, leg="single", **shared),
+        SweepPoint.make(1, "composition:composed", seed=seed, leg="composed", **shared),
+    ]
+    results = SweepExecutor(jobs=jobs).map(_composition_point, points)
+    single_rate, single_latency, _ = results[0].value
+    composed_rate, composed_latency, hol_blocked = results[1].value
 
     storage = composed_storage_overhead(topology)
     return CompositionResult(
@@ -184,12 +226,12 @@ def run_composition(
         composed_rate=composed_rate,
         single_latency=single_latency,
         composed_latency=composed_latency,
-        hol_blocked_cycles=composed.hol_blocked_cycles,
+        hol_blocked_cycles=hol_blocked,
         isolation_premium=storage.isolation_premium,
     )
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, jobs: int = 1) -> str:
     """CLI entry."""
     horizon = 25_000 if fast else 80_000
-    return run_composition(horizon=horizon).format()
+    return run_composition(horizon=horizon, jobs=jobs).format()

@@ -23,7 +23,9 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import SimulationError
 from ..metrics.report import format_table
+from ..parallel import SweepExecutor, SweepPoint
 from ..traffic.flows import Workload, gb_flow
 from ..traffic.generators import BernoulliInjection, BurstyInjection
 from ..types import FlowId, TrafficClass
@@ -114,6 +116,51 @@ def build_fig5_workload(
     return workload
 
 
+def _fig5_point(point: SweepPoint) -> Tuple[List[float], List[float]]:
+    """One Fig. 5 scheme run (module-level so worker processes can pickle).
+
+    Returns ``(mean latencies, accepted ratios)`` per allocation.
+
+    Raises:
+        SimulationError: if any flow delivered zero packets inside the
+            measurement window — its mean latency is undefined, and
+            silently plotting 0.0 cycles (the former behavior) reads as a
+            perfect result instead of a broken run.
+    """
+    allocations: Tuple[float, ...] = point.param("allocations")
+    config = gb_only_config(
+        radix=8, channel_bits=128, sig_bits=point.param("sig_bits")
+    )
+    workload = build_fig5_workload(
+        allocations,
+        point.param("packet_flits"),
+        point.param("load_fraction"),
+        point.param("bursty"),
+    )
+    sim_result = run_simulation(
+        config,
+        workload,
+        arbiter=point.param("scheme"),
+        horizon=point.param("horizon"),
+        seed=point.seed,
+    )
+    latencies, ratios = [], []
+    for src in range(len(allocations)):
+        flow = FlowId(src, 0, TrafficClass.GB)
+        stats = sim_result.stats.flow_stats(flow)
+        if stats.delivered_packets == 0:
+            raise SimulationError(
+                f"fig5 flow {flow} delivered no packets in "
+                f"{point.param('horizon')} cycles ({point.label}); "
+                f"mean latency undefined — lengthen the horizon"
+            )
+        latencies.append(stats.latency.mean)
+        offered = stats.offered_rate(sim_result.stats.measured_cycles)
+        accepted = stats.accepted_rate(sim_result.stats.measured_cycles)
+        ratios.append(accepted / offered if offered > 0 else 1.0)
+    return latencies, ratios
+
+
 def run_fig5(
     allocations: Sequence[float] = DEFAULT_ALLOCATIONS,
     schemes: Sequence[str] = FIG5_SCHEMES,
@@ -123,6 +170,7 @@ def run_fig5(
     bursty: bool = False,
     sig_bits: int = 4,
     seed: int = 23,
+    jobs: int = 1,
 ) -> Fig5Result:
     """Run the Fig. 5 comparison.
 
@@ -139,34 +187,38 @@ def run_fig5(
         bursty: use on/off bursts (Section 4.3's bursty regime).
         sig_bits: SSVC quantization (4 in the paper's runs).
         seed: RNG seed (same across schemes so offered traffic matches).
+        jobs: worker processes for the per-scheme fan-out (results are
+            identical at any value; see docs/PARALLELISM.md).
     """
-    config = gb_only_config(radix=8, channel_bits=128, sig_bits=sig_bits)
     result = Fig5Result(allocations=tuple(allocations), bursty=bursty)
-    for scheme in schemes:
-        workload = build_fig5_workload(
-            allocations, packet_flits, load_fraction, bursty
+    points = [
+        SweepPoint.make(
+            i,
+            f"fig5:{scheme}{':bursty' if bursty else ''}",
+            seed=seed,  # shared across schemes so offered traffic matches
+            scheme=scheme,
+            allocations=tuple(allocations),
+            horizon=horizon,
+            packet_flits=packet_flits,
+            load_fraction=load_fraction,
+            bursty=bursty,
+            sig_bits=sig_bits,
         )
-        sim_result = run_simulation(
-            config, workload, arbiter=scheme, horizon=horizon, seed=seed
-        )
-        latencies, ratios = [], []
-        for src in range(len(allocations)):
-            flow = FlowId(src, 0, TrafficClass.GB)
-            stats = sim_result.stats.flow_stats(flow)
-            latencies.append(stats.latency.mean)
-            offered = stats.offered_rate(sim_result.stats.measured_cycles)
-            accepted = stats.accepted_rate(sim_result.stats.measured_cycles)
-            ratios.append(accepted / offered if offered > 0 else 1.0)
+        for i, scheme in enumerate(schemes)
+    ]
+    for point_result in SweepExecutor(jobs=jobs).map(_fig5_point, points):
+        latencies, ratios = point_result.value
+        scheme = point_result.point.param("scheme")
         result.mean_latency[scheme] = latencies
         result.accepted_ratio[scheme] = ratios
     return result
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, jobs: int = 1) -> str:
     """CLI entry: steady and bursty panels."""
     horizon = 60_000 if fast else 300_000
-    steady = run_fig5(horizon=horizon, bursty=False)
-    burst = run_fig5(horizon=horizon, bursty=True)
+    steady = run_fig5(horizon=horizon, bursty=False, jobs=jobs)
+    burst = run_fig5(horizon=horizon, bursty=True, jobs=jobs)
     return "\n\n".join(
         [steady.format(), steady.chart(), burst.format(), burst.chart()]
     )

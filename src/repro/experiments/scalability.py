@@ -19,6 +19,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import SimulationError
 from ..hw.lanes import lane_feasibility_table
 from ..metrics.report import format_table
 from ..parallel import SweepExecutor, SweepPoint
@@ -103,10 +104,16 @@ def _sig_bits_point(point: SweepPoint) -> Tuple[float, float]:
     light = run_simulation(
         config, loaded, arbiter="ssvc", horizon=horizon, seed=point.seed
     )
-    latencies = [
-        light.mean_latency(FlowId(src, 0, TrafficClass.GB))
-        for src in range(num_inputs)
-    ]
+    latencies = []
+    for src in range(num_inputs):
+        flow = FlowId(src, 0, TrafficClass.GB)
+        if light.stats.flow_stats(flow).delivered_packets == 0:
+            raise SimulationError(
+                f"sig-bits sweep flow {flow} delivered no packets in "
+                f"{horizon} cycles; latency spread undefined — lengthen "
+                f"the horizon"
+            )
+        latencies.append(light.mean_latency(flow))
     return max(shortfalls), float(np.std(np.asarray(latencies)))
 
 

@@ -1,0 +1,55 @@
+"""Deterministic fault injection for QoS resilience studies.
+
+Public surface of the fault subsystem (import from here — ``repro-lint``
+rule RL010 flags deep imports of the submodules):
+
+- :class:`FaultPlan` / :class:`FaultSpec` / :class:`FaultKind` — seeded,
+  picklable descriptions of *what* to inject.
+- :class:`DegradationContract` / :data:`CONTRACTS` / :data:`GUARANTEES` —
+  the declared blast radius of each fault kind.
+- :class:`FaultInjector` / :func:`resolve_injector` — the deterministic
+  *when/whether* decisions consumed by the kernels.
+- Spec constructors: :func:`input_stall`, :func:`crosspoint_dead`,
+  :func:`counter_bitflip`, :func:`packet_drop`, :func:`packet_dup`,
+  :func:`bitline_stuck`, :func:`bitline_leak`, :func:`sense_flaky`.
+
+See ``docs/FAULTS.md`` for the fault models and the guarantee-survival
+matrix measured by ``repro-exp faults``.
+"""
+
+from .injector import FaultInjector, resolve_injector
+from .plan import (
+    CONTRACTS,
+    GUARANTEES,
+    DegradationContract,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    bitline_leak,
+    bitline_stuck,
+    counter_bitflip,
+    crosspoint_dead,
+    input_stall,
+    packet_drop,
+    packet_dup,
+    sense_flaky,
+)
+
+__all__ = [
+    "CONTRACTS",
+    "GUARANTEES",
+    "DegradationContract",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "bitline_leak",
+    "bitline_stuck",
+    "counter_bitflip",
+    "crosspoint_dead",
+    "input_stall",
+    "packet_drop",
+    "packet_dup",
+    "resolve_injector",
+    "sense_flaky",
+]

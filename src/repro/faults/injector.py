@@ -1,0 +1,186 @@
+"""FaultInjector — the *when/whether* of fault injection (deterministic).
+
+Probabilistic faults are decided by **stateless keyed hashing**, not by a
+consumed RNG stream: each decision hashes ``(plan seed, spec index,
+decision key)`` into a uniform draw in ``[0, 1)``. Decisions therefore
+depend only on their key — never on how many decisions were made before,
+in which order, or in which worker process — which is what makes the same
+:class:`~repro.faults.plan.FaultPlan` bit-identical across the event and
+flit kernels and at any ``--jobs`` fan-out (the event kernel evaluates far
+fewer cycles than the flit kernel, so a shared stream would desynchronize
+them immediately).
+
+The injector is built per run by :func:`resolve_injector`; an absent or
+empty plan resolves to ``None`` so the kernels' hot paths keep a single
+``is not None`` guard (mirroring ``repro.obs.resolve_hooks``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+_HASH_DENOMINATOR = float(2**64)
+
+
+class FaultInjector:
+    """Per-run fault decisions for one plan (stateless, shareable).
+
+    All query methods are pure functions of ``(plan, arguments)``; the
+    injector holds no mutable state, so the host kernel may consult it in
+    any order without affecting outcomes.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._seed = plan.seed
+        # Indexed views, built once. Spec indices key the hash draws, so a
+        # spec's decisions are independent of its siblings.
+        self._stalls: Dict[int, List[FaultSpec]] = {}
+        self._dead: FrozenSet[Tuple[int, int]] = frozenset()
+        self._flips: Dict[int, List[FaultSpec]] = {}
+        self._drops: List[Tuple[int, FaultSpec]] = []
+        self._dups: List[Tuple[int, FaultSpec]] = []
+        self._stuck: List[Tuple[int, int]] = []
+        self._leaks: List[Tuple[int, FaultSpec]] = []
+        self._flaky_sense: Dict[int, List[Tuple[int, FaultSpec]]] = {}
+        dead: List[Tuple[int, int]] = []
+        for index, spec in enumerate(plan.faults):
+            kind = spec.kind
+            if kind is FaultKind.INPUT_STALL:
+                assert spec.input_port is not None
+                self._stalls.setdefault(spec.input_port, []).append(spec)
+            elif kind is FaultKind.CROSSPOINT_DEAD:
+                assert spec.input_port is not None and spec.output is not None
+                dead.append((spec.input_port, spec.output))
+            elif kind is FaultKind.COUNTER_BITFLIP:
+                assert spec.at_cycle is not None
+                self._flips.setdefault(spec.at_cycle, []).append(spec)
+            elif kind is FaultKind.PACKET_DROP:
+                self._drops.append((index, spec))
+            elif kind is FaultKind.PACKET_DUP:
+                self._dups.append((index, spec))
+            elif kind is FaultKind.BITLINE_STUCK:
+                assert spec.lane is not None and spec.position is not None
+                self._stuck.append((spec.lane, spec.position))
+            elif kind is FaultKind.BITLINE_LEAK:
+                self._leaks.append((index, spec))
+            elif kind is FaultKind.SENSE_FLAKY:
+                assert spec.input_port is not None
+                self._flaky_sense.setdefault(spec.input_port, []).append(
+                    (index, spec)
+                )
+        self._dead = frozenset(dead)
+        self.has_stalls = bool(self._stalls)
+        self.has_dead = bool(self._dead)
+        self.has_flips = bool(self._flips)
+        self.has_drops = bool(self._drops)
+        self.has_dups = bool(self._dups)
+        self.has_circuit_faults = bool(
+            self._stuck or self._leaks or self._flaky_sense
+        )
+
+    # ------------------------------------------------------------ hash draws
+
+    def _draw(self, spec_index: int, *key: int) -> float:
+        """Uniform draw in [0, 1) keyed by (seed, spec, decision key)."""
+        payload = "%d:%d:%s" % (
+            self._seed,
+            spec_index,
+            ":".join(str(k) for k in key),
+        )
+        digest = hashlib.blake2b(payload.encode("ascii"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / _HASH_DENOMINATOR
+
+    # ------------------------------------------------------ behavioral hooks
+
+    def stalled(self, input_port: int, now: int) -> bool:
+        """Is the input port stalled (cannot compete) at cycle ``now``?"""
+        specs = self._stalls.get(input_port)
+        if not specs:
+            return False
+        return any(spec.active(now) for spec in specs)
+
+    def wake_cycles(self) -> Tuple[int, ...]:
+        """Cycles an event-driven kernel must wake at: stall boundaries
+        (so stalled work resumes exactly when the flit kernel would resume
+        it) and bit-flip firing cycles (so flips apply at their exact
+        cycle). Sorted, deduplicated."""
+        cycles = set()
+        for specs in self._stalls.values():
+            for spec in specs:
+                cycles.add(spec.start)
+                if spec.end is not None:
+                    cycles.add(spec.end)
+        cycles.update(self._flips)
+        return tuple(sorted(cycles))
+
+    def crosspoint_dead(self, input_port: int, output: int) -> bool:
+        """Can the (input, output) crosspoint never raise a request?"""
+        return (input_port, output) in self._dead
+
+    def counter_flips_at(self, now: int) -> Tuple[FaultSpec, ...]:
+        """Bit-flip specs that fire exactly at cycle ``now``."""
+        specs = self._flips.get(now)
+        return tuple(specs) if specs else ()
+
+    def drop_delivery(self, output: int, packet_id: int, now: int) -> bool:
+        """Should this packet's delivery be lost? Keyed by packet id."""
+        for index, spec in self._drops:
+            if spec.output is not None and spec.output != output:
+                continue
+            if not spec.active(now):
+                continue
+            if self._draw(index, packet_id) < spec.probability:
+                return True
+        return False
+
+    def duplicate_delivery(self, output: int, packet_id: int, now: int) -> bool:
+        """Should this packet's delivery be accounted twice?"""
+        for index, spec in self._dups:
+            if spec.output is not None and spec.output != output:
+                continue
+            if not spec.active(now):
+                continue
+            if self._draw(index, packet_id) < spec.probability:
+                return True
+        return False
+
+    # --------------------------------------------------------- circuit hooks
+
+    def stuck_bitlines(self) -> Tuple[Tuple[int, int], ...]:
+        """(lane, position) pairs that always read discharged."""
+        return tuple(self._stuck)
+
+    def leaky_discharges(self, arbitration_index: int) -> Tuple[Tuple[int, int], ...]:
+        """(lane, position) pairs that leak during this arbitration."""
+        leaked: List[Tuple[int, int]] = []
+        for index, spec in self._leaks:
+            assert spec.lane is not None and spec.position is not None
+            if self._draw(index, arbitration_index) < spec.probability:
+                leaked.append((spec.lane, spec.position))
+        return tuple(leaked)
+
+    def sense_flip(self, input_port: int, arbitration_index: int) -> bool:
+        """Does this input's sense amp misread during this arbitration?"""
+        specs = self._flaky_sense.get(input_port)
+        if not specs:
+            return False
+        return any(
+            self._draw(index, arbitration_index) < spec.probability
+            for index, spec in specs
+        )
+
+
+def resolve_injector(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+    """Build an injector, or ``None`` for an absent/empty plan.
+
+    The ``None`` fast path guarantees that ``fault_plan=None`` and an
+    empty ``FaultPlan()`` take exactly the same kernel code path —
+    bit-identical results, near-zero overhead.
+    """
+    if plan is None or not plan:
+        return None
+    return FaultInjector(plan)

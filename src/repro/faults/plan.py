@@ -1,0 +1,276 @@
+"""Seeded, picklable fault plans (the *what* of fault injection).
+
+A :class:`FaultPlan` is a frozen value object: a seed plus a tuple of
+:class:`FaultSpec` entries, each describing one paper-grounded fault model
+(stuck/leaky bitline discharge, dead crosspoint, flaky sense-amp read,
+auxVC counter bit-flip, dropped/duplicated packet delivery, transient
+input-port stall). Plans carry no run state, so they pickle cleanly into
+:mod:`repro.parallel` worker processes and hash/compare by value.
+
+Every fault kind declares a :class:`DegradationContract` — whether its
+injection surfaces as a loud ``raise`` (circuit-level faults break the
+fabric's exactly-one-winner invariant and raise
+:class:`~repro.errors.ArbitrationError`) or as graceful ``degrade``
+behavior, and which QoS guarantees of the paper it may void. The
+resilience experiment (``repro-exp faults``) measures those contracts; the
+matrix lives in ``docs/FAULTS.md``.
+
+The *when/whether* decisions live in
+:class:`repro.faults.injector.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: QoS guarantees a fault may void (see docs/FAULTS.md).
+GUARANTEES: Tuple[str, ...] = ("reserved_rate", "gl_bound", "policer_containment")
+
+
+class FaultKind(enum.Enum):
+    """The supported fault models (paper-grounded; see docs/FAULTS.md)."""
+
+    #: A bitline permanently reads discharged (manufacturing defect).
+    BITLINE_STUCK = "bitline-stuck"
+    #: A bitline leaks charge with some probability per arbitration.
+    BITLINE_LEAK = "bitline-leak"
+    #: An input's sense amp misreads its wire with some probability.
+    SENSE_FLAKY = "sense-flaky"
+    #: A crosspoint cannot raise requests: the (input, output) pair is dead.
+    CROSSPOINT_DEAD = "crosspoint-dead"
+    #: One bit of an auxVC/thermometer counter flips at a given cycle.
+    COUNTER_BITFLIP = "counter-bitflip"
+    #: A delivered packet's payload is lost (delivery not accounted).
+    PACKET_DROP = "packet-drop"
+    #: A delivered packet is accounted twice (duplicate delivery).
+    PACKET_DUP = "packet-dup"
+    #: An input port cannot compete for outputs during a cycle window.
+    INPUT_STALL = "input-stall"
+
+
+@dataclass(frozen=True)
+class DegradationContract:
+    """How a fault kind is allowed to surface.
+
+    Attributes:
+        mode: ``"raise"`` — the fault trips an invariant loudly
+            (:class:`~repro.errors.ArbitrationError` /
+            :class:`~repro.errors.CircuitError`); ``"degrade"`` — the
+            simulation completes with degraded service.
+        voids: which :data:`GUARANTEES` the fault may void while active.
+    """
+
+    mode: str
+    voids: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "degrade"):
+            raise ConfigError(f"contract mode must be raise|degrade, got {self.mode}")
+        for name in self.voids:
+            if name not in GUARANTEES:
+                raise ConfigError(f"unknown guarantee {name!r} (know {GUARANTEES})")
+
+
+#: Declared degradation contract per fault kind.
+CONTRACTS: Mapping[FaultKind, DegradationContract] = {
+    FaultKind.BITLINE_STUCK: DegradationContract("raise", ()),
+    FaultKind.BITLINE_LEAK: DegradationContract("raise", ()),
+    FaultKind.SENSE_FLAKY: DegradationContract("raise", ()),
+    FaultKind.CROSSPOINT_DEAD: DegradationContract("degrade", ("reserved_rate",)),
+    FaultKind.COUNTER_BITFLIP: DegradationContract("degrade", ("reserved_rate",)),
+    FaultKind.PACKET_DROP: DegradationContract("degrade", ("reserved_rate", "gl_bound")),
+    FaultKind.PACKET_DUP: DegradationContract("degrade", ("reserved_rate",)),
+    FaultKind.INPUT_STALL: DegradationContract("degrade", ("reserved_rate", "gl_bound")),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault instance: a kind plus its targeting/timing parameters.
+
+    Field meaning depends on ``kind`` (validated on construction); prefer
+    the module-level constructors (:func:`input_stall`,
+    :func:`crosspoint_dead`, ...) over building specs by hand.
+
+    Attributes:
+        kind: the fault model.
+        input_port: target input port / host index (kind-dependent).
+        output: target output port / destination group (kind-dependent);
+            ``None`` means "any output" for packet drop/dup.
+        lane: target arbitration lane (bitline faults).
+        position: target bitline position within the lane (bitline faults).
+        bit: which counter bit to flip (``COUNTER_BITFLIP``).
+        probability: per-decision Bernoulli probability in (0, 1].
+        start: first cycle (inclusive) the fault is armed.
+        end: first cycle (exclusive) the fault is disarmed; ``None`` means
+            armed forever.
+        at_cycle: exact firing cycle (``COUNTER_BITFLIP``).
+    """
+
+    kind: FaultKind
+    input_port: Optional[int] = None
+    output: Optional[int] = None
+    lane: Optional[int] = None
+    position: Optional[int] = None
+    bit: int = 0
+    probability: float = 1.0
+    start: int = 0
+    end: Optional[int] = None
+    at_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+        if self.start < 0:
+            raise ConfigError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ConfigError(f"end {self.end} must exceed start {self.start}")
+        kind = self.kind
+        if kind in (FaultKind.INPUT_STALL, FaultKind.SENSE_FLAKY):
+            self._require_fields(input_port=self.input_port)
+        elif kind in (FaultKind.CROSSPOINT_DEAD, FaultKind.COUNTER_BITFLIP):
+            self._require_fields(input_port=self.input_port, output=self.output)
+            if kind is FaultKind.COUNTER_BITFLIP:
+                self._require_fields(at_cycle=self.at_cycle)
+                if self.bit < 0:
+                    raise ConfigError(f"bit must be >= 0, got {self.bit}")
+        elif kind in (FaultKind.BITLINE_STUCK, FaultKind.BITLINE_LEAK):
+            self._require_fields(lane=self.lane, position=self.position)
+        # PACKET_DROP / PACKET_DUP need no mandatory target (output filters).
+
+    def _require_fields(self, **fields_: Optional[int]) -> None:
+        for name, value in fields_.items():
+            if value is None:
+                raise ConfigError(f"{self.kind.value} fault requires {name}")
+
+    def active(self, now: int) -> bool:
+        """Is the fault armed at cycle ``now``?"""
+        return now >= self.start and (self.end is None or now < self.end)
+
+    @property
+    def contract(self) -> DegradationContract:
+        """The kind's declared degradation contract."""
+        return CONTRACTS[self.kind]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault specs (frozen, picklable).
+
+    The seed feeds the injector's keyed-hash draws, so the same plan gives
+    bit-identical decisions in any kernel, at any ``--jobs`` count, in any
+    evaluation order. An empty plan is falsy and injects nothing — runs
+    with ``fault_plan=None`` and ``fault_plan=FaultPlan()`` are
+    bit-identical (hash-verified in ``tests/test_faults_determinism.py``).
+    """
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def with_fault(self, spec: FaultSpec) -> "FaultPlan":
+        """A new plan with ``spec`` appended (plans are immutable)."""
+        return replace(self, faults=self.faults + (spec,))
+
+
+# ------------------------------------------------------------- constructors
+
+
+def input_stall(
+    input_port: int, start: int, duration: int
+) -> FaultSpec:
+    """A transient input-port stall over ``[start, start + duration)``."""
+    if duration <= 0:
+        raise ConfigError(f"duration must be positive, got {duration}")
+    return FaultSpec(
+        kind=FaultKind.INPUT_STALL,
+        input_port=input_port,
+        start=start,
+        end=start + duration,
+    )
+
+
+def crosspoint_dead(input_port: int, output: int) -> FaultSpec:
+    """A dead crosspoint: ``input_port`` can never request ``output``."""
+    return FaultSpec(
+        kind=FaultKind.CROSSPOINT_DEAD, input_port=input_port, output=output
+    )
+
+
+def counter_bitflip(
+    input_port: int, output: int, bit: int, at_cycle: int
+) -> FaultSpec:
+    """Flip counter bit ``bit`` of crosspoint ``(input, output)`` once."""
+    return FaultSpec(
+        kind=FaultKind.COUNTER_BITFLIP,
+        input_port=input_port,
+        output=output,
+        bit=bit,
+        at_cycle=at_cycle,
+    )
+
+
+def packet_drop(
+    probability: float,
+    output: Optional[int] = None,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> FaultSpec:
+    """Drop delivered packets with ``probability`` (optional output filter)."""
+    return FaultSpec(
+        kind=FaultKind.PACKET_DROP,
+        output=output,
+        probability=probability,
+        start=start,
+        end=end,
+    )
+
+
+def packet_dup(
+    probability: float,
+    output: Optional[int] = None,
+    start: int = 0,
+    end: Optional[int] = None,
+) -> FaultSpec:
+    """Account delivered packets twice with ``probability``."""
+    return FaultSpec(
+        kind=FaultKind.PACKET_DUP,
+        output=output,
+        probability=probability,
+        start=start,
+        end=end,
+    )
+
+
+def bitline_stuck(lane: int, position: int) -> FaultSpec:
+    """A bitline that always reads discharged."""
+    return FaultSpec(kind=FaultKind.BITLINE_STUCK, lane=lane, position=position)
+
+
+def bitline_leak(lane: int, position: int, probability: float) -> FaultSpec:
+    """A bitline that leaks its precharge with ``probability``."""
+    return FaultSpec(
+        kind=FaultKind.BITLINE_LEAK,
+        lane=lane,
+        position=position,
+        probability=probability,
+    )
+
+
+def sense_flaky(input_port: int, probability: float) -> FaultSpec:
+    """A sense amp that misreads its selected wire with ``probability``."""
+    return FaultSpec(
+        kind=FaultKind.SENSE_FLAKY, input_port=input_port, probability=probability
+    )

@@ -32,12 +32,47 @@ import numpy as np
 
 from ..config import QoSConfig
 from ..core.ssvc import SSVCCore
-from ..errors import SimulationError, TrafficError
+from ..errors import ConfigError, SimulationError, TrafficError
+from ..faults import FaultInjector, FaultKind, FaultPlan, resolve_injector
 from ..metrics.counters import StatsCollector
 from ..obs.probe import Probe, resolve_hooks
 from ..switch.flit import Packet, fresh_packet_ids
 from ..types import FlowId, TrafficClass
 from .topology import ClosTopology
+
+
+def _checked_multistage_injector(
+    plan: Optional[FaultPlan], topology: ClosTopology
+) -> Optional[FaultInjector]:
+    """Resolve a fault plan against the composed network's address space.
+
+    Behavioral fault targets read differently here: ``input_port`` is a
+    *global host* index, ``output`` a *destination group* — a dead
+    crosspoint kills one (host, uplink) ingress pair, a counter bit-flip
+    hits the matching ingress aggregate, and the drop/dup output filter
+    selects the group-to-group link. Circuit kinds are rejected as in the
+    single-switch kernels.
+    """
+    injector = resolve_injector(plan)
+    if injector is None:
+        return None
+    if injector.has_circuit_faults:
+        raise ConfigError(
+            "bitline/sense faults model the arbitration circuit; inject them "
+            "into repro.circuit.ArbitrationFabric, not the composed network"
+        )
+    for spec in injector.plan.faults:
+        if spec.input_port is not None and not 0 <= spec.input_port < topology.num_hosts:
+            raise ConfigError(
+                f"{spec.kind.value} fault targets host {spec.input_port} "
+                f"outside the {topology.num_hosts}-host network"
+            )
+        if spec.output is not None and not 0 <= spec.output < topology.groups:
+            raise ConfigError(
+                f"{spec.kind.value} fault targets group {spec.output} "
+                f"outside the {topology.groups}-group network"
+            )
+    return injector
 
 
 @dataclass(frozen=True)
@@ -161,6 +196,11 @@ class MultiStageSimulation:
         seed: RNG seed for scheduled sources.
         probe: optional :class:`~repro.obs.probe.Probe` fed per-stage
             counters (``multiswitch.*`` namespace).
+        fault_plan: optional :class:`~repro.faults.FaultPlan`; behavioral
+            fault targets are re-addressed for the composition — see
+            :func:`_checked_multistage_injector`. Packet drops model a
+            corrupted group-to-group link transfer (the packet vanishes in
+            flight and its reserved egress buffer space is released).
     """
 
     def __init__(
@@ -172,6 +212,7 @@ class MultiStageSimulation:
         downlink_capacity_flits: int = 32,
         seed: int = 0,
         probe: Optional[Probe] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not flows:
             raise TrafficError("at least one flow is required")
@@ -190,6 +231,7 @@ class MultiStageSimulation:
         self.downlink_capacity = downlink_capacity_flits
         self.seed = seed
         self.probe = probe
+        self.fault_plan = fault_plan
         self._build_qos_state()
 
     # ----------------------------------------------------------------- setup
@@ -319,6 +361,20 @@ class MultiStageSimulation:
         ingress_arbitrations = 0
         egress_arbitrations = 0
 
+        # Fault injection (same hoisting pattern as the single-switch
+        # kernels; decisions are keyed-hash draws, so order-independent).
+        injector = _checked_multistage_injector(self.fault_plan, topo)
+        faults_stall = injector is not None and injector.has_stalls
+        faults_dead = injector is not None and injector.has_dead
+        faults_flips = injector is not None and injector.has_flips
+        faults_drop = injector is not None and injector.has_drops
+        faults_dup = injector is not None and injector.has_dups
+        fault_stall_masks = 0
+        fault_dead_masks = 0
+        fault_flips_applied = 0
+        fault_drops = 0
+        fault_dups = 0
+
         wake_heap: List[int] = [0]
         pending = {0}
 
@@ -331,6 +387,11 @@ class MultiStageSimulation:
 
         for t0, _ in arrival_heap:
             wake(t0)
+        if injector is not None:
+            # Stall boundaries and bit-flip cycles must be wake times, as
+            # in the event kernel.
+            for t in injector.wake_cycles():
+                wake(t)
 
         packet_ids = fresh_packet_ids()  # per-run ids: replayable traces
 
@@ -400,10 +461,50 @@ class MultiStageSimulation:
             # 2. Link deliveries reaching egress FIFOs.
             while link_heap and link_heap[0][0] <= now:
                 _, _, packet, gd, gs = heapq.heappop(link_heap)
+                if faults_drop and injector.drop_delivery(
+                    gd, packet.packet_id, now
+                ):
+                    # Corrupted link transfer: the packet vanishes in
+                    # flight, so the egress buffer space reserved for it
+                    # is released (the credit frees an ingress grant).
+                    downlinks[gd][gs].occupancy -= packet.flits
+                    fault_drops += 1
+                    wake(now + 1)
+                    if event_hook is not None:
+                        event_hook(
+                            "fault",
+                            now,
+                            kind="packet-drop",
+                            group=gd,
+                            source_group=gs,
+                            packet_id=packet.packet_id,
+                        )
+                    continue
                 downlinks[gd][gs].deliver(packet)
 
             # 3. Admit waiting and saturating traffic into the VOQs.
             refill(now)
+
+            # 3b. Counter bit-flips hit the ingress aggregate's auxVC
+            #     counter before any arbitration this cycle.
+            if faults_flips:
+                for spec in injector.counter_flips_at(now):
+                    assert spec.input_port is not None and spec.output is not None
+                    self.ingress_cores[topo.group_of(spec.input_port)][
+                        spec.output
+                    ].inject_counter_bitflip(
+                        topo.local_index(spec.input_port), spec.bit, now
+                    )
+                    fault_flips_applied += 1
+                    if event_hook is not None:
+                        event_hook(
+                            "fault",
+                            now,
+                            kind="counter-bitflip",
+                            host=spec.input_port,
+                            uplink=spec.output,
+                            bit=spec.bit,
+                        )
 
             # 4. Ingress arbitration: per (group, uplink).
             for gs in range(topo.groups):
@@ -416,6 +517,16 @@ class MultiStageSimulation:
                     for local in range(topo.hosts_per_group):
                         port = host_ports[gs][local]
                         if port.busy_until > now or not port.voqs[gd]:
+                            continue
+                        host = gs * topo.hosts_per_group + local
+                        if faults_stall and injector.stalled(host, now):
+                            # A stalled host raises no ingress requests.
+                            fault_stall_masks += 1
+                            continue
+                        if faults_dead and injector.crosspoint_dead(host, gd):
+                            # Dead (host, uplink) ingress crosspoint: the
+                            # VOQ head blocks until the fault clears.
+                            fault_dead_masks += 1
                             continue
                         head = port.voqs[gd][0]
                         if not core.is_registered(local):
@@ -486,6 +597,20 @@ class MultiStageSimulation:
                     packet.grant_cycle = now
                     packet.delivered_cycle = delivered
                     stats.on_delivered(packet)
+                    if faults_dup and injector.duplicate_delivery(
+                        gd, packet.packet_id, now
+                    ):
+                        stats.on_delivered(packet)
+                        fault_dups += 1
+                        if event_hook is not None:
+                            event_hook(
+                                "fault",
+                                now,
+                                kind="packet-dup",
+                                group=gd,
+                                output=out,
+                                packet_id=packet.packet_id,
+                            )
                     wake(delivered)
                     grants_egress += 1
                     if event_hook is not None:
@@ -517,6 +642,18 @@ class MultiStageSimulation:
             ):
                 if total:
                     count_hook(name, total)
+            if injector is not None:
+                # faults.* counters exist only under an active plan, so
+                # empty-plan runs flush exactly what unfaulted runs do.
+                for name, total in (
+                    ("faults.stall_masked", fault_stall_masks),
+                    ("faults.dead_crosspoint_masked", fault_dead_masks),
+                    ("faults.counter_bitflips", fault_flips_applied),
+                    ("faults.packet_drops", fault_drops),
+                    ("faults.packet_dups", fault_dups),
+                ):
+                    if total:
+                        count_hook(name, total)
 
         stats.finish(horizon)
         return MultiStageResult(

@@ -49,8 +49,9 @@ class RunReport:
         counters: probe counters (empty when no probe was attached).
         maxima: probe high-water gauges.
         timings: probe wall-clock timers (harness-side only).
-        gl_throttle_events: per-output count of arbitration decisions where
-            GL priority was withheld from a pending GL request.
+        gl_throttle_events: per-output count of (cycle, input) denial
+            decisions where GL priority was withheld from a pending GL
+            request.
         output_utilization: delivered flits/cycle per output.
         config: the switch configuration (serialized).
         flows: per-flow statistics (serialized).

@@ -29,10 +29,12 @@ class GLPolicer:
     """Shared GL usage clock for one output channel.
 
     Args:
-        config: reservation fraction and burst window. A ``burst_window``
-            of ``None`` disables policing (GL is always eligible); a
-            ``reserved_rate`` of 0 with policing enabled means GL traffic
-            is never granted absolute priority.
+        config: reservation fraction and burst window. A ``reserved_rate``
+            of 0 means GL traffic is never granted absolute priority,
+            regardless of the burst window — there is no reservation to
+            charge a transmission against. With a positive rate, a
+            ``burst_window`` of ``None`` disables policing (GL is always
+            eligible).
 
     :meth:`eligible` is pure so arbiters may consult it during selection;
     throttling statistics are recorded explicitly via :meth:`note_throttled`.
@@ -41,9 +43,11 @@ class GLPolicer:
     def __init__(self, config: GLPolicerConfig) -> None:
         self.config = config
         self._clock = 0.0
-        #: number of arbitration decisions where GL priority was withheld
+        #: number of (cycle, input) denial decisions where GL priority was
+        #: withheld from a pending request
         self.throttle_events = 0
-        self._last_throttle_cycle: Optional[int] = None
+        self._throttle_cycle: Optional[int] = None
+        self._throttled_inputs: set = set()
 
     @property
     def usage_clock(self) -> float:
@@ -55,27 +59,41 @@ class GLPolicer:
         return max(self._clock - now, 0.0)
 
     def eligible(self, now: int) -> bool:
-        """May GL traffic claim absolute priority at cycle ``now``? (pure)"""
-        if self.config.burst_window is None:
-            return True
+        """May GL traffic claim absolute priority at cycle ``now``? (pure)
+
+        The zero-rate check takes precedence over the disabled burst
+        window: with no reservation there is nothing to charge
+        :meth:`on_transmit` against, so GL must never win the GL plane
+        (it is demoted to best-effort instead).
+        """
         if self.config.reserved_rate <= 0.0:
             return False
+        if self.config.burst_window is None:
+            return True
         return self.lead(now) <= self.config.burst_window
 
-    def note_throttled(self, now: Optional[int] = None) -> None:
+    def note_throttled(
+        self, now: Optional[int] = None, input_port: Optional[int] = None
+    ) -> None:
         """Record that a pending GL request was denied absolute priority.
 
-        One output arbitrates at most once per cycle, so passing ``now``
-        deduplicates: the kernel (which sees GL heads it filtered out
-        before building requests) and :meth:`ThreeClassArbiter.select`
-        (which sees demoted GL requests that rode along) can both report
-        the same decision without double counting. Calling without ``now``
-        always counts (unit-test convenience).
+        One output denies a given input at most once per cycle, so passing
+        ``now`` deduplicates on ``(now, input_port)``: the kernel (which
+        sees GL heads it filtered out before building requests) and
+        :meth:`ThreeClassArbiter.select` (which sees demoted GL requests
+        that rode along) can both report the same denial without double
+        counting, while two *distinct* GL inputs denied in the same cycle
+        count as two events. Calling without ``now`` always counts
+        (unit-test convenience); ``input_port=None`` with ``now`` set is a
+        single anonymous denial per cycle.
         """
         if now is not None:
-            if self._last_throttle_cycle is not None and now == self._last_throttle_cycle:
+            if now != self._throttle_cycle:
+                self._throttle_cycle = now
+                self._throttled_inputs.clear()
+            if input_port in self._throttled_inputs:
                 return
-            self._last_throttle_cycle = now
+            self._throttled_inputs.add(input_port)
         self.throttle_events += 1
 
     def on_transmit(self, packet_flits: int, now: int) -> None:

@@ -58,3 +58,9 @@ class SSVCArbiter(OutputArbiter):
 
     def commit(self, winner: Request, now: int) -> None:
         self.core.commit(winner.input_port, now)
+
+    # ----------------------------------------------------------- fault hooks
+
+    def inject_counter_bitflip(self, input_port: int, bit: int, now: int) -> None:
+        """Fault hook: flip one bit of this input's auxVC counter."""
+        self.core.inject_counter_bitflip(input_port, bit, now)

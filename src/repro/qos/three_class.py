@@ -88,8 +88,8 @@ class ThreeClassArbiter(OutputArbiter):
         if gl_requests and self.gl_policer.eligible(now):
             winner_port = self.lrg.arbitrate(r.input_port for r in gl_requests)
             return next(r for r in gl_requests if r.input_port == winner_port)
-        if gl_requests:
-            self.gl_policer.note_throttled(now)
+        for demoted in gl_requests:
+            self.gl_policer.note_throttled(now, demoted.input_port)
 
         gb_requests = groups[TrafficClass.GB]
         if gb_requests:
@@ -102,10 +102,24 @@ class ThreeClassArbiter(OutputArbiter):
         winner_port = self.lrg.arbitrate(r.input_port for r in be_requests)
         return next(r for r in be_requests if r.input_port == winner_port)
 
+    # ----------------------------------------------------------- fault hooks
+
+    def inject_counter_bitflip(self, input_port: int, bit: int, now: int) -> None:
+        """Fault hook: flip a GB-plane auxVC counter bit (delegated)."""
+        inject = getattr(self.gb_arbiter, "inject_counter_bitflip", None)
+        if inject is None:
+            raise ArbitrationError(
+                f"GB arbiter {self.gb_arbiter.name!r} has no auxVC counter to flip"
+            )
+        inject(input_port, bit, now)
+
     def commit(self, winner: Request, now: int) -> None:
         if winner.traffic_class is TrafficClass.GL:
             self.lrg.grant(winner.input_port)
-            if self.gl_policer.eligible(now) and self.gl_policer.config.reserved_rate > 0:
+            # eligible() is False whenever reserved_rate is zero, so this
+            # never charges a nonexistent reservation (demoted GL wins
+            # arrive here via the BE plane with eligible() False).
+            if self.gl_policer.eligible(now):
                 self.gl_policer.on_transmit(winner.packet_flits, now)
             return
         if winner.traffic_class is TrafficClass.GB:

@@ -17,6 +17,7 @@ intra-packet buffer occupancy. It is 10-50x slower and supports scheduled
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
@@ -34,6 +35,7 @@ from ..switch.flit import Packet, fresh_packet_ids
 from ..types import TrafficClass
 
 if False:  # TYPE_CHECKING — runtime import would be circular
+    from ..faults import FaultPlan
     from ..traffic.flows import Workload
 
 
@@ -171,6 +173,9 @@ class FlitLevelSimulation:
         collect_events: record grant events for differential tests.
         probe: optional :class:`~repro.obs.probe.Probe`, as for
             ``Simulation`` (counter names are shared between kernels).
+        fault_plan: optional :class:`~repro.faults.FaultPlan`, as for
+            ``Simulation``; the same plan produces the same fault decisions
+            in both kernels (keyed-hash draws, not a consumed RNG stream).
     """
 
     def __init__(
@@ -182,6 +187,7 @@ class FlitLevelSimulation:
         warmup_cycles: Optional[int] = None,
         collect_events: bool = False,
         probe: Optional[Probe] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         if config.packet_chaining:
             raise SimulationError("the flit-level engine does not model chaining")
@@ -198,32 +204,48 @@ class FlitLevelSimulation:
         self._warmup_override = warmup_cycles
         self.collect_events = collect_events
         self.probe = probe
+        self.fault_plan = fault_plan
 
     def _arrivals(self, horizon: int) -> Dict[int, List[Packet]]:
         from ..traffic.generators import FlowSource
 
         seeds = np.random.SeedSequence(self.seed).spawn(len(self.workload.flows))
         packet_ids = fresh_packet_ids()  # per-run ids: replayable traces
-        by_cycle: Dict[int, List[Packet]] = {}
+        sources = []
         for spec, child in zip(self.workload, seeds):
             if spec.process is None:
                 continue
-            source = FlowSource(
-                flow=spec.flow,
-                process=spec.process,
-                packet_length=spec.packet_length,
-                horizon=horizon,
-                rng=np.random.default_rng(child),
-                id_source=packet_ids,
+            sources.append(
+                FlowSource(
+                    flow=spec.flow,
+                    process=spec.process,
+                    packet_length=spec.packet_length,
+                    horizon=horizon,
+                    rng=np.random.default_rng(child),
+                    id_source=packet_ids,
+                )
             )
-            while source.peek_time() is not None:
-                packet = source.pop_scheduled()
-                by_cycle.setdefault(packet.created_cycle, []).append(packet)
+        # Pop sources in (time, source index) order — the fast kernel's
+        # arrival-heap order — so both kernels assign the same packet id to
+        # the same packet (ids key fault draws and trace diffs).
+        heap: List = []
+        for idx, source in enumerate(sources):
+            t0 = source.peek_time()
+            if t0 is not None:
+                heapq.heappush(heap, (t0, idx, source))
+        by_cycle: Dict[int, List[Packet]] = {}
+        while heap:
+            _, idx, source = heapq.heappop(heap)
+            packet = source.pop_scheduled()
+            by_cycle.setdefault(packet.created_cycle, []).append(packet)
+            next_time = source.peek_time()
+            if next_time is not None:
+                heapq.heappush(heap, (next_time, idx, source))
         return by_cycle
 
     def run(self, horizon: int):
         """Simulate ``horizon`` cycles; returns a ``SimulationResult``."""
-        from .simulator import SimulationResult
+        from .simulator import SimulationResult, _checked_injector
 
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
@@ -264,6 +286,20 @@ class FlitLevelSimulation:
         arb_cycles_for = [self.switch.arbitration_cycles_for(o) for o in range(radix)]
         collect = self.collect_events
 
+        # Fault injection: identical hoisting and decision keys as the fast
+        # kernel, so one plan produces one outcome in either engine.
+        injector = _checked_injector(self.fault_plan, radix, arbiters)
+        faults_stall = injector is not None and injector.has_stalls
+        faults_dead = injector is not None and injector.has_dead
+        faults_flips = injector is not None and injector.has_flips
+        faults_drop = injector is not None and injector.has_drops
+        faults_dup = injector is not None and injector.has_dups
+        fault_stall_masks = 0
+        fault_dead_masks = 0
+        fault_flips_applied = 0
+        fault_drops = 0
+        fault_dups = 0
+
         for now in range(horizon):
             # 1. Flits cross the crossbar and free their buffer slots.
             if active_count:
@@ -297,6 +333,23 @@ class FlitLevelSimulation:
                     elif not port.try_inject(head, now):
                         still_blocked.append(head)
                 port.source = still_blocked
+            # 3b. Counter bit-flips fire before any arbitration this cycle
+            #     (same intra-cycle position as the fast kernel).
+            if faults_flips:
+                for spec in injector.counter_flips_at(now):
+                    arbiters[spec.output].inject_counter_bitflip(
+                        spec.input_port, spec.bit, now
+                    )
+                    fault_flips_applied += 1
+                    if event_hook is not None:
+                        event_hook(
+                            "fault",
+                            now,
+                            kind="counter-bitflip",
+                            output=spec.output,
+                            input=spec.input_port,
+                            bit=spec.bit,
+                        )
             # 4. Arbitration, rotating start to match the fast kernel.
             for k in range(radix):
                 o = (now + k) % radix
@@ -306,13 +359,25 @@ class FlitLevelSimulation:
                 policer = policers[o]
                 allow_gl = policer is None or policer.eligible(now)
                 requests = []
-                gl_denied = False
+                gl_denied_inputs = []
                 for port in inputs:
                     if port.busy_until > now:
                         continue
                     queued = port._total_occupancy
                     if queued == 0:
                         continue  # empty input: no head, no masked GL
+                    if faults_stall and injector.stalled(port.port, now):
+                        # A stalled input raises nothing this cycle: no
+                        # request and no policer-throttle decision either.
+                        if port.head_for_output(o, allow_gl=True) is not None:
+                            fault_stall_masks += 1
+                        continue
+                    if faults_dead and injector.crosspoint_dead(port.port, o):
+                        # A dead crosspoint cannot raise its request line;
+                        # packets to this output block at the head (HOL).
+                        if port.head_for_output(o, allow_gl=True) is not None:
+                            fault_dead_masks += 1
+                        continue
                     head = port.head_for_output(o, allow_gl=allow_gl)
                     if not allow_gl:
                         # Mirror the fast kernel: a policer-masked GL head
@@ -320,7 +385,7 @@ class FlitLevelSimulation:
                         # requests in its place.
                         gl_head = port.gl.head()
                         if gl_head is not None and gl_head.dst == o:
-                            gl_denied = True
+                            gl_denied_inputs.append(port.port)
                     if head is None:
                         continue
                     requests.append(
@@ -336,11 +401,13 @@ class FlitLevelSimulation:
                             ),
                         )
                     )
-                if gl_denied and policer is not None:
-                    policer.note_throttled(now)
-                    gl_throttles += 1
-                    if event_hook is not None:
-                        event_hook("gl_throttle", now, output=o)
+                if gl_denied_inputs and policer is not None:
+                    # Per-(cycle, input) accounting, matching the fast kernel.
+                    for denied_input in gl_denied_inputs:
+                        policer.note_throttled(now, denied_input)
+                        gl_throttles += 1
+                        if event_hook is not None:
+                            event_hook("gl_throttle", now, output=o, input=denied_input)
                 if not requests:
                     continue
                 arbitrations += 1
@@ -367,7 +434,38 @@ class FlitLevelSimulation:
                     last_flit_cycle=delivered,
                 )
                 active_count += 1
-                stats.on_delivered(packet)
+                dropped = faults_drop and injector.drop_delivery(
+                    o, packet.packet_id, now
+                )
+                if dropped:
+                    # The channel still carried the flits; only the
+                    # delivery accounting is lost.
+                    fault_drops += 1
+                    if event_hook is not None:
+                        event_hook(
+                            "fault",
+                            now,
+                            kind="packet-drop",
+                            output=o,
+                            input=winner.input_port,
+                            packet_id=packet.packet_id,
+                        )
+                else:
+                    stats.on_delivered(packet)
+                    if faults_dup and injector.duplicate_delivery(
+                        o, packet.packet_id, now
+                    ):
+                        stats.on_delivered(packet)
+                        fault_dups += 1
+                        if event_hook is not None:
+                            event_hook(
+                                "fault",
+                                now,
+                                kind="packet-dup",
+                                output=o,
+                                input=winner.input_port,
+                                packet_id=packet.packet_id,
+                            )
                 grants += 1
                 out_flits[o] += packet.flits
                 if event_hook is not None:
@@ -409,6 +507,18 @@ class FlitLevelSimulation:
             ):
                 if total:
                     count_hook(name, total)
+            if injector is not None:
+                # faults.* counters exist only under an active plan, so
+                # empty-plan runs flush exactly what unfaulted runs do.
+                for name, total in (
+                    ("faults.stall_masked", fault_stall_masks),
+                    ("faults.dead_crosspoint_masked", fault_dead_masks),
+                    ("faults.counter_bitflips", fault_flips_applied),
+                    ("faults.packet_drops", fault_drops),
+                    ("faults.packet_dups", fault_dups),
+                ):
+                    if total:
+                        count_hook(name, total)
 
         stats.finish(horizon)
         gl_throttle_events: Dict[int, int] = {}

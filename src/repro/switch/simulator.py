@@ -22,13 +22,14 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import SwitchConfig
 from ..core.arbitration import Request
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError
+from ..faults import FaultInjector, FaultKind, FaultPlan, resolve_injector
 from ..metrics.counters import StatsCollector
 from ..obs.probe import Probe, resolve_hooks
 from ..types import FlowId, TrafficClass
@@ -57,9 +58,11 @@ class SimulationResult:
         chained_grants: grants that skipped the arbitration bubble via
             packet chaining (0 unless ``config.packet_chaining``).
         events: grant/delivery trace when event collection was enabled.
-        gl_throttle_events: per-output count of arbitration decisions where
-            the GL policer withheld absolute priority from a pending GL
-            head (empty for arbiters without a ``gl_policer``).
+        gl_throttle_events: per-output count of (cycle, input) denial
+            decisions where the GL policer withheld absolute priority from
+            a pending GL head (empty for arbiters without a
+            ``gl_policer``). Two distinct GL inputs denied in the same
+            cycle count as two events.
         kernel: which engine produced this result (``event``/``flit``).
     """
 
@@ -138,6 +141,45 @@ def _validate_packet_sizes(workload: "Workload", config: SwitchConfig) -> None:
             )
 
 
+def _checked_injector(
+    plan: Optional[FaultPlan], radix: int, arbiters: Sequence[object]
+) -> Optional[FaultInjector]:
+    """Resolve a fault plan, failing fast on faults this kernel cannot host.
+
+    Behavioral kernels model arbitration outcomes, not bitlines, so
+    circuit-level fault kinds must be injected into
+    :class:`repro.circuit.fabric.ArbitrationFabric` instead; and a counter
+    bit-flip needs an arbiter that actually owns an auxVC counter.
+    """
+    injector = resolve_injector(plan)
+    if injector is None:
+        return None
+    if injector.has_circuit_faults:
+        raise ConfigError(
+            "bitline/sense faults model the arbitration circuit; inject them "
+            "into repro.circuit.ArbitrationFabric, not a behavioral kernel"
+        )
+    for spec in injector.plan.faults:
+        if spec.input_port is not None and not 0 <= spec.input_port < radix:
+            raise ConfigError(
+                f"{spec.kind.value} fault targets input {spec.input_port} "
+                f"outside radix {radix}"
+            )
+        if spec.output is not None and not 0 <= spec.output < radix:
+            raise ConfigError(
+                f"{spec.kind.value} fault targets output {spec.output} "
+                f"outside radix {radix}"
+            )
+        if spec.kind is FaultKind.COUNTER_BITFLIP and not hasattr(
+            arbiters[spec.output], "inject_counter_bitflip"
+        ):
+            raise ConfigError(
+                f"arbiter {getattr(arbiters[spec.output], 'name', '?')!r} at "
+                f"output {spec.output} has no auxVC counter to flip"
+            )
+    return injector
+
+
 class Simulation:
     """Couples a switch, a workload, and a statistics collector.
 
@@ -158,6 +200,12 @@ class Simulation:
             hits, GL throttles, overflow scans) and, when its ``trace``
             flag is set, structured grant events. ``None`` (the default)
             keeps the hot path free of instrumentation work.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` of behavioral
+            faults (input stalls, dead crosspoints, counter bit-flips,
+            packet drops/dups) injected deterministically during the run.
+            ``None`` or an empty plan leaves the kernel bit-identical to an
+            unfaulted run; circuit-level fault kinds are rejected here (see
+            :func:`_checked_injector`).
     """
 
     def __init__(
@@ -170,6 +218,7 @@ class Simulation:
         collect_events: bool = False,
         window_cycles: int = 1024,
         probe: Optional[Probe] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         workload.validate(config.radix, config.gl_policer.reserved_rate)
         _validate_packet_sizes(workload, config)
@@ -181,6 +230,7 @@ class Simulation:
         self.collect_events = collect_events
         self.window_cycles = window_cycles
         self.probe = probe
+        self.fault_plan = fault_plan
         self._programmed = False
 
     # ----------------------------------------------------------------- setup
@@ -275,6 +325,20 @@ class Simulation:
         max_chain_length = self.config.max_chain_length
         collect = self.collect_events
 
+        # Fault injection: resolved once; per-kind flags keep the unfaulted
+        # hot path to a handful of false boolean checks.
+        injector = _checked_injector(self.fault_plan, radix, arbiters)
+        faults_stall = injector is not None and injector.has_stalls
+        faults_dead = injector is not None and injector.has_dead
+        faults_flips = injector is not None and injector.has_flips
+        faults_drop = injector is not None and injector.has_drops
+        faults_dup = injector is not None and injector.has_dups
+        fault_stall_masks = 0
+        fault_dead_masks = 0
+        fault_flips_applied = 0
+        fault_drops = 0
+        fault_dups = 0
+
         # Saturating sources grouped by input so top-up is O(active inputs).
         saturating: Dict[int, List[FlowSource]] = {}
         # Scheduled arrivals as a heap of (next_time, tiebreak, source).
@@ -309,6 +373,13 @@ class Simulation:
         # Every scheduled source's first arrival must be a wake time.
         for t0, _, _ in arrival_heap:
             wake(int(t0))
+
+        if injector is not None:
+            # Stall boundaries and bit-flip cycles must be wake times so
+            # this sparse kernel re-evaluates exactly when the per-cycle
+            # flit kernel would (kernel parity under an active plan).
+            for t in injector.wake_cycles():
+                wake(t)
 
         def top_up_input(port_index: int, now: int) -> None:
             for source in saturating.get(port_index, ()):  # keep buffers full
@@ -380,6 +451,24 @@ class Simulation:
             for port_index in saturating:
                 top_up_input(port_index, now)
 
+            # 2b. Counter bit-flips fire before any arbitration this cycle,
+            #     mirroring the flit kernel's per-cycle ordering.
+            if faults_flips:
+                for spec in injector.counter_flips_at(now):
+                    arbiters[spec.output].inject_counter_bitflip(
+                        spec.input_port, spec.bit, now
+                    )
+                    fault_flips_applied += 1
+                    if event_hook is not None:
+                        event_hook(
+                            "fault",
+                            now,
+                            kind="counter-bitflip",
+                            output=spec.output,
+                            input=spec.input_port,
+                            bit=spec.bit,
+                        )
+
             # 3. Arbitrate idle outputs, rotating the start to avoid bias.
             for k in range(radix):
                 o = (now + k) % radix
@@ -390,13 +479,25 @@ class Simulation:
                 policer = policers[o]
                 allow_gl = policer is None or policer.eligible(now)
                 requests = []
-                gl_denied = False
+                gl_denied_inputs = []
                 for port in inputs:
                     if port.busy_until > now:
                         continue
                     queued = port.total_occupancy_flits
                     if queued == 0:
                         continue  # empty input: no head, no masked GL
+                    if faults_stall and injector.stalled(port.port, now):
+                        # A stalled input raises nothing this cycle: no
+                        # request and no policer-throttle decision either.
+                        if port.head_for_output(o, allow_gl=True) is not None:
+                            fault_stall_masks += 1
+                        continue
+                    if faults_dead and injector.crosspoint_dead(port.port, o):
+                        # A dead crosspoint cannot raise its request line;
+                        # packets to this output block at the head (HOL).
+                        if port.head_for_output(o, allow_gl=True) is not None:
+                            fault_dead_masks += 1
+                        continue
                     head = port.head_for_output(o, allow_gl=allow_gl)
                     if not allow_gl:
                         # A GL head masked by the policer is a throttle
@@ -404,7 +505,7 @@ class Simulation:
                         # (the GB/BE head in front of it requests instead).
                         gl_head = port.gl_queue.head()
                         if gl_head is not None and gl_head.dst == o:
-                            gl_denied = True
+                            gl_denied_inputs.append(port.port)
                     if head is None:
                         continue
                     requests.append(
@@ -420,11 +521,15 @@ class Simulation:
                             ),
                         )
                     )
-                if gl_denied and policer is not None:
-                    policer.note_throttled(now)
-                    gl_throttles += 1
-                    if event_hook is not None:
-                        event_hook("gl_throttle", now, output=o)
+                if gl_denied_inputs and policer is not None:
+                    # One throttle event per denied (cycle, input) pair; the
+                    # arbiter's own note_throttled for demoted GL requests
+                    # folds into these via the policer's per-cycle dedupe.
+                    for denied_input in gl_denied_inputs:
+                        policer.note_throttled(now, denied_input)
+                        gl_throttles += 1
+                        if event_hook is not None:
+                            event_hook("gl_throttle", now, output=o, input=denied_input)
                 if not requests:
                     continue
                 arbitrations += 1
@@ -461,7 +566,38 @@ class Simulation:
                 chain_last_input[o] = winner.input_port
                 chain_last_delivered[o] = delivered
                 port.busy_until = delivered
-                stats.on_delivered(packet)
+                dropped = faults_drop and injector.drop_delivery(
+                    o, packet.packet_id, now
+                )
+                if dropped:
+                    # The channel still carried the flits; only the
+                    # delivery accounting is lost.
+                    fault_drops += 1
+                    if event_hook is not None:
+                        event_hook(
+                            "fault",
+                            now,
+                            kind="packet-drop",
+                            output=o,
+                            input=winner.input_port,
+                            packet_id=packet.packet_id,
+                        )
+                else:
+                    stats.on_delivered(packet)
+                    if faults_dup and injector.duplicate_delivery(
+                        o, packet.packet_id, now
+                    ):
+                        stats.on_delivered(packet)
+                        fault_dups += 1
+                        if event_hook is not None:
+                            event_hook(
+                                "fault",
+                                now,
+                                kind="packet-dup",
+                                output=o,
+                                input=winner.input_port,
+                                packet_id=packet.packet_id,
+                            )
                 grants += 1
                 if event_hook is not None:
                     event_hook(
@@ -489,15 +625,16 @@ class Simulation:
                             contenders=len(requests),
                         )
                     )
-                    events.append(
-                        PacketDelivered(
-                            cycle=delivered,
-                            flow=packet.flow,
-                            packet_id=packet.packet_id,
-                            latency=packet.latency,
-                            waiting_time=packet.waiting_time,
+                    if not dropped:
+                        events.append(
+                            PacketDelivered(
+                                cycle=delivered,
+                                flow=packet.flow,
+                                packet_id=packet.packet_id,
+                                latency=packet.latency,
+                                waiting_time=packet.waiting_time,
+                            )
                         )
-                    )
                 wake(delivered)
                 # Freed buffer space: admit waiting/saturating packets now
                 # so their injection timestamps are exact.
@@ -521,6 +658,18 @@ class Simulation:
             ):
                 if total:
                     count_hook(name, total)
+            if injector is not None:
+                # faults.* counters exist only under an active plan, so
+                # empty-plan runs flush exactly what unfaulted runs do.
+                for name, total in (
+                    ("faults.stall_masked", fault_stall_masks),
+                    ("faults.dead_crosspoint_masked", fault_dead_masks),
+                    ("faults.counter_bitflips", fault_flips_applied),
+                    ("faults.packet_drops", fault_drops),
+                    ("faults.packet_dups", fault_dups),
+                ):
+                    if total:
+                        count_hook(name, total)
         if gauge_hook is not None:
             if max_overflow_flows:
                 gauge_hook("kernel.overflow_flows", max_overflow_flows)

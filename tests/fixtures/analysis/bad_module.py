@@ -11,12 +11,18 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from repro.core import ThermometerCode
+from repro.faults.injector import FaultInjector
 
 
 def direct_fan_out(tasks):
     """RL009: process pool created outside repro.parallel."""
     with ProcessPoolExecutor() as pool:
         return list(pool.map(str, tasks))
+
+
+def deep_fault_import(plan):
+    """RL010: FaultInjector reached past the repro.faults facade."""
+    return FaultInjector(plan)
 
 
 def unseeded_draw():

@@ -12,6 +12,7 @@ import numpy as np
 from repro.config import SwitchConfig
 from repro.core import ThermometerCode
 from repro.errors import ReproError
+from repro.faults import FaultPlan, resolve_injector
 from repro.parallel import SweepExecutor, SweepPoint
 
 
@@ -73,3 +74,8 @@ def sanctioned_fan_out(fn, seeds: Sequence[int], jobs: int) -> list:
         for i, seed in enumerate(seeds)
     ]
     return SweepExecutor(jobs=jobs).map(fn, points)
+
+
+def sanctioned_fault_resolution(plan: Optional[FaultPlan]):
+    """Fault hooks through the package facade satisfy RL010."""
+    return resolve_injector(plan)

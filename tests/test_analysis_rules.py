@@ -207,6 +207,31 @@ def test_fan_out_import_flags_the_concurrent_package_spellings():
         assert "RL009" in open_ids(source, path=PLAIN_PATH), source
 
 
+def test_fault_deep_import_flags_every_spelling():
+    for source in (
+        "from repro.faults.injector import FaultInjector\n",
+        "from repro.faults.plan import FaultPlan\n",
+        "import repro.faults.injector\n",
+        "from ..faults.injector import FaultInjector\n",
+    ):
+        assert "RL010" in open_ids(source, path=GUARDED_PATH), source
+
+
+def test_fault_facade_import_is_sanctioned():
+    for source in (
+        "from repro.faults import FaultPlan, resolve_injector\n",
+        "from ..faults import FaultInjector\n",
+        "import repro.faults\n",
+    ):
+        assert "RL010" not in open_ids(source, path=GUARDED_PATH), source
+
+
+def test_fault_deep_import_exempts_the_faults_package():
+    source = "from repro.faults.plan import FaultSpec\n"
+    assert "RL010" in open_ids(source, path=PLAIN_PATH)
+    assert open_ids(source, path="src/repro/faults/injector.py") == []
+
+
 def test_rule_registry_is_complete_and_unique():
     rules = all_rules()
     ids = [r.id for r in rules]

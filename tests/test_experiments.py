@@ -84,6 +84,16 @@ class TestFig5:
         assert spread["ssvc-halve"] < spread["virtual-clock"]
         assert spread["ssvc-reset"] < spread["virtual-clock"]
 
+    def test_zero_delivery_flow_raises_instead_of_plotting_zero(self):
+        """Regression: a horizon too short for the 2% flows to deliver a
+        single packet used to report mean latency 0.0 and accepted ratio
+        1.0 — a broken run disguised as a perfect one. It must raise a
+        typed SimulationError naming the flow instead."""
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="delivered no packets"):
+            run_fig5(horizon=300, seed=5, schemes=("ssvc-subtract",))
+
     def test_all_schemes_deliver_offered_load(self, result):
         """Section 4.3: rates within ~2% of reservations (offered == rate).
 

@@ -19,6 +19,7 @@ class TestCLI:
             "circuit",
             "baselines",
             "composition",
+            "faults",
         }
 
     def test_table1_via_cli(self, capsys):

@@ -1,0 +1,165 @@
+"""Fault-injection determinism: the contracts the subsystem is built on.
+
+1. An *empty* plan is bit-identical to no plan at all (the unfaulted fast
+   path stays untouched).
+2. The same seed + plan replays bit-identically; a different plan seed
+   moves the keyed-hash draws.
+3. The resilience sweep is bit-identical at any ``--jobs`` count (plans
+   pickle into worker processes without changing a single draw).
+4. The event and flit kernels agree grant-for-grant with an active
+   behavioral fault plan — the draws are keyed, not consumed from a
+   stream, so two very different execution orders see identical faults.
+"""
+
+import hashlib
+
+from repro.config import GLPolicerConfig, QoSConfig, SwitchConfig
+from repro.experiments.faults_resilience import run_faults_resilience
+from repro.faults import (
+    FaultPlan,
+    crosspoint_dead,
+    input_stall,
+    packet_drop,
+    packet_dup,
+)
+from repro.obs.probe import CountingProbe
+from repro.parallel import result_hash
+from repro.qos import SSVCArbiter
+from repro.switch.events import GrantEvent
+from repro.switch.flit_kernel import FlitLevelSimulation
+from repro.switch.simulator import Simulation
+from repro.traffic.flows import Workload, gb_flow
+from repro.traffic.generators import BernoulliInjection
+
+HORIZON = 3_000
+
+
+def config(radix=4, gb=16):
+    return SwitchConfig(
+        radix=radix,
+        channel_bits=16 * radix,
+        gb_buffer_flits=gb,
+        qos=QoSConfig(sig_bits=3, frac_bits=6),
+        gl_policer=GLPolicerConfig(reserved_rate=0.0),
+    )
+
+
+def bernoulli_workload(radix=4, rate=0.15):
+    workload = Workload(name="faults-determinism")
+    for src in range(radix):
+        workload.add(
+            gb_flow(src, (src + 1) % radix, 0.2, packet_length=4,
+                    process=BernoulliInjection(rate))
+        )
+    return workload
+
+
+def event_stream_hash(fault_plan, seed=21):
+    sim = Simulation(
+        config(),
+        bernoulli_workload(),
+        seed=seed,
+        collect_events=True,
+        fault_plan=fault_plan,
+    )
+    result = sim.run(HORIZON)
+    payload = "\n".join(repr(event) for event in result.events)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def behavioral_plan(seed=2):
+    return FaultPlan(
+        seed=seed,
+        faults=(
+            input_stall(1, start=400, duration=600),
+            crosspoint_dead(2, 3),
+            packet_drop(0.3, output=1),
+            packet_dup(0.3, output=2),
+        ),
+    )
+
+
+class TestEmptyPlanIdentity:
+    def test_empty_plan_is_bit_identical_to_none(self):
+        assert event_stream_hash(None) == event_stream_hash(FaultPlan(seed=9))
+
+
+class TestReplayIdentity:
+    def test_same_plan_replays_bit_identically(self):
+        plan = behavioral_plan()
+        assert event_stream_hash(plan) == event_stream_hash(plan)
+
+    def test_plan_seed_moves_the_probabilistic_draws(self):
+        # Drop/dup draws are keyed by the plan seed; 30% faults over
+        # hundreds of deliveries cannot land identically under two seeds.
+        assert event_stream_hash(behavioral_plan(seed=2)) != event_stream_hash(
+            behavioral_plan(seed=3)
+        )
+
+    def test_faulted_stream_differs_from_clean(self):
+        assert event_stream_hash(behavioral_plan()) != event_stream_hash(None)
+
+
+class TestJobsInvariance:
+    def test_resilience_sweep_identical_at_any_job_count(self):
+        def digest(jobs):
+            result = run_faults_resilience(horizon=6_000, jobs=jobs)
+            return result_hash(
+                (
+                    o.name,
+                    o.worst_gb_shortfall,
+                    o.gl_max_waiting,
+                    o.gl_packets,
+                    o.abuser_rate,
+                )
+                for o in result.outcomes
+            )
+
+        serial = digest(1)
+        assert digest(2) == serial
+        assert digest(4) == serial
+
+
+class TestKernelParityWithFaults:
+    def test_event_and_flit_kernels_agree_under_faults(self):
+        cfg = config(gb=64)
+        plan = behavioral_plan()
+
+        def factory(o, c):
+            return SSVCArbiter(c.radix, qos=c.qos)
+
+        def run(engine):
+            probe = CountingProbe()
+            sim = engine(
+                cfg,
+                bernoulli_workload(),
+                arbiter_factory=factory,
+                seed=21,
+                warmup_cycles=0,
+                collect_events=True,
+                probe=probe,
+                fault_plan=plan,
+            )
+            return sim.run(HORIZON), probe
+
+        fast, fast_probe = run(Simulation)
+        flit, flit_probe = run(FlitLevelSimulation)
+        fast_grants = [repr(e) for e in fast.events if isinstance(e, GrantEvent)]
+        flit_grants = [repr(e) for e in flit.events if isinstance(e, GrantEvent)]
+        assert fast_grants == flit_grants
+        # Drop/dup draws key on packet ids (both kernels assign arrival
+        # ids in the same (time, source) merge order), so every keyed
+        # fault decision — not just the grant schedule — must agree, and
+        # some faults must actually have fired for this to mean anything.
+        # (The stall/dead *mask* counters are per-attempt observability
+        # counts and legitimately differ between a per-wake and a
+        # per-cycle engine; only the keyed decisions are pinned.)
+        for name in ("faults.packet_drops", "faults.packet_dups"):
+            assert fast_probe.counters[name] == flit_probe.counters[name]
+            assert fast_probe.counters[name] > 0
+        assert fast_probe.counters["faults.stall_masked"] > 0
+        assert flit_probe.counters["faults.stall_masked"] > 0
+        flows = {repr(f): s.delivered_flits
+                 for f, s in fast.stats.flows.items()}
+        assert flows == {repr(f): s.delivered_flits
+                         for f, s in flit.stats.flows.items()}

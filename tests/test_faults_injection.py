@@ -1,0 +1,260 @@
+"""Per-fault behavioral checks across every layer that hosts injection.
+
+One class per host: the event kernel, the flit kernel, the wire-level
+fabric, and the multi-switch simulator. Each degrade-mode fault must
+visibly degrade service (against a fault-free baseline of the same seed),
+each raise-mode fault must trip the fabric invariant, and every host must
+reject faults addressed to the wrong layer or outside its geometry.
+"""
+
+import pytest
+
+from repro.circuit.fabric import ArbitrationFabric, FabricRequest
+from repro.config import GLPolicerConfig, QoSConfig, SwitchConfig
+from repro.core.thermometer import ThermometerCode
+from repro.errors import ArbitrationError, CircuitError, ConfigError
+from repro.faults import (
+    FaultPlan,
+    bitline_stuck,
+    counter_bitflip,
+    crosspoint_dead,
+    input_stall,
+    packet_drop,
+    packet_dup,
+    sense_flaky,
+)
+from repro.multiswitch.simulator import ComposedFlow, MultiStageSimulation
+from repro.multiswitch.topology import ClosTopology
+from repro.obs.probe import CountingProbe
+from repro.switch.flit_kernel import FlitLevelSimulation
+from repro.switch.simulator import Simulation
+from repro.traffic.flows import Workload, gb_flow
+from repro.types import FlowId, TrafficClass
+
+HORIZON = 4_000
+
+
+def config(radix=4):
+    return SwitchConfig(
+        radix=radix,
+        channel_bits=16 * radix,
+        gb_buffer_flits=16,
+        qos=QoSConfig(sig_bits=3, frac_bits=6),
+        gl_policer=GLPolicerConfig(reserved_rate=0.0),
+    )
+
+
+def hotspot_workload(radix=4, share=0.2):
+    workload = Workload(name="faults-hotspot")
+    for src in range(radix):
+        workload.add(gb_flow(src, 0, share, packet_length=4, inject_rate=None))
+    return workload
+
+
+def run_event(plan, probe=None, workload=None, arbiter_kw=None):
+    sim = Simulation(
+        config(),
+        workload if workload is not None else hotspot_workload(),
+        seed=5,
+        fault_plan=plan,
+        probe=probe,
+        **(arbiter_kw or {}),
+    )
+    return sim.run(HORIZON)
+
+
+class TestEventKernel:
+    def test_input_stall_degrades_the_stalled_input(self):
+        baseline = run_event(None)
+        plan = FaultPlan(seed=1, faults=(input_stall(1, start=500, duration=2000),))
+        probe = CountingProbe()
+        faulted = run_event(plan, probe=probe)
+        flow = FlowId(1, 0, TrafficClass.GB)
+        assert faulted.accepted_rate(flow) < baseline.accepted_rate(flow)
+        assert probe.counters["faults.stall_masked"] > 0
+
+    def test_dead_crosspoint_starves_exactly_its_flow(self):
+        plan = FaultPlan(seed=1, faults=(crosspoint_dead(2, 0),))
+        probe = CountingProbe()
+        result = run_event(plan, probe=probe)
+        assert result.accepted_rate(FlowId(2, 0, TrafficClass.GB)) == 0.0
+        assert result.accepted_rate(FlowId(0, 0, TrafficClass.GB)) > 0.0
+        assert probe.counters["faults.dead_crosspoint_masked"] > 0
+
+    def test_certain_drop_zeroes_accounting_but_not_grants(self):
+        plan = FaultPlan(seed=1, faults=(packet_drop(1.0, output=0),))
+        probe = CountingProbe()
+        result = run_event(plan, probe=probe)
+        assert result.grants > 0
+        for src in range(4):
+            assert result.accepted_rate(FlowId(src, 0, TrafficClass.GB)) == 0.0
+        assert probe.counters["faults.packet_drops"] > 0
+
+    def test_certain_dup_doubles_delivered_accounting(self):
+        baseline = run_event(None)
+        plan = FaultPlan(seed=1, faults=(packet_dup(1.0, output=0),))
+        result = run_event(plan)
+        base_rate = baseline.stats.class_throughput(TrafficClass.GB)
+        assert result.stats.class_throughput(TrafficClass.GB) == pytest.approx(
+            2 * base_rate, rel=0.05
+        )
+
+    def test_counter_bitflip_reaches_the_ssvc_counter(self):
+        plan = FaultPlan(
+            seed=1, faults=(counter_bitflip(0, 0, bit=8, at_cycle=1000),)
+        )
+        probe = CountingProbe()
+        result = run_event(plan, probe=probe)
+        assert result.grants > 0
+        assert probe.counters["faults.counter_bitflips"] == 1
+
+    def test_bitflip_rejected_for_counterless_arbiter(self):
+        from repro.qos import LRGArbiter
+
+        plan = FaultPlan(
+            seed=1, faults=(counter_bitflip(0, 0, bit=0, at_cycle=10),)
+        )
+        workload = Workload(name="be-only")
+        for src in range(4):
+            workload.add(gb_flow(src, 0, 0.1, packet_length=4, inject_rate=0.1))
+        with pytest.raises(ConfigError, match="counter"):
+            run_event(
+                plan,
+                workload=workload,
+                arbiter_kw={"arbiter_factory": lambda o, c: LRGArbiter(c.radix)},
+            )
+
+    def test_rejects_out_of_range_target(self):
+        plan = FaultPlan(seed=1, faults=(crosspoint_dead(9, 0),))
+        with pytest.raises(ConfigError, match="radix"):
+            run_event(plan)
+
+    def test_rejects_circuit_faults(self):
+        plan = FaultPlan(seed=1, faults=(bitline_stuck(0, 0),))
+        with pytest.raises(ConfigError, match="circuit"):
+            run_event(plan)
+
+    def test_empty_plan_runs_the_unfaulted_path(self):
+        assert run_event(FaultPlan(seed=1)).grants == run_event(None).grants
+
+
+class TestFlitKernel:
+    def run(self, plan):
+        # The flit engine requires scheduled (non-saturating) sources.
+        workload = Workload(name="faults-flit")
+        for src in range(4):
+            workload.add(gb_flow(src, 0, 0.2, packet_length=4, inject_rate=0.2))
+        sim = FlitLevelSimulation(config(), workload, seed=5, fault_plan=plan)
+        return sim.run(HORIZON)
+
+    def test_dead_crosspoint_starves_exactly_its_flow(self):
+        result = self.run(FaultPlan(seed=1, faults=(crosspoint_dead(2, 0),)))
+        assert result.accepted_rate(FlowId(2, 0, TrafficClass.GB)) == 0.0
+        assert result.accepted_rate(FlowId(0, 0, TrafficClass.GB)) > 0.0
+
+    def test_input_stall_degrades_the_stalled_input(self):
+        baseline = self.run(None)
+        faulted = self.run(
+            FaultPlan(seed=1, faults=(input_stall(1, start=500, duration=2000),))
+        )
+        flow = FlowId(1, 0, TrafficClass.GB)
+        assert faulted.accepted_rate(flow) < baseline.accepted_rate(flow)
+
+    def test_rejects_circuit_faults(self):
+        with pytest.raises(ConfigError, match="circuit"):
+            self.run(FaultPlan(seed=1, faults=(sense_flaky(0, 0.5),)))
+
+
+class TestFabric:
+    def request(self, port, level, positions=4):
+        return FabricRequest(
+            input_port=port,
+            thermometer=ThermometerCode(positions=positions, level=level),
+        )
+
+    def test_stuck_winner_wire_breaks_the_invariant(self):
+        # A lone request from port 0 at level 2 senses wire (lane 2,
+        # position 0); stuck-discharged, it reads a loss and nobody wins.
+        plan = FaultPlan(seed=1, faults=(bitline_stuck(2, 0),))
+        fabric = ArbitrationFabric(4, 4, fault_plan=plan)
+        with pytest.raises(ArbitrationError, match="exactly one"):
+            fabric.arbitrate([self.request(0, 2)])
+        assert fabric.fault_forced_discharges == 1
+
+    def test_stuck_unrelated_wire_is_harmless(self):
+        plan = FaultPlan(seed=1, faults=(bitline_stuck(0, 1),))
+        fabric = ArbitrationFabric(4, 4, fault_plan=plan)
+        assert fabric.arbitrate([self.request(0, 2)]) == 0
+
+    def test_certain_sense_flip_breaks_the_invariant(self):
+        plan = FaultPlan(seed=1, faults=(sense_flaky(0, 1.0),))
+        fabric = ArbitrationFabric(4, 4, fault_plan=plan)
+        with pytest.raises(ArbitrationError, match="exactly one"):
+            fabric.arbitrate([self.request(0, 1)])
+        assert fabric.fault_sense_flips == 1
+
+    def test_fault_pulldowns_stay_out_of_energy_proxies(self):
+        plan = FaultPlan(seed=1, faults=(bitline_stuck(0, 1),))
+        faulted = ArbitrationFabric(4, 4, fault_plan=plan)
+        clean = ArbitrationFabric(4, 4)
+        faulted.arbitrate([self.request(0, 2)])
+        clean.arbitrate([self.request(0, 2)])
+        assert faulted.total_discharge_count == clean.total_discharge_count
+
+    def test_rejects_behavioral_faults(self):
+        plan = FaultPlan(seed=1, faults=(packet_drop(0.5),))
+        with pytest.raises(CircuitError, match="behavioral"):
+            ArbitrationFabric(4, 4, fault_plan=plan)
+
+    def test_rejects_lane_outside_geometry(self):
+        plan = FaultPlan(seed=1, faults=(bitline_stuck(6, 0),))
+        with pytest.raises(CircuitError, match="lane"):
+            ArbitrationFabric(4, 4, fault_plan=plan)
+
+
+class TestMultiSwitch:
+    TOPO = ClosTopology(groups=2, hosts_per_group=2, link_latency=2)
+
+    def run(self, plan, horizon=HORIZON):
+        sim = MultiStageSimulation(
+            self.TOPO,
+            [
+                ComposedFlow(0, 2, rate=0.3, packet_flits=4, inject_rate=0.25),
+                ComposedFlow(1, 3, rate=0.3, packet_flits=4, inject_rate=0.25),
+            ],
+            qos=QoSConfig(sig_bits=3, frac_bits=6),
+            seed=5,
+            fault_plan=plan,
+        )
+        return sim.run(horizon)
+
+    def test_certain_link_drop_loses_deliveries_without_deadlock(self):
+        baseline = self.run(None)
+        faulted = self.run(
+            FaultPlan(seed=1, faults=(packet_drop(1.0, output=1),))
+        )
+        # Everything bound for group 1 dies on the link, yet the sweep
+        # completes: in-flight drops release their reserved downlink space.
+        assert baseline.accepted_rate(0, 2) > 0.0
+        assert faulted.accepted_rate(0, 2) == 0.0
+        assert faulted.accepted_rate(1, 3) == 0.0
+
+    def test_stall_targets_global_host(self):
+        baseline = self.run(None)
+        faulted = self.run(
+            FaultPlan(seed=1, faults=(input_stall(0, start=0, duration=HORIZON),))
+        )
+        assert faulted.accepted_rate(0, 2) < baseline.accepted_rate(0, 2)
+        assert faulted.accepted_rate(1, 3) == pytest.approx(
+            baseline.accepted_rate(1, 3), rel=0.2
+        )
+
+    def test_rejects_host_outside_topology(self):
+        plan = FaultPlan(seed=1, faults=(input_stall(99, start=0, duration=10),))
+        with pytest.raises(ConfigError, match="host"):
+            self.run(plan)
+
+    def test_rejects_circuit_faults(self):
+        plan = FaultPlan(seed=1, faults=(bitline_stuck(0, 0),))
+        with pytest.raises(ConfigError, match="circuit"):
+            self.run(plan)

@@ -1,0 +1,160 @@
+"""FaultPlan/FaultSpec value semantics: validation, contracts, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    CONTRACTS,
+    GUARANTEES,
+    DegradationContract,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    bitline_leak,
+    bitline_stuck,
+    counter_bitflip,
+    crosspoint_dead,
+    input_stall,
+    packet_drop,
+    packet_dup,
+    sense_flaky,
+)
+
+
+class TestFaultSpecValidation:
+    def test_constructors_produce_their_kind(self):
+        cases = {
+            input_stall(0, start=10, duration=5): FaultKind.INPUT_STALL,
+            crosspoint_dead(1, 2): FaultKind.CROSSPOINT_DEAD,
+            counter_bitflip(1, 2, bit=3, at_cycle=100): FaultKind.COUNTER_BITFLIP,
+            packet_drop(0.5): FaultKind.PACKET_DROP,
+            packet_dup(0.5, output=1): FaultKind.PACKET_DUP,
+            bitline_stuck(0, 3): FaultKind.BITLINE_STUCK,
+            bitline_leak(1, 2, 0.1): FaultKind.BITLINE_LEAK,
+            sense_flaky(2, 0.2): FaultKind.SENSE_FLAKY,
+        }
+        for spec, kind in cases.items():
+            assert spec.kind is kind
+
+    @pytest.mark.parametrize("probability", [0.0, -0.1, 1.5])
+    def test_rejects_out_of_range_probability(self, probability):
+        with pytest.raises(ConfigError, match="probability"):
+            packet_drop(probability)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ConfigError, match="end"):
+            FaultSpec(kind=FaultKind.PACKET_DROP, start=10, end=10)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigError, match="start"):
+            FaultSpec(kind=FaultKind.PACKET_DROP, start=-1)
+
+    def test_stall_requires_positive_duration(self):
+        with pytest.raises(ConfigError, match="duration"):
+            input_stall(0, start=0, duration=0)
+
+    def test_stall_requires_input_port(self):
+        with pytest.raises(ConfigError, match="input_port"):
+            FaultSpec(kind=FaultKind.INPUT_STALL)
+
+    def test_crosspoint_requires_both_endpoints(self):
+        with pytest.raises(ConfigError, match="output"):
+            FaultSpec(kind=FaultKind.CROSSPOINT_DEAD, input_port=1)
+
+    def test_bitflip_requires_cycle_and_nonnegative_bit(self):
+        with pytest.raises(ConfigError, match="at_cycle"):
+            FaultSpec(kind=FaultKind.COUNTER_BITFLIP, input_port=0, output=0)
+        with pytest.raises(ConfigError, match="bit"):
+            counter_bitflip(0, 0, bit=-1, at_cycle=5)
+
+    def test_bitline_requires_lane_and_position(self):
+        with pytest.raises(ConfigError, match="lane"):
+            FaultSpec(kind=FaultKind.BITLINE_STUCK, position=0)
+
+    def test_active_window_is_half_open(self):
+        spec = input_stall(0, start=10, duration=5)
+        assert not spec.active(9)
+        assert spec.active(10)
+        assert spec.active(14)
+        assert not spec.active(15)
+
+    def test_open_ended_fault_is_always_active_past_start(self):
+        spec = packet_drop(0.5, start=3)
+        assert not spec.active(2)
+        assert spec.active(10**9)
+
+
+class TestContracts:
+    def test_every_kind_declares_a_contract(self):
+        assert set(CONTRACTS) == set(FaultKind)
+
+    def test_circuit_faults_raise_and_void_nothing(self):
+        for kind in (
+            FaultKind.BITLINE_STUCK,
+            FaultKind.BITLINE_LEAK,
+            FaultKind.SENSE_FLAKY,
+        ):
+            assert CONTRACTS[kind].mode == "raise"
+            assert CONTRACTS[kind].voids == ()
+
+    def test_behavioral_faults_degrade_and_declare_voids(self):
+        for kind in (
+            FaultKind.CROSSPOINT_DEAD,
+            FaultKind.COUNTER_BITFLIP,
+            FaultKind.PACKET_DROP,
+            FaultKind.PACKET_DUP,
+            FaultKind.INPUT_STALL,
+        ):
+            contract = CONTRACTS[kind]
+            assert contract.mode == "degrade"
+            assert contract.voids
+            assert set(contract.voids) <= set(GUARANTEES)
+
+    def test_spec_contract_property_matches_table(self):
+        assert crosspoint_dead(0, 0).contract is CONTRACTS[FaultKind.CROSSPOINT_DEAD]
+
+    def test_contract_rejects_unknown_mode_and_guarantee(self):
+        with pytest.raises(ConfigError, match="mode"):
+            DegradationContract("explode", ())
+        with pytest.raises(ConfigError, match="guarantee"):
+            DegradationContract("degrade", ("world_peace",))
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan(seed=7)
+        assert FaultPlan(seed=7, faults=(packet_drop(0.1),))
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ConfigError, match="seed"):
+            FaultPlan(seed=-1)
+
+    def test_with_fault_is_immutable_append(self):
+        base = FaultPlan(seed=1)
+        grown = base.with_fault(crosspoint_dead(0, 1))
+        assert not base.faults
+        assert grown.faults == (crosspoint_dead(0, 1),)
+        assert grown.seed == 1
+
+    def test_plans_compare_and_hash_by_value(self):
+        a = FaultPlan(seed=3, faults=(packet_drop(0.5, output=2),))
+        b = FaultPlan(seed=3, faults=(packet_drop(0.5, output=2),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_plan_pickles_round_trip(self):
+        # Plans ride inside SweepPoint envelopes across process
+        # boundaries; pickling must preserve value equality.
+        plan = FaultPlan(
+            seed=11,
+            faults=(
+                input_stall(2, start=100, duration=50),
+                counter_bitflip(1, 0, bit=4, at_cycle=500),
+                bitline_leak(0, 3, 0.25),
+            ),
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.faults[2].probability == 0.25

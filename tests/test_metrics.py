@@ -37,6 +37,37 @@ class TestLatencyStats:
         with pytest.raises(SimulationError):
             LatencyStats().percentile(50)
 
+    def test_zero_delivery_simulation_raises_typed_error_everywhere(self):
+        """Unified empty-sample contract, exercised end-to-end: a flow that
+        delivers nothing within the horizon yields LatencyStats whose
+        min/max/percentile all raise SimulationError (never NaN or a bare
+        numpy warning), while serialization reports ``{"count": 0}``."""
+        from repro.config import SwitchConfig
+        from repro.serialization import latency_stats_to_dict
+        from repro.switch.simulator import Simulation
+        from repro.traffic.flows import Workload, gb_flow
+        from repro.traffic.generators import BernoulliInjection
+
+        config = SwitchConfig(radix=2, channel_bits=32)
+        workload = Workload(name="zero-delivery")
+        # Injection rate so low that no packet arrives within the horizon.
+        workload.add(
+            gb_flow(0, 0, 0.5, packet_length=4, process=BernoulliInjection(1e-9))
+        )
+        result = Simulation(config, workload, seed=0, warmup_cycles=0).run(200)
+        stats = result.stats.flow_stats(FlowId(0, 0, TrafficClass.GB))
+        assert stats.delivered_packets == 0
+        for access in (
+            lambda: stats.latency.minimum,
+            lambda: stats.latency.maximum,
+            lambda: stats.latency.percentile(50),
+            lambda: stats.latency.p99,
+        ):
+            with pytest.raises(SimulationError):
+                access()
+        assert stats.latency.mean == 0.0  # documented sentinel, not NaN
+        assert latency_stats_to_dict(stats.latency) == {"count": 0}
+
     def test_negative_sample_rejected(self):
         with pytest.raises(SimulationError):
             LatencyStats().add(-1)

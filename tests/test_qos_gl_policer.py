@@ -25,6 +25,18 @@ class TestEligibility:
         policer = GLPolicer(GLPolicerConfig(reserved_rate=0.0, burst_window=100))
         assert not policer.eligible(now=0)
 
+    def test_zero_reservation_with_disabled_window_never_eligible(self):
+        """Regression: the zero-rate check must take precedence over the
+        disabled burst window. Before the fix ``burst_window=None`` returned
+        True first, letting a demotion-free path reach ``on_transmit`` —
+        which then raised ConfigError mid-simulation."""
+        policer = GLPolicer(GLPolicerConfig(reserved_rate=0.0, burst_window=None))
+        assert not policer.eligible(now=0)
+        # The eligible/on_transmit contract stays consistent: a winner
+        # gated on eligible() can always be charged.
+        with pytest.raises(ConfigError):
+            policer.on_transmit(1, now=0)
+
     def test_exceeding_window_throttles(self):
         policer = make_policer(rate=0.1, window=100)
         # Two 8-flit packets: usage clock jumps 160 ahead of real time.
@@ -76,3 +88,44 @@ class TestCharging:
             assert policer.eligible(now)
             policer.on_transmit(1, now)
             now += 10  # 1 flit per 10 cycles == the reserved 0.1
+
+
+class TestThrottleDedupe:
+    def test_same_cycle_same_input_counts_once(self):
+        policer = make_policer()
+        policer.note_throttled(5, 2)
+        policer.note_throttled(5, 2)  # kernel + arbiter double-report folds
+        assert policer.throttle_events == 1
+
+    def test_distinct_inputs_same_cycle_count_separately(self):
+        """Regression: dedupe used to be by cycle only, so two distinct GL
+        inputs denied priority in the same cycle counted as one event."""
+        policer = make_policer()
+        policer.note_throttled(5, 0)
+        policer.note_throttled(5, 3)
+        assert policer.throttle_events == 2
+
+    def test_interleaved_reports_across_inputs_still_fold(self):
+        policer = make_policer()
+        for input_port in (0, 3, 0, 3):  # kernel then arbiter, both inputs
+            policer.note_throttled(7, input_port)
+        assert policer.throttle_events == 2
+
+    def test_new_cycle_resets_the_dedupe_window(self):
+        policer = make_policer()
+        policer.note_throttled(5, 1)
+        policer.note_throttled(6, 1)
+        assert policer.throttle_events == 2
+
+    def test_anonymous_reports_dedupe_per_cycle(self):
+        policer = make_policer()
+        policer.note_throttled(5)
+        policer.note_throttled(5)
+        policer.note_throttled(6)
+        assert policer.throttle_events == 2
+
+    def test_reports_without_cycle_always_count(self):
+        policer = make_policer()
+        policer.note_throttled()
+        policer.note_throttled()
+        assert policer.throttle_events == 2

@@ -271,13 +271,43 @@ class TestGLThrottleAccounting:
         assert gl_rate < 0.15
         assert gb_rate > 0.5
 
-    def test_per_cycle_dedupe_of_kernel_and_arbiter_counting(self):
-        """GLPolicer.note_throttled(now) counts one event per cycle no
-        matter how many call sites report the same decision."""
+    def test_per_input_dedupe_of_kernel_and_arbiter_counting(self):
+        """GLPolicer.note_throttled(now, input) counts one event per
+        (cycle, input) no matter how many call sites report the same
+        decision — while distinct inputs in one cycle each count."""
         from repro.qos.gl_policer import GLPolicer
 
         policer = GLPolicer(GLPolicerConfig(reserved_rate=0.1, burst_window=10))
-        policer.note_throttled(5)
-        policer.note_throttled(5)  # second report of the same cycle
-        policer.note_throttled(6)
-        assert policer.throttle_events == 2
+        policer.note_throttled(5, 0)
+        policer.note_throttled(5, 0)  # second report of the same decision
+        policer.note_throttled(5, 2)  # different input, same cycle
+        policer.note_throttled(6, 0)
+        assert policer.throttle_events == 3
+
+    def test_two_throttled_gl_inputs_in_one_cycle_both_count(self):
+        """Regression: with cycle-only dedupe, two saturating GL inputs
+        aimed at one policed output undercounted by ~2x."""
+        from repro.config import QoSConfig
+        from repro.traffic.flows import gl_flow
+
+        config = SwitchConfig(
+            radix=4,
+            channel_bits=64,
+            gb_buffer_flits=16,
+            be_buffer_flits=16,
+            gl_buffer_flits=16,
+            qos=QoSConfig(sig_bits=4, frac_bits=8),
+            gl_policer=GLPolicerConfig(reserved_rate=0.05, burst_window=64),
+        )
+        two_gl = Workload(name="gl-throttle-two")
+        two_gl.add(gl_flow(0, 0, packet_length=4, inject_rate=None))
+        two_gl.add(gl_flow(1, 0, packet_length=4, inject_rate=None))
+        one_gl = Workload(name="gl-throttle-one")
+        one_gl.add(gl_flow(0, 0, packet_length=4, inject_rate=None))
+        horizon = 4_000
+        two = Simulation(config, two_gl, seed=1).run(horizon)
+        one = Simulation(config, one_gl, seed=1).run(horizon)
+        # Both saturating inputs are denied in (almost) every throttled
+        # cycle, so the two-input run must report well above the
+        # single-input run — not the same count, as cycle-only dedupe gave.
+        assert two.gl_throttle_events[0] > 1.5 * one.gl_throttle_events[0]

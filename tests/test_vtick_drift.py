@@ -1,0 +1,143 @@
+"""Vtick drift property tests (exact-accounting regression).
+
+The former float accumulation in ``SSVCCore``/``VirtualClockCounter``
+drifted away from exact rational accounting over long horizons — e.g.
+``vtick = 8 / 0.3`` summed for 300k cycles ended up a few 1e-12 *below*
+the exact multiple, flipping coarse thermometer levels at quantum
+boundaries (float 2559.9999999999995 // 256 = 9 vs exact 2560 // 256 = 10
+after fewer than 100 cycles). These tests drive both counters against an
+independent :class:`fractions.Fraction` twin and demand *identical* coarse
+levels and counter values at every step; they fail on the float path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import QoSConfig
+from repro.core.ssvc import SSVCCore
+from repro.core.virtual_clock import VirtualClockCounter, compute_vtick
+from repro.types import CounterMode
+
+# (rate, flits, commit period) triples whose float Vticks demonstrably
+# drifted; found by sweeping rates over a 300k-cycle horizon.
+DRIFTY_CASES = [
+    (0.3, 8, 1),
+    (0.3, 4, 1),
+    (0.7, 8, 1),
+    (0.15, 8, 8),
+    (3 / 7, 8, 1),
+    (0.9, 1, 1),
+    (1 / 3, 8, 3),
+]
+
+
+def _exact_twin_levels(core, qos, rate, flits, horizon, period):
+    """Drive ``core`` and an exact-Fraction reference in lockstep.
+
+    Yields ``(now, core_level, exact_level, exact_value)`` per step.
+    """
+    vtick_exact = Fraction(core.vtick(0))  # exact rational of the float Vtick
+    quantum = qos.quantum
+    saturation = Fraction(qos.saturation)
+    value = Fraction(0)
+    epoch = 0
+    for now in range(0, horizon, period):
+        if qos.counter_mode is CounterMode.SUBTRACT:
+            e = now // quantum
+            if e > epoch:
+                value = max(value - (e - epoch) * quantum, Fraction(0))
+                epoch = e
+        exact_level = min(int(value // quantum), qos.levels - 1)
+        yield now, core.level(0, now), exact_level, value
+        core.commit(0, now)
+        value += vtick_exact
+        if value >= saturation:
+            value = saturation
+            if qos.counter_mode is CounterMode.HALVE:
+                value = value / 2
+            elif qos.counter_mode is CounterMode.RESET:
+                value = Fraction(0)
+
+
+@pytest.mark.parametrize("rate,flits,period", DRIFTY_CASES)
+@pytest.mark.parametrize("mode", [CounterMode.SUBTRACT, CounterMode.HALVE])
+def test_ssvc_levels_match_exact_accounting(rate, flits, period, mode):
+    """No coarse-level flip against exact rational accounting, ever."""
+    qos = QoSConfig(sig_bits=4, frac_bits=8, counter_mode=mode)
+    core = SSVCCore(qos, num_inputs=2)
+    core.register_flow(0, rate, flits)
+    horizon = 300_000 if period > 1 else 30_000
+    for now, got, want, value in _exact_twin_levels(
+        core, qos, rate, flits, horizon, period
+    ):
+        assert got == want, (
+            f"level flip at cycle {now}: core={got} exact={want} "
+            f"(exact value {float(value)})"
+        )
+
+
+def test_ssvc_counter_value_is_exact_over_long_horizon():
+    """The exposed exact counter equals the Fraction twin bit-for-bit."""
+    qos = QoSConfig(sig_bits=4, frac_bits=8, counter_mode=CounterMode.SUBTRACT)
+    core = SSVCCore(qos, num_inputs=2)
+    core.register_flow(0, 1 / 3, 8)
+    vtick_exact = Fraction(core.vtick(0))
+    value = Fraction(0)
+    epoch = 0
+    quantum = qos.quantum
+    saturation = Fraction(qos.saturation)
+    for now in range(0, 300_000, 24):  # transmit at the reserved rate
+        e = now // quantum
+        if e > epoch:
+            value = max(value - (e - epoch) * quantum, Fraction(0))
+            epoch = e
+        assert core.counter_value_exact(0, now) == value
+        core.commit(0, now)
+        value = min(value + vtick_exact, saturation)
+
+
+def test_ssvc_rescale_preserves_registered_counters():
+    """Registering a finer Vtick later must not disturb existing values."""
+    qos = QoSConfig(sig_bits=4, frac_bits=8, counter_mode=CounterMode.HALVE)
+    core = SSVCCore(qos, num_inputs=4)
+    core.register_flow(0, 0.5, 8)  # vtick 16: scale 1
+    for _ in range(3):
+        core.commit(0, 0)
+    before = core.counter_value_exact(0, 0)
+    core.register_flow(1, 0.3, 8)  # dyadic denominator > 1: forces rescale
+    assert core.counter_value_exact(0, 0) == before
+    core.commit(1, 0)
+    assert core.counter_value_exact(1, 0) == Fraction(core.vtick(1))
+
+
+def test_virtual_clock_matches_exact_accounting_over_long_horizon():
+    """The fine-grained baseline counter accumulates exactly too."""
+    vtick = compute_vtick(0.3, 8)
+    clock = VirtualClockCounter(vtick=vtick)
+    vtick_exact = Fraction(vtick)
+    value = Fraction(0)
+    now = 0
+    for _ in range(12_000):  # ~320k virtual cycles
+        value = max(value, Fraction(now)) + vtick_exact
+        assert clock.on_transmit(now) == value
+        now += 26  # slightly faster than the reserved rate: no idle floor
+    assert clock.value == value
+
+
+@given(
+    rate=st.floats(min_value=0.01, max_value=1.0, exclude_min=True),
+    flits=st.integers(min_value=1, max_value=16),
+    steps=st.integers(min_value=1, max_value=400),
+)
+@settings(max_examples=60, deadline=None)
+def test_virtual_clock_value_is_exact_multiple_of_vtick(rate, flits, steps):
+    """Back-to-back transmits at time 0 give exactly ``k * Vtick``."""
+    vtick = compute_vtick(rate, flits)
+    clock = VirtualClockCounter(vtick=vtick)
+    for _ in range(steps):
+        clock.on_transmit(now=0)
+    assert clock.value == steps * Fraction(vtick)
