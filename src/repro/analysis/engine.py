@@ -224,6 +224,9 @@ def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
     file_sup: Set[str] = set()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    # Best effort: an untokenizable module still gets linted, just without
+    # suppression comments (the parse error surfaces elsewhere anyway).
+    # reprolint: disable=swallowed-without-record
     except tokenize.TokenError:  # incomplete final block etc. — best effort
         tokens = []
     for tok in tokens:

@@ -404,3 +404,73 @@ class FaultDeepImportRule(Rule):
             f"deep import {name} reaches into repro.faults internals; "
             "import from the repro.faults package root",
         )
+
+
+#: Lower-cased substrings in a called name that count as *recording* the
+#: failure (probe counters, journals, loggers, reports, stderr writes...).
+_RECORD_MARKERS = (
+    "log", "warn", "print", "record", "probe", "count", "event",
+    "report", "stderr", "journal", "emit", "trace", "note", "write",
+)
+
+
+@register
+class SwallowedWithoutRecordRule(Rule):
+    """RL011: every exception handler must re-raise, record, or resolve.
+
+    RL006 catches the trivial ``except E: pass``; this rule catches the
+    subtler swallow — a handler that *does* something (reset a cache,
+    assign a fallback) but lets the only evidence of the failure vanish:
+    no re-raise, no return/break/continue the caller can observe, no use
+    of the bound exception, and no call into a recording sink (probe
+    counters, journal, logger, report, stderr...). The resilience layer
+    made this load-bearing: a retry/salvage decision is only auditable if
+    every absorbed failure leaves a trace (``resilience.*`` counters, the
+    journal, or a ``PointFailure``). If absorbing really is correct, say
+    why with ``# reprolint: disable=swallowed-without-record``.
+    """
+
+    id = "RL011"
+    name = "swallowed-without-record"
+    severity = Severity.WARNING
+    description = "exception handler neither re-raises, records, nor resolves"
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        body = node.body
+        if len(body) == 1 and (
+            isinstance(body[0], ast.Pass)
+            or (
+                isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and body[0].value.value is Ellipsis
+            )
+        ):
+            return  # RL006's territory; one finding per defect is enough
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.Raise, ast.Return, ast.Break, ast.Continue)):
+                    return
+                if isinstance(sub, ast.Call) and self._records(sub):
+                    return
+                if (
+                    node.name is not None
+                    and isinstance(sub, ast.Name)
+                    and sub.id == node.name
+                ):
+                    return  # the exception object flows somewhere visible
+        ctx.report(
+            self,
+            node,
+            "exception absorbed without re-raise, record, or control-flow "
+            "exit; count/journal/log the failure or justify inline",
+        )
+
+    @staticmethod
+    def _records(call: ast.Call) -> bool:
+        name = dotted_name(call.func)
+        if name is None:
+            return False
+        lowered = name.lower()
+        return any(marker in lowered for marker in _RECORD_MARKERS)

@@ -2,22 +2,35 @@
 
 Usage::
 
-    repro-bench                        # full suite -> BENCH_3.json
+    repro-bench                        # full suite -> BENCH_4.json
     repro-bench --quick                # CI smoke horizons
     repro-bench --jobs 8               # workers for the parallel sweep case
     repro-bench --baseline auto       # compare vs. newest other BENCH_*.json
     repro-bench --baseline BENCH_2.json --threshold 0.3
+    repro-bench --journal run.j --retries 1   # checkpoint the sweep cases
 
 Exit status: 0 on success (or no comparable baseline), 1 when any case's
 wall time regressed by more than ``--threshold`` (fraction, default 0.3),
-2 on usage errors. Reports are schema-checked on write *and* on read, so a
-hand-edited baseline fails loudly instead of comparing garbage.
+2 on usage errors, 3 when ``--on-failure salvage`` left holes, 130 on a
+clean cancellation. Reports are schema-checked on write *and* on read, so
+a hand-edited baseline fails loudly instead of comparing garbage, and the
+report file is replaced atomically (a crash mid-write never tears an
+existing baseline).
+
+Resilience flags (``--journal/--resume/--retries/--point-timeout/
+--on-failure``) apply to the sweep cases, which fan out through
+:class:`repro.parallel.SweepExecutor`; single-run cases ignore them. Each
+case gets its *own* journal file (``<journal>.<case-name>``) — the serial
+and parallel sweep cases execute identical points, so a shared journal
+would let the second case restore the first case's checkpoints and fake
+its wall time.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import re
 import resource
@@ -26,8 +39,15 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import ConfigError
+from ..errors import ConfigError, SweepInterrupted
 from ..obs.probe import CountingProbe
+from ..resilience import (
+    FailurePolicy,
+    ResilienceOptions,
+    RetryPolicy,
+    RunJournal,
+    atomic_write_json,
+)
 from ..serialization import JSONDict
 from .suite import (
     OVERHEAD_CASE,
@@ -36,6 +56,9 @@ from .suite import (
     SWEEP_SERIAL_CASE,
     run_case,
 )
+
+#: Factory mapping a case name to its (per-case) resilience bundle.
+ResilienceFactory = Callable[[str], Optional[ResilienceOptions]]
 
 #: Bumped when the BENCH document layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
@@ -117,21 +140,28 @@ def _peak_rss_kb() -> int:
 
 
 def _run_suite(
-    quick: bool, jobs: Optional[int] = None
+    quick: bool,
+    jobs: Optional[int] = None,
+    resilience_factory: Optional[ResilienceFactory] = None,
 ) -> Tuple[List[JSONDict], JSONDict, JSONDict]:
     """Execute all cases, the probe-overhead pair, and the sweep summary.
 
     ``jobs`` overrides the worker count of cases pinned above 1 (the
     parallel sweep case); serial cases always stay serial so the baseline
-    side of the speedup ratio is meaningful.
+    side of the speedup ratio is meaningful. ``resilience_factory``
+    (when given) supplies a per-case journal/retry bundle, threaded into
+    the sweep cases' executors.
     """
     cases: List[JSONDict] = []
     for case in SUITE:
         case_jobs = case.jobs
         if jobs is not None and case.jobs > 1:
             case_jobs = jobs
+        resilience = (
+            resilience_factory(case.name) if resilience_factory is not None else None
+        )
         start = time.perf_counter()
-        grants, qos = run_case(case, quick=quick, jobs=case_jobs)
+        grants, qos = run_case(case, quick=quick, jobs=case_jobs, resilience=resilience)
         elapsed = time.perf_counter() - start
         cases.append(
             {
@@ -173,10 +203,18 @@ def _timed(fn: "Callable[[], object]") -> float:
 
 
 def _sweep_summary(cases: List[JSONDict]) -> JSONDict:
-    """Serial-vs-parallel sweep pair: speedup and result-identity check."""
+    """Serial-vs-parallel sweep pair: speedup and result-identity check.
+
+    ``results_match`` is a hard contract at any core count. The speedup is
+    only an *expectation* when the machine actually has more than one core
+    (``speedup_expected``); a single-core container running the parallel
+    case measures pure multiprocessing overhead, and recording that as a
+    regression-worthy "speedup" would be dishonest.
+    """
     by_name = {case["name"]: case for case in cases}
     serial = by_name[SWEEP_SERIAL_CASE]
     parallel = by_name[SWEEP_PARALLEL_CASE]
+    cpu_count = os.cpu_count() or 1
 
     def payload(case: JSONDict) -> JSONDict:
         qos = dict(case["qos"])
@@ -191,6 +229,8 @@ def _sweep_summary(cases: List[JSONDict]) -> JSONDict:
         "parallel_wall_s": parallel["wall_time_s"],
         "speedup": round(serial["wall_time_s"] / parallel["wall_time_s"], 3),
         "jobs": int(parallel["qos"].get("jobs", 0)),
+        "cpu_count": cpu_count,
+        "speedup_expected": cpu_count > 1,
         "results_match": payload(serial) == payload(parallel),
     }
 
@@ -253,8 +293,8 @@ def main(argv: "list[str] | None" = None) -> int:
         help="short horizons (CI smoke); only comparable to --quick baselines",
     )
     parser.add_argument(
-        "--output", metavar="FILE", default="BENCH_3.json",
-        help="where to write the report (default: BENCH_3.json)",
+        "--output", metavar="FILE", default="BENCH_4.json",
+        help="where to write the report (default: BENCH_4.json)",
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -270,13 +310,89 @@ def main(argv: "list[str] | None" = None) -> int:
         "--threshold", type=float, default=0.3, metavar="FRACTION",
         help="wall-time regression tolerance per case (default: 0.3 = 30%%)",
     )
+    resilience_group = parser.add_argument_group(
+        "resilience",
+        "journaling/retry/salvage for the sweep cases "
+        "(see docs/PARALLELISM.md); single-run cases are unaffected",
+    )
+    resilience_group.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a failed sweep point up to N times with deterministic "
+        "seeded-jitter backoff (default: 0)",
+    )
+    resilience_group.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry a sweep point running longer than this "
+        "(parallel sweep cases only; default: no timeout)",
+    )
+    resilience_group.add_argument(
+        "--on-failure",
+        choices=[policy.value for policy in FailurePolicy],
+        default=FailurePolicy.FAIL_FAST.value,
+        help="fail-fast aborts on the first exhausted point (default); "
+        "salvage records the hole, keeps going, and exits 3",
+    )
+    resilience_group.add_argument(
+        "--journal", metavar="FILE", default=None,
+        help="checkpoint each completed sweep point; every case journals to "
+        "its own FILE.<case-name> so the serial/parallel pair cannot share "
+        "checkpoints and fake the speedup",
+    )
+    resilience_group.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="resume from a prior --journal FILE prefix: per-case journals "
+        "that exist are restored, missing ones start fresh",
+    )
     args = parser.parse_args(argv)
     if args.threshold < 0:
         parser.error(f"--threshold must be >= 0, got {args.threshold}")
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.journal is not None and args.resume is not None:
+        parser.error("--journal and --resume are mutually exclusive")
 
-    cases, overhead, sweep = _run_suite(args.quick, jobs=args.jobs)
+    resilience_requested = (
+        args.retries > 0
+        or args.point_timeout is not None
+        or args.on_failure != FailurePolicy.FAIL_FAST.value
+        or args.journal is not None
+        or args.resume is not None
+    )
+    created_options: List[ResilienceOptions] = []
+    factory: Optional[ResilienceFactory] = None
+    if resilience_requested:
+        try:
+            retry = RetryPolicy(retries=args.retries, point_timeout=args.point_timeout)
+        except ConfigError as exc:
+            print(f"repro-bench: {exc}", file=sys.stderr)
+            return 2
+        policy = FailurePolicy(args.on_failure)
+        journal_base = args.journal if args.journal is not None else args.resume
+
+        def _make_options(case_name: str) -> ResilienceOptions:
+            journal = None
+            if journal_base is not None:
+                case_path = Path(f"{journal_base}.{case_name}")
+                journal = RunJournal(
+                    case_path,
+                    resume=args.resume is not None and case_path.exists(),
+                )
+            options = ResilienceOptions(retry=retry, on_failure=policy, journal=journal)
+            created_options.append(options)
+            return options
+
+        factory = _make_options
+
+    try:
+        cases, overhead, sweep = _run_suite(
+            args.quick, jobs=args.jobs, resilience_factory=factory
+        )
+    except SweepInterrupted as exc:
+        print(f"repro-bench: interrupted — {exc}", file=sys.stderr)
+        for options in created_options:
+            for line in options.summary_lines():
+                print(f"  {line}", file=sys.stderr)
+        return 130
     document: JSONDict = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": "quick" if args.quick else "full",
@@ -286,10 +402,15 @@ def main(argv: "list[str] | None" = None) -> int:
         "probe_overhead": overhead,
         "parallel_sweep": sweep,
     }
+    outcomes = [
+        outcome for options in created_options for outcome in options.outcomes
+    ]
+    if outcomes:
+        document["resilience"] = [outcome.to_dict() for outcome in outcomes]
     validate_bench_document(document)
 
     output = Path(args.output)
-    output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    atomic_write_json(output, document)
     for case in cases:
         print(
             f"{case['name']:<20} {case['wall_time_s']:>8.3f}s "
@@ -300,12 +421,23 @@ def main(argv: "list[str] | None" = None) -> int:
         f"{overhead['disabled_wall_s']:.3f}s, enabled {overhead['enabled_wall_s']:.3f}s "
         f"({overhead['enabled_overhead_pct']:+.1f}%)"
     )
+    speedup_note = (
+        f"-> {sweep['speedup']:.2f}x"
+        if sweep["speedup_expected"]
+        else f"-> {sweep['speedup']:.2f}x (single core: speedup not expected, "
+        "measuring fan-out overhead only)"
+    )
     print(
-        f"parallel sweep (jobs={sweep['jobs']}): serial "
+        f"parallel sweep (jobs={sweep['jobs']}, cpus={sweep['cpu_count']}): serial "
         f"{sweep['serial_wall_s']:.3f}s, parallel {sweep['parallel_wall_s']:.3f}s "
-        f"-> {sweep['speedup']:.2f}x, results "
+        f"{speedup_note}, results "
         f"{'identical' if sweep['results_match'] else 'DIVERGED'}"
     )
+    if outcomes:
+        print("resilience:")
+        for options in created_options:
+            for line in options.summary_lines():
+                print(f"  {line}")
     print(f"wrote {output}")
     if not sweep["results_match"]:
         print(
@@ -314,6 +446,13 @@ def main(argv: "list[str] | None" = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if any(options.failed for options in created_options):
+        print(
+            "repro-bench: salvage left failed sweep points (see resilience "
+            "summary); resume with --resume to fill the holes",
+            file=sys.stderr,
+        )
+        return 3
 
     if args.baseline == "none":
         return 0

@@ -21,6 +21,7 @@ from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
 from ..multiswitch.simulator import ComposedFlow, MultiStageSimulation
 from ..multiswitch.topology import ClosTopology
 from ..obs.probe import Probe
+from ..resilience import ResilienceOptions
 from ..switch.flit_kernel import FlitLevelSimulation
 from ..switch.simulator import Simulation
 from ..traffic.flows import Workload, be_flow, gb_flow, gl_flow
@@ -30,10 +31,13 @@ from ..types import FlowId, TrafficClass
 #: What one case hands back: (grants, qos deltas).
 CaseResult = Tuple[int, Dict[str, float]]
 
-#: A case body: (horizon, probe, jobs) -> CaseResult. ``horizon`` is per
-#: simulation (per sweep point for sweep cases); single-run cases ignore
-#: ``jobs``.
-CaseFn = Callable[[int, Optional[Probe], int], CaseResult]
+#: A case body: (horizon, probe, jobs, resilience) -> CaseResult.
+#: ``horizon`` is per simulation (per sweep point for sweep cases);
+#: single-run cases ignore ``jobs`` and ``resilience`` (only sweep cases
+#: dispatch through repro.parallel, the only consumer of resilience).
+CaseFn = Callable[
+    [int, Optional[Probe], int, Optional[ResilienceOptions]], CaseResult
+]
 
 
 @dataclass(frozen=True)
@@ -73,7 +77,12 @@ def _paper_config(radix: int = 8, **overrides: object) -> SwitchConfig:
     return SwitchConfig(**defaults)  # type: ignore[arg-type]
 
 
-def _fast_uniform(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+def _fast_uniform(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
     """Event kernel, radix 8, uniform GB Bernoulli load at 70%."""
     config = _paper_config()
     workload = uniform_random_workload(8, inject_rate=0.7, reserved_share=0.9)
@@ -82,7 +91,12 @@ def _fast_uniform(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseRe
     return result.grants, {"mean_utilization": total}
 
 
-def _fast_hotspot(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+def _fast_hotspot(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
     """Event kernel, Fig. 4 hotspot: 8 saturating GB flows on one output."""
     config = _paper_config()
     workload = fig4_workload(inject_rate=None)
@@ -97,7 +111,12 @@ def _fast_hotspot(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseRe
     }
 
 
-def _fast_gl_policed(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+def _fast_gl_policed(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
     """Event kernel: saturating GL aggressor vs. reserved GB, tight window."""
     config = _paper_config(
         radix=4,
@@ -116,7 +135,12 @@ def _fast_gl_policed(horizon: int, probe: Optional[Probe], jobs: int = 1) -> Cas
     }
 
 
-def _flit_parity(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+def _flit_parity(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
     """Flit kernel, radix 4, scheduled GB load (the 10-50x slower engine)."""
     config = _paper_config(radix=4, channel_bits=64)
     workload = uniform_random_workload(4, inject_rate=0.5, reserved_share=0.8)
@@ -125,7 +149,12 @@ def _flit_parity(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseRes
     return result.grants, {"mean_utilization": total}
 
 
-def _multiswitch(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+def _multiswitch(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
     """Two-stage Clos, 4 groups x 4 hosts, all-to-all-groups GB traffic."""
     topo = ClosTopology(groups=4, hosts_per_group=4)
     flows = []
@@ -141,7 +170,12 @@ def _multiswitch(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseRes
     }
 
 
-def _faulted_hotspot(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+def _faulted_hotspot(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
     """Event kernel, Fig. 4 hotspot with an active behavioral fault plan.
 
     Guards the fault-injection hot paths: the keyed-hash draws and the
@@ -187,7 +221,12 @@ def _faulted_hotspot(horizon: int, probe: Optional[Probe], jobs: int = 1) -> Cas
 _SWEEP_RATES = (0.05, 0.08, 0.10, 0.15, 0.20, 0.40, 1.0)
 
 
-def _fig4_sweep(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResult:
+def _fig4_sweep(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
     """Fast Fig. 4 SSVC sweep through repro.parallel (7 rate points).
 
     The serial/parallel case pair shares this body; only ``jobs`` differs,
@@ -197,7 +236,9 @@ def _fig4_sweep(horizon: int, probe: Optional[Probe], jobs: int = 1) -> CaseResu
     del probe  # sweep wall time is the measurement; kernels run bare
     from ..experiments.fig4_bandwidth import run_fig4
 
-    result = run_fig4("ssvc", _SWEEP_RATES, horizon=horizon, jobs=jobs)
+    result = run_fig4(
+        "ssvc", _SWEEP_RATES, horizon=horizon, jobs=jobs, resilience=resilience
+    )
     grants = sum(result.grants.values())
     shares = result.saturation_shares
     return grants, {
@@ -283,6 +324,7 @@ def run_case(
     quick: bool = False,
     probe: Optional[Probe] = None,
     jobs: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> CaseResult:
     """Execute one case at the requested fidelity.
 
@@ -291,6 +333,8 @@ def run_case(
         quick: use the CI-smoke horizon.
         probe: optional probe threaded into the kernel.
         jobs: override of the case's pinned worker count.
+        resilience: journaling/retry/salvage bundle for sweep cases
+            (single-run cases ignore it).
     """
     horizon = case.quick_horizon if quick else case.horizon
-    return case.fn(horizon, probe, case.jobs if jobs is None else jobs)
+    return case.fn(horizon, probe, case.jobs if jobs is None else jobs, resilience)

@@ -43,6 +43,21 @@ class SimulationError(ReproError):
     """
 
 
+class SweepInterrupted(SimulationError):
+    """A sweep was cancelled (SIGINT/SIGTERM) after a clean drain.
+
+    In-flight points were allowed to finish, the journal (when one was
+    attached) was flushed, and the run is resumable with ``--resume``.
+    The executor attaches its partial
+    :class:`repro.resilience.SweepOutcome` as :attr:`outcome` (typed
+    ``object`` here to keep this module import-free).
+    """
+
+    def __init__(self, message: str, outcome: object = None) -> None:
+        super().__init__(message)
+        self.outcome = outcome
+
+
 class BufferError_(ReproError):
     """A buffer operation violated capacity or ordering invariants.
 

@@ -12,11 +12,12 @@ a large randomized sweep at radix 8 and 16 (including multi-GL requests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..circuit.verification import VerificationReport, verify_exhaustive, verify_random
 from ..metrics.report import format_table
 from ..parallel import SweepExecutor, SweepPoint
+from ..resilience import ResilienceOptions
 
 
 @dataclass
@@ -55,7 +56,9 @@ def _verification_point(point: SweepPoint) -> VerificationReport:
 
 
 def run_circuit_verification(
-    fast: bool = False, jobs: int = 1
+    fast: bool = False,
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> CircuitVerificationResult:
     """Exhaustive small-radix sweep plus randomized larger-radix sweeps.
 
@@ -81,10 +84,17 @@ def run_circuit_verification(
         )
         for i, (kind, radix, num_levels, trials, seed) in enumerate(specs)
     ]
-    results = SweepExecutor(jobs=jobs).map(_verification_point, points)
+    executor = SweepExecutor(jobs=jobs, resilience=resilience)
+    results = executor.map(_verification_point, points)
     return CircuitVerificationResult(reports=[r.value for r in results])
 
 
-def main(fast: bool = False, jobs: int = 1) -> str:
+def main(
+    fast: bool = False,
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> str:
     """CLI entry."""
-    return run_circuit_verification(fast=fast, jobs=jobs).format()
+    return run_circuit_verification(
+        fast=fast, jobs=jobs, resilience=resilience
+    ).format()

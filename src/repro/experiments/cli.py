@@ -22,8 +22,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from ..errors import ConfigError, SweepInterrupted
+from ..resilience import (
+    FailurePolicy,
+    ResilienceOptions,
+    RetryPolicy,
+    RunJournal,
+)
 from . import (
     baseline_comparison,
     circuit_verification,
@@ -165,9 +172,67 @@ def main(argv: "list[str] | None" = None) -> int:
         help="for 'custom': stream an NDJSON event trace to FILE during the "
         "run (implies counter collection)",
     )
+    resilience_group = parser.add_argument_group(
+        "resilience",
+        "checkpointing, retries, and salvage for sweep experiments "
+        "(see docs/PARALLELISM.md)",
+    )
+    resilience_group.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-attempts per failed/timed-out sweep point, with "
+        "deterministic seeded-jitter backoff (default: 0)",
+    )
+    resilience_group.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog: kill a sweep point's worker after this many wall "
+        "seconds (needs --jobs >= 2; counts as a retryable failure)",
+    )
+    resilience_group.add_argument(
+        "--on-failure",
+        choices=[policy.value for policy in FailurePolicy],
+        default=FailurePolicy.FAIL_FAST.value,
+        help="what an exhausted retry budget means: 'fail-fast' aborts the "
+        "sweep (default, historical behavior); 'salvage' records the "
+        "failure and returns partial results with explicit holes",
+    )
+    resilience_group.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="checkpoint every completed sweep point to FILE (atomic "
+        "write-temp + fsync + rename); a killed run resumes with --resume",
+    )
+    resilience_group.add_argument(
+        "--resume",
+        metavar="FILE",
+        help="resume from an existing journal: journaled points are "
+        "restored, only missing points are recomputed, and every "
+        "re-executed point is asserted bit-identical",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.journal and args.resume:
+        parser.error("--journal starts a fresh journal; use --resume alone "
+                     "to continue an existing one")
+    resilience_requested = bool(
+        args.retries or args.point_timeout is not None or args.journal
+        or args.resume or args.on_failure != FailurePolicy.FAIL_FAST.value
+    )
+    if resilience_requested and args.experiment == "custom":
+        parser.error("resilience flags apply to sweep experiments, not "
+                     "'custom' single runs")
+    if resilience_requested and args.experiment != "all" \
+            and args.experiment not in PARALLEL_EXPERIMENTS:
+        parser.error(
+            f"'{args.experiment}' is not a sweep experiment; resilience "
+            f"flags apply to: {', '.join(sorted(PARALLEL_EXPERIMENTS))}"
+        )
 
     if args.experiment == "custom":
         if not args.config:
@@ -182,18 +247,54 @@ def main(argv: "list[str] | None" = None) -> int:
                 fh.write(report + "\n")
         return 0
 
+    resilience: Optional[ResilienceOptions] = None
+    if resilience_requested:
+        try:
+            journal: Optional[RunJournal] = None
+            if args.resume:
+                journal = RunJournal(args.resume, resume=True)
+            elif args.journal:
+                journal = RunJournal(args.journal)
+            resilience = ResilienceOptions(
+                retry=RetryPolicy(
+                    retries=args.retries, point_timeout=args.point_timeout
+                ),
+                on_failure=FailurePolicy(args.on_failure),
+                journal=journal,
+            )
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     sections = []
-    for name in names:
-        if name in PARALLEL_EXPERIMENTS:
-            report = EXPERIMENTS[name](args.fast, jobs=args.jobs)
-        else:
-            report = EXPERIMENTS[name](args.fast)
-        sections.append(f"=== {name} ===\n{report}\n")
+    interrupted = False
+    try:
+        for name in names:
+            if name in PARALLEL_EXPERIMENTS:
+                report = EXPERIMENTS[name](
+                    args.fast, jobs=args.jobs, resilience=resilience
+                )
+            else:
+                report = EXPERIMENTS[name](args.fast)
+            sections.append(f"=== {name} ===\n{report}\n")
+            print(sections[-1])
+    except SweepInterrupted as exc:
+        interrupted = True
+        sections.append(f"=== interrupted ===\n{exc}\n")
+        print(sections[-1], file=sys.stderr)
+    if resilience is not None and resilience.outcomes:
+        sections.append(
+            "=== resilience ===\n" + "\n".join(resilience.summary_lines()) + "\n"
+        )
         print(sections[-1])
     if args.output:
         with open(args.output, "a", encoding="utf-8") as fh:
             fh.write("\n".join(sections) + "\n")
+    if interrupted:
+        return 130
+    if resilience is not None and resilience.failed:
+        return 3  # salvage completed, but with explicit holes
     return 0
 
 

@@ -24,14 +24,16 @@ latency — plus the shared downlink FIFO adds head-of-line blocking across
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
+from ..errors import SimulationError
 from ..metrics.report import format_table
 from ..multiswitch.simulator import ComposedFlow, MultiStageSimulation
 from ..multiswitch.storage import composed_storage_overhead
 from ..multiswitch.topology import ClosTopology
 from ..parallel import SweepExecutor, SweepPoint
+from ..resilience import ResilienceOptions
 from ..traffic.flows import Workload, gb_flow
 from ..types import FlowId, TrafficClass
 from .common import run_simulation
@@ -198,6 +200,7 @@ def run_composition(
     background_rate: float = 0.10,
     seed: int = 3,
     jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> CompositionResult:
     """Run the victim/aggressor study on both networks.
 
@@ -216,9 +219,19 @@ def run_composition(
         SweepPoint.make(0, "composition:single", seed=seed, leg="single", **shared),
         SweepPoint.make(1, "composition:composed", seed=seed, leg="composed", **shared),
     ]
-    results = SweepExecutor(jobs=jobs).map(_composition_point, points)
-    single_rate, single_latency, _ = results[0].value
-    composed_rate, composed_latency, hol_blocked = results[1].value
+    executor = SweepExecutor(jobs=jobs, resilience=resilience)
+    results = executor.map(_composition_point, points)
+    # Look legs up by point index — under salvage a leg can be missing, and
+    # this study is meaningless with only one of its two legs.
+    by_index = {r.point.index: r for r in results}
+    missing = [p.label for p in points if p.index not in by_index]
+    if missing:
+        raise SimulationError(
+            "composition study needs both legs; missing after salvage: "
+            + ", ".join(missing)
+        )
+    single_rate, single_latency, _ = by_index[0].value
+    composed_rate, composed_latency, hol_blocked = by_index[1].value
 
     storage = composed_storage_overhead(topology)
     return CompositionResult(
@@ -231,7 +244,11 @@ def run_composition(
     )
 
 
-def main(fast: bool = False, jobs: int = 1) -> str:
+def main(
+    fast: bool = False,
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> str:
     """CLI entry."""
     horizon = 25_000 if fast else 80_000
-    return run_composition(horizon=horizon, jobs=jobs).format()
+    return run_composition(horizon=horizon, jobs=jobs, resilience=resilience).format()

@@ -45,6 +45,7 @@ from ..faults import (
 )
 from ..metrics.report import format_table
 from ..parallel import SweepExecutor, SweepPoint
+from ..resilience import ResilienceOptions
 from ..traffic.flows import Workload, gb_flow, gl_flow
 from ..traffic.generators import BernoulliInjection
 from ..types import FlowId, TrafficClass
@@ -311,6 +312,7 @@ def run_faults_resilience(
     seed: int = 23,
     jobs: int = 1,
     scenarios: Optional[Sequence[str]] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> ResilienceResult:
     """Sweep the behavioral fault scenarios and judge each guarantee.
 
@@ -335,7 +337,8 @@ def run_faults_resilience(
         )
         for i, (name, plan) in enumerate(plans.items())
     ]
-    results = SweepExecutor(jobs=jobs).map(_resilience_point, points)
+    executor = SweepExecutor(jobs=jobs, resilience=resilience)
+    results = executor.map(_resilience_point, points)
     bound = gl_latency_bound(
         l_max=_GB_PACKET_FLITS,
         l_min=_GL_L_MIN,
@@ -359,10 +362,14 @@ def run_faults_resilience(
     return ResilienceResult(horizon=horizon, seed=seed, outcomes=outcomes)
 
 
-def main(fast: bool = False, jobs: int = 1) -> str:
+def main(
+    fast: bool = False,
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> str:
     """CLI entry: the guarantee-survival matrix."""
     horizon = 20_000 if fast else 60_000
-    result = run_faults_resilience(horizon=horizon, jobs=jobs)
+    result = run_faults_resilience(horizon=horizon, jobs=jobs, resilience=resilience)
     lines = [result.format(), ""]
     baseline = result.baseline
     lines.append(

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..metrics.report import format_table
 from ..parallel import SweepExecutor, SweepPoint
+from ..resilience import ResilienceOptions
 from ..traffic.patterns import FIG4_RESERVED_RATES
 from ..types import FlowId, TrafficClass
 from .common import gb_only_config, run_simulation
@@ -54,9 +55,25 @@ class Fig4Result:
     grants: Dict[float, int] = field(default_factory=dict)
 
     @property
+    def completed_rates(self) -> Tuple[float, ...]:
+        """Injection rates that actually have results.
+
+        Equal to :attr:`injection_rates` on a complete run; shorter when a
+        salvage run left explicit holes (see docs/PARALLELISM.md).
+        """
+        return tuple(r for r in self.injection_rates if r in self.accepted)
+
+    @property
     def saturation_shares(self) -> List[float]:
         """Per-flow accepted rates at the highest injection point."""
-        return self.accepted[self.injection_rates[-1]]
+        top = self.injection_rates[-1]
+        if top not in self.accepted:
+            missing = [r for r in self.injection_rates if r not in self.accepted]
+            raise KeyError(
+                f"fig4 {self.arbiter}: saturation point {top:g} has no result "
+                f"(salvaged holes at rates {missing})"
+            )
+        return self.accepted[top]
 
     def format(self) -> str:
         """Fig. 4 as an ASCII table (rows = injection rates)."""
@@ -64,29 +81,37 @@ class Fig4Result:
             f"flow{i} (r={r:.2f})" for i, r in enumerate(self.reserved_rates)
         ] + ["total"]
         rows = []
-        for rate in self.injection_rates:
+        for rate in self.completed_rates:
             rows.append(
                 [rate] + list(self.accepted[rate]) + [self.total_throughput[rate]]
             )
-        return format_table(
+        table = format_table(
             headers,
             rows,
             title=f"Fig.4 accepted throughput (flits/cycle) — {self.arbiter}",
         )
+        holes = [r for r in self.injection_rates if r not in self.accepted]
+        if holes:
+            table += (
+                "\nMISSING points (salvaged failures): "
+                + ", ".join(f"{r:g}" for r in holes)
+            )
+        return table
 
     def chart(self, flows: "tuple[int, ...]" = (0, 1, 4)) -> str:
         """The figure's curves for selected flows, as an ASCII chart."""
         from ..metrics.ascii_plot import line_chart
 
+        rates = self.completed_rates
         series = {
             f"flow{i} r={self.reserved_rates[i]:.2f}": [
-                self.accepted[rate][i] for rate in self.injection_rates
+                self.accepted[rate][i] for rate in rates
             ]
             for i in flows
         }
         return line_chart(
             series,
-            [f"{r:g}" for r in self.injection_rates],
+            [f"{r:g}" for r in rates],
             title=f"Fig.4 shape — {self.arbiter} (x: injection, y: accepted)",
             y_label="fl/cy",
         )
@@ -136,6 +161,7 @@ def run_fig4(
     seed: int = 11,
     arbitration_cycles: Optional[int] = None,
     jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> Fig4Result:
     """Run one Fig. 4 panel (``arbiter="lrg"`` for (a), ``"ssvc"`` for (b)).
 
@@ -152,6 +178,9 @@ def run_fig4(
             bubble ablation passes 0).
         jobs: sweep-point worker processes; 1 runs in-process and is
             bit-identical to any parallel run (see docs/PARALLELISM.md).
+        resilience: journaling/retry/salvage bundle threaded into the
+            executor; under salvage the returned result may have holes
+            (see :attr:`Fig4Result.completed_rates`).
     """
     result = Fig4Result(
         arbiter=arbiter,
@@ -172,7 +201,8 @@ def run_fig4(
         )
         for i, rate in enumerate(injection_rates)
     ]
-    for point_result in SweepExecutor(jobs=jobs).map(_fig4_point, points):
+    executor = SweepExecutor(jobs=jobs, resilience=resilience)
+    for point_result in executor.map(_fig4_point, points):
         rate = point_result.point.param("rate")
         per_flow, total, grants = point_result.value
         result.accepted[rate] = per_flow
@@ -185,19 +215,24 @@ def run_both_panels(
     injection_rates: Sequence[float] = DEFAULT_SWEEP,
     horizon: int = 60_000,
     jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> Tuple[Fig4Result, Fig4Result]:
     """Run Fig. 4(a) (LRG) and Fig. 4(b) (SSVC)."""
     return (
-        run_fig4("lrg", injection_rates, horizon, jobs=jobs),
-        run_fig4("ssvc", injection_rates, horizon, jobs=jobs),
+        run_fig4("lrg", injection_rates, horizon, jobs=jobs, resilience=resilience),
+        run_fig4("ssvc", injection_rates, horizon, jobs=jobs, resilience=resilience),
     )
 
 
-def main(fast: bool = False, jobs: int = 1) -> str:
+def main(
+    fast: bool = False,
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> str:
     """CLI entry: run both panels and return the formatted report."""
     horizon = 20_000 if fast else 60_000
     sweep = (0.05, 0.10, 0.20, 0.40, 1.0) if fast else DEFAULT_SWEEP
-    lrg, ssvc = run_both_panels(sweep, horizon, jobs=jobs)
+    lrg, ssvc = run_both_panels(sweep, horizon, jobs=jobs, resilience=resilience)
     return "\n\n".join(
         [lrg.format(), lrg.chart(), ssvc.format(), ssvc.chart()]
     )

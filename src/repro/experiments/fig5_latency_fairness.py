@@ -19,13 +19,14 @@ All schemes must still deliver every flow's reserved rate within ~2 %
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..metrics.report import format_table
 from ..parallel import SweepExecutor, SweepPoint
+from ..resilience import ResilienceOptions
 from ..traffic.flows import Workload, gb_flow
 from ..traffic.generators import BernoulliInjection, BurstyInjection
 from ..types import FlowId, TrafficClass
@@ -171,6 +172,7 @@ def run_fig5(
     sig_bits: int = 4,
     seed: int = 23,
     jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> Fig5Result:
     """Run the Fig. 5 comparison.
 
@@ -189,6 +191,9 @@ def run_fig5(
         seed: RNG seed (same across schemes so offered traffic matches).
         jobs: worker processes for the per-scheme fan-out (results are
             identical at any value; see docs/PARALLELISM.md).
+        resilience: journaling/retry/salvage bundle threaded into the
+            executor; under salvage a failed scheme is simply absent from
+            the result's dicts (the outcome records why).
     """
     result = Fig5Result(allocations=tuple(allocations), bursty=bursty)
     points = [
@@ -206,7 +211,8 @@ def run_fig5(
         )
         for i, scheme in enumerate(schemes)
     ]
-    for point_result in SweepExecutor(jobs=jobs).map(_fig5_point, points):
+    executor = SweepExecutor(jobs=jobs, resilience=resilience)
+    for point_result in executor.map(_fig5_point, points):
         latencies, ratios = point_result.value
         scheme = point_result.point.param("scheme")
         result.mean_latency[scheme] = latencies
@@ -214,11 +220,15 @@ def run_fig5(
     return result
 
 
-def main(fast: bool = False, jobs: int = 1) -> str:
+def main(
+    fast: bool = False,
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> str:
     """CLI entry: steady and bursty panels."""
     horizon = 60_000 if fast else 300_000
-    steady = run_fig5(horizon=horizon, bursty=False, jobs=jobs)
-    burst = run_fig5(horizon=horizon, bursty=True, jobs=jobs)
+    steady = run_fig5(horizon=horizon, bursty=False, jobs=jobs, resilience=resilience)
+    burst = run_fig5(horizon=horizon, bursty=True, jobs=jobs, resilience=resilience)
     return "\n\n".join(
         [steady.format(), steady.chart(), burst.format(), burst.chart()]
     )

@@ -13,12 +13,13 @@ reserved rates" — the tolerance used here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..metrics.report import format_table
 from ..parallel import SweepExecutor, SweepPoint
+from ..resilience import ResilienceOptions
 from ..traffic.patterns import single_output_workload
 from ..types import CounterMode, FlowId, TrafficClass
 from .common import gb_only_config, run_simulation
@@ -148,6 +149,7 @@ def run_rate_adherence(
     horizon: int = 120_000,
     seed: int = 5,
     jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> AdherenceResult:
     """Run the Section 4.2 sweep: ``num_cases`` random mixes.
 
@@ -174,7 +176,8 @@ def run_rate_adherence(
                 horizon=horizon,
             )
         )
-    for point_result in SweepExecutor(jobs=jobs).map(_adherence_point, points):
+    executor = SweepExecutor(jobs=jobs, resilience=resilience)
+    for point_result in executor.map(_adherence_point, points):
         point = point_result.point
         result.cases.append(
             AdherenceCase(
@@ -186,14 +189,22 @@ def run_rate_adherence(
     return result
 
 
-def main(fast: bool = False, jobs: int = 1) -> str:
+def main(
+    fast: bool = False,
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> str:
     """CLI entry: all three counter modes."""
     cases = 6 if fast else 20
     horizon = 40_000 if fast else 120_000
     reports = []
     for mode in CounterMode:
         result = run_rate_adherence(
-            num_cases=cases, counter_mode=mode, horizon=horizon, jobs=jobs
+            num_cases=cases,
+            counter_mode=mode,
+            horizon=horizon,
+            jobs=jobs,
+            resilience=resilience,
         )
         reports.append(result.format())
     return "\n\n".join(reports)

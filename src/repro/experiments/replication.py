@@ -10,12 +10,13 @@ estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ConfigError
 from ..parallel import SweepExecutor, SweepPoint
+from ..resilience import ResilienceOptions
 
 #: An experiment run: seed in, named scalar metrics out.
 MetricFn = Callable[[int], Mapping[str, float]]
@@ -62,7 +63,10 @@ class MetricSummary:
 
 
 def replicate(
-    fn: MetricFn, seeds: Sequence[int], jobs: int = 1
+    fn: MetricFn,
+    seeds: Sequence[int],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> Dict[str, MetricSummary]:
     """Run ``fn`` once per seed and summarize every metric it returns.
 
@@ -85,7 +89,8 @@ def replicate(
         SweepPoint.make(i, f"seed:{seed}", seed=seed)
         for i, seed in enumerate(seeds)
     ]
-    results = SweepExecutor(jobs=jobs).map(_MetricPointFn(fn), points)
+    executor = SweepExecutor(jobs=jobs, resilience=resilience)
+    results = executor.map(_MetricPointFn(fn), points)
     per_metric: Dict[str, List[float]] = {}
     names = None
     for point_result in results:

@@ -15,7 +15,7 @@ Two parts:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from ..errors import SimulationError
 from ..hw.lanes import lane_feasibility_table
 from ..metrics.report import format_table
 from ..parallel import SweepExecutor, SweepPoint
+from ..resilience import ResilienceOptions
 from ..traffic.flows import Workload, gb_flow
 from ..traffic.generators import BernoulliInjection
 from ..traffic.patterns import single_output_workload
@@ -123,6 +124,7 @@ def run_sig_bits_sweep(
     horizon: int = 120_000,
     seed: int = 13,
     jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> List[SigBitsPoint]:
     """Measure adherence and latency spread at each quantization."""
     num_inputs = 8
@@ -139,7 +141,8 @@ def run_sig_bits_sweep(
         for i, sig_bits in enumerate(sig_bits_values)
     ]
     points = []
-    for point_result in SweepExecutor(jobs=jobs).map(_sig_bits_point, sweep):
+    executor = SweepExecutor(jobs=jobs, resilience=resilience)
+    for point_result in executor.map(_sig_bits_point, sweep):
         worst_shortfall, latency_spread = point_result.value
         points.append(
             SigBitsPoint(
@@ -155,16 +158,25 @@ def run_scalability(
     horizon: int = 120_000,
     sig_bits_values: Sequence[int] = (1, 2, 3, 4, 5),
     jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> ScalabilityResult:
     """Lane table plus the quantization accuracy sweep."""
     return ScalabilityResult(
         lane_rows=lane_feasibility_table(),
-        accuracy=run_sig_bits_sweep(sig_bits_values, horizon=horizon, jobs=jobs),
+        accuracy=run_sig_bits_sweep(
+            sig_bits_values, horizon=horizon, jobs=jobs, resilience=resilience
+        ),
     )
 
 
-def main(fast: bool = False, jobs: int = 1) -> str:
+def main(
+    fast: bool = False,
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> str:
     """CLI entry."""
     horizon = 40_000 if fast else 120_000
     bits = (2, 4) if fast else (1, 2, 3, 4, 5)
-    return run_scalability(horizon=horizon, sig_bits_values=bits, jobs=jobs).format()
+    return run_scalability(
+        horizon=horizon, sig_bits_values=bits, jobs=jobs, resilience=resilience
+    ).format()

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..resilience import atomic_write_text
 from ..serialization import JSONDict, config_to_dict, stats_collector_to_dict
 from .probe import CountingProbe
 
@@ -55,6 +56,10 @@ class RunReport:
         output_utilization: delivered flits/cycle per output.
         config: the switch configuration (serialized).
         flows: per-flow statistics (serialized).
+        resilience: sweep-outcome dicts (journal/retry/salvage accounting)
+            when the run used ``repro.resilience``; empty — and omitted
+            from the JSON — otherwise, so pre-resilience reports are
+            byte-identical.
     """
 
     kernel: str
@@ -70,6 +75,7 @@ class RunReport:
     output_utilization: Dict[int, float] = field(default_factory=dict)
     config: JSONDict = field(default_factory=dict)
     flows: List[JSONDict] = field(default_factory=list)
+    resilience: List[JSONDict] = field(default_factory=list)
 
     @classmethod
     def from_result(
@@ -96,7 +102,7 @@ class RunReport:
 
     def to_dict(self) -> JSONDict:
         """Plain JSON-compatible dict (int keys become strings)."""
-        return {
+        document: JSONDict = {
             "schema_version": SCHEMA_VERSION,
             "kernel": self.kernel,
             "workload": self.workload,
@@ -116,11 +122,20 @@ class RunReport:
             "config": self.config,
             "flows": self.flows,
         }
+        if self.resilience:
+            document["resilience"] = list(self.resilience)
+        return document
 
     def to_json(self, indent: int = 2) -> str:
         """The report as a JSON string."""
         return json.dumps(self.to_dict(), indent=indent)
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the report to ``path`` as JSON."""
-        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+        """Write the report to ``path`` as JSON, atomically.
+
+        The file is written to a temp name and renamed into place, so a
+        crash mid-write never tears an existing report (``--report`` over
+        a previous run's file either fully replaces it or leaves it
+        intact).
+        """
+        atomic_write_text(Path(path), self.to_json() + "\n")

@@ -2,10 +2,17 @@
 
 An opt-in alternative to the kernels' in-memory ``events`` list: each
 grant/delivery/throttle event is written as one JSON object per line the
-moment it happens, so trace size is bounded by disk, not RAM, and a
-crashed run still leaves a readable prefix. Lines look like::
+moment it happens, so trace size is bounded by disk, not RAM. Lines look
+like::
 
     {"kind": "grant", "cycle": 41, "output": 2, "input": 0, ...}
+
+When given a *path*, the probe streams into a temporary sibling file and
+renames it over the destination on :meth:`close` — re-tracing over a
+previous run's file either fully replaces it or (on a crash mid-run)
+leaves it intact, with the partial trace still readable at the temp name
+for post-mortems. Stream destinations are written directly (the caller
+owns the stream's durability).
 
 The probe also inherits :class:`~repro.obs.probe.CountingProbe`, so a
 traced run gets kernel counters for free.
@@ -14,10 +21,12 @@ traced run gets kernel counters for free.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from types import TracebackType
 from typing import IO, Optional, Type, Union
 
+from ..resilience.atomic import _fsync_directory
 from .probe import CountingProbe, EventValue
 
 
@@ -25,19 +34,26 @@ class NDJSONTraceProbe(CountingProbe):
     """Streams trace events to a file as newline-delimited JSON.
 
     Args:
-        destination: path (opened for writing, truncated) or an already
-            open text stream (caller keeps ownership).
+        destination: path (written atomically: temp file + rename on
+            :meth:`close`) or an already open text stream (caller keeps
+            ownership; written directly).
 
     Use as a context manager, or call :meth:`close` explicitly when a path
-    was given.
+    was given — an unclosed path trace never replaces the destination.
     """
 
     trace = True
 
     def __init__(self, destination: Union[str, Path, IO[str]]) -> None:
         super().__init__()
+        self._final_path: Optional[Path] = None
+        self._temp_path: Optional[Path] = None
         if isinstance(destination, (str, Path)):
-            self._stream: IO[str] = open(destination, "w", encoding="utf-8")
+            self._final_path = Path(destination)
+            self._temp_path = self._final_path.with_name(
+                f"{self._final_path.name}.tmp-{os.getpid()}"
+            )
+            self._stream: IO[str] = open(self._temp_path, "w", encoding="utf-8")
             self._owns_stream = True
         else:
             self._stream = destination
@@ -51,11 +67,22 @@ class NDJSONTraceProbe(CountingProbe):
         self.events_written += 1
 
     def close(self) -> None:
-        """Flush and close the stream (only if this probe opened it)."""
-        if self._owns_stream and not self._stream.closed:
-            self._stream.close()
-        else:
+        """Finalize the trace.
+
+        Path destinations are fsynced and renamed into place (the atomic
+        commit point); stream destinations are just flushed.
+        """
+        if not self._owns_stream:
             self._stream.flush()
+            return
+        if self._stream.closed:
+            return
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+        self._stream.close()
+        assert self._temp_path is not None and self._final_path is not None
+        os.replace(self._temp_path, self._final_path)
+        _fsync_directory(self._final_path.parent)
 
     def __enter__(self) -> "NDJSONTraceProbe":
         return self

@@ -7,9 +7,10 @@ the seed-derivation scheme, and the determinism guarantees.
 """
 
 from .envelope import PointResult, SweepPoint, result_hash, spawn_seeds
-from .executor import PointFn, SweepExecutor
+from .executor import CHAOS_ENV, PointFn, SweepExecutor
 
 __all__ = [
+    "CHAOS_ENV",
     "PointFn",
     "PointResult",
     "SweepExecutor",

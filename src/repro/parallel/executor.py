@@ -13,17 +13,51 @@ worker is shipped back as data and re-raised here as a
 :class:`~repro.errors.SimulationError` naming the point; a worker process
 that dies outright (``BrokenProcessPool``) is reported with the labels of
 the chunk it was running. Neither case hangs the parent.
+
+Resilient execution (:class:`repro.resilience.ResilienceOptions`) layers
+checkpointing, retries, per-point timeouts, salvage, and clean
+cancellation on top of that contract without weakening it:
+
+* when no resilience feature is requested the executor runs the exact
+  historical chunked path — bit-identical behavior, verified by the CI
+  serial-vs-parallel diff;
+* when resilience is active, points run one process per point so a hung
+  worker can be killed by the watchdog, completed points are checkpointed
+  to the run journal the moment they finish, failed points are retried
+  under the deterministic backoff policy, and SIGINT/SIGTERM drain
+  in-flight points before exiting with a resumable journal
+  (:class:`~repro.errors.SweepInterrupted`);
+* determinism survives all of it because every point's seed is stateless:
+  a retried or resumed point recomputes the same bits, and the journal
+  *asserts* that on every re-execution.
 """
 
 from __future__ import annotations
 
+import contextlib
+import multiprocessing
+import os
 import pickle
+import signal
+import threading
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing.connection import Connection, wait as _connection_wait
+from multiprocessing.context import BaseContext
+from multiprocessing.process import BaseProcess
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigError, SimulationError
+from ..errors import ConfigError, SimulationError, SweepInterrupted
+from ..resilience import (
+    FailurePolicy,
+    PointFailure,
+    ResilienceOptions,
+    SweepOutcome,
+    point_key,
+    worker_name,
+)
 from .envelope import PointResult, SweepPoint
 
 #: A worker function: takes one envelope, returns a picklable payload.
@@ -33,6 +67,13 @@ PointFn = Callable[[SweepPoint], Any]
 #: payload is the point's return value on success, or the formatted
 #: traceback text on failure.
 _ChunkItem = Tuple[int, bool, Any]
+
+#: Environment hook for chaos testing: a sweep point whose ``label``
+#: equals this variable's value fails every attempt (kind ``chaos``)
+#: without executing. The CI chaos job sets it to knock a hole into a
+#: salvage run, then resumes with it unset and diffs the merged hash
+#: against a clean run.
+CHAOS_ENV = "REPRO_CHAOS_FAIL_LABEL"
 
 
 def _run_chunk(fn: PointFn, points: Sequence[SweepPoint]) -> List[_ChunkItem]:
@@ -53,6 +94,41 @@ def _run_chunk(fn: PointFn, points: Sequence[SweepPoint]) -> List[_ChunkItem]:
     return out
 
 
+def _run_point_child(fn: PointFn, point: SweepPoint, conn: Connection) -> None:
+    """Child-process body for resilient execution: one point, one pipe.
+
+    Ships ``(True, value)`` or ``(False, traceback_text)`` back to the
+    parent. If the *value* itself cannot be pickled through the pipe, a
+    failure record is shipped instead — the parent must never hang on a
+    silent child, so the pipe is closed on every path.
+    """
+    try:
+        payload: Tuple[bool, Any] = (True, fn(point))
+    except BaseException as exc:  # noqa: BLE001 - shipped back, judged by parent
+        payload = (
+            False,
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+        )
+    try:
+        conn.send(payload)
+    except Exception as exc:  # result unpicklable: ship the reason instead
+        with contextlib.suppress(Exception):
+            conn.send(
+                (
+                    False,
+                    f"point result could not be shipped to the parent: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+    finally:
+        conn.close()
+
+
+def _chaos_label() -> Optional[str]:
+    """The label forced to fail by the chaos env hook, if set."""
+    return os.environ.get(CHAOS_ENV) or None
+
+
 class SweepExecutor:
     """Map a function over sweep points, optionally across processes.
 
@@ -63,39 +139,52 @@ class SweepExecutor:
         chunk_size: points per submitted task. Defaults to
             ``ceil(len(points) / (jobs * 4))`` so each worker sees ~4
             tasks — small enough to balance uneven point costs, large
-            enough to amortize pickling.
+            enough to amortize pickling. Ignored by the resilient path,
+            which runs one process per point so the watchdog can kill a
+            single hung point.
+        resilience: journaling/retry/salvage bundle. ``None`` — or a
+            bundle with every feature off — selects the exact historical
+            execution path.
 
     Attributes:
         last_fallback: why the most recent :meth:`map` call ran serially
             despite ``jobs > 1`` (``None`` when it actually fanned out).
     """
 
-    def __init__(self, jobs: int = 1, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        resilience: Optional[ResilienceOptions] = None,
+    ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
         self.jobs = jobs
         self.chunk_size = chunk_size
+        self.resilience = resilience
         self.last_fallback: Optional[str] = None
 
     def map(self, fn: PointFn, points: Sequence[SweepPoint]) -> List[PointResult]:
         """Run ``fn`` over every point; results in original point order.
 
+        With active resilience options this delegates to :meth:`run`; the
+        returned list then has explicit holes under
+        :attr:`~repro.resilience.FailurePolicy.SALVAGE` (the outcome —
+        appended to ``resilience.outcomes`` — says exactly which points
+        are missing and why).
+
         Raises:
             ConfigError: on duplicate point indices.
-            SimulationError: when any point fails or a worker dies; the
-                message names the failed point(s).
+            SimulationError: when any point fails (after exhausting its
+                retry budget) under fail-fast; the message names the
+                failed point(s).
+            SweepInterrupted: when SIGINT/SIGTERM cancelled the sweep.
         """
-        pts = list(points)
-        seen: Dict[int, str] = {}
-        for point in pts:
-            if point.index in seen:
-                raise ConfigError(
-                    f"duplicate sweep point index {point.index}: "
-                    f"{seen[point.index]!r} vs {point.label!r}"
-                )
-            seen[point.index] = point.label
+        pts = self._validated(points)
+        if self.resilience is not None and self.resilience.active:
+            return self.run(fn, pts).results
         self.last_fallback = None
         if self.jobs == 1:
             return self._map_serial(fn, pts)
@@ -105,8 +194,37 @@ class SweepExecutor:
         unpicklable = self._pickle_check(fn, pts)
         if unpicklable is not None:
             self.last_fallback = unpicklable
-            return self._map_serial(fn, pts)
+            return self._map_parallel_fallback(fn, pts)
         return self._map_parallel(fn, pts)
+
+    def run(self, fn: PointFn, points: Sequence[SweepPoint]) -> SweepOutcome:
+        """Resilient execution: journal, retries, watchdog, salvage, drain.
+
+        Always returns a :class:`~repro.resilience.SweepOutcome` (also
+        appended to ``resilience.outcomes`` when a bundle is attached) —
+        except under fail-fast with an exhausted point, where it raises
+        after appending the outcome, and on cancellation, where it raises
+        :class:`~repro.errors.SweepInterrupted` carrying the outcome.
+        """
+        pts = self._validated(points)
+        options = self.resilience if self.resilience is not None else ResilienceOptions()
+        runner = _ResilientRun(self, fn, pts, options)
+        return runner.execute()
+
+    # ------------------------------------------------------------- validation
+
+    @staticmethod
+    def _validated(points: Sequence[SweepPoint]) -> List[SweepPoint]:
+        pts = list(points)
+        seen: Dict[int, str] = {}
+        for point in pts:
+            if point.index in seen:
+                raise ConfigError(
+                    f"duplicate sweep point index {point.index}: "
+                    f"{seen[point.index]!r} vs {point.label!r}"
+                )
+            seen[point.index] = point.label
+        return pts
 
     @staticmethod
     def _pickle_check(fn: PointFn, pts: Sequence[SweepPoint]) -> Optional[str]:
@@ -120,6 +238,8 @@ class SweepExecutor:
         except Exception:
             return "sweep points are not picklable"
         return None
+
+    # ------------------------------------------------------------ legacy path
 
     @staticmethod
     def _map_serial(fn: PointFn, pts: Sequence[SweepPoint]) -> List[PointResult]:
@@ -136,6 +256,13 @@ class SweepExecutor:
                 ) from exc
             results.append(PointResult(point, value))
         return results
+
+    def _map_parallel_fallback(
+        self, fn: PointFn, pts: Sequence[SweepPoint]
+    ) -> List[PointResult]:
+        """Serial execution taken when fan-out is unsafe (kept as a named
+        step so ``last_fallback`` consumers can distinguish it in traces)."""
+        return self._map_serial(fn, pts)
 
     def _map_parallel(self, fn: PointFn, pts: Sequence[SweepPoint]) -> List[PointResult]:
         chunk = self.chunk_size or max(1, -(-len(pts) // (self.jobs * 4)))
@@ -174,3 +301,433 @@ class SweepExecutor:
             names = ", ".join(p.label for p in missing)
             raise SimulationError(f"sweep lost results for points [{names}]")
         return [PointResult(point, values[point.index]) for point in pts]
+
+
+class _Running:
+    """One in-flight resilient worker: process, pipe, attempt, deadline."""
+
+    __slots__ = ("proc", "conn", "point", "attempt", "deadline")
+
+    def __init__(
+        self,
+        proc: BaseProcess,
+        conn: Connection,
+        point: SweepPoint,
+        attempt: int,
+        deadline: Optional[float],
+    ) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.point = point
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+class _ResilientRun:
+    """State machine for one resilient sweep execution.
+
+    Separated from :class:`SweepExecutor` so the legacy path stays
+    textually untouched and every piece of resilient state (queues,
+    signal counters, outcome accounting) lives and dies with one run.
+    """
+
+    def __init__(
+        self,
+        executor: SweepExecutor,
+        fn: PointFn,
+        pts: List[SweepPoint],
+        options: ResilienceOptions,
+    ) -> None:
+        self.executor = executor
+        self.fn = fn
+        self.pts = pts
+        self.options = options
+        self.probe = options.probe
+        self.journal = options.journal
+        self.fn_name = worker_name(fn)
+        self.keys: Dict[int, str] = {
+            point.index: point_key(self.fn_name, point) for point in pts
+        }
+        if self.journal is not None:
+            self.sweep_id = self.journal.register_sweep(self.fn_name, pts)
+        else:
+            self.sweep_id = self.fn_name
+        self.outcome = SweepOutcome(
+            sweep=self.sweep_id,
+            total_points=len(pts),
+            journal_path=self.journal.path if self.journal is not None else None,
+        )
+        self.values: Dict[int, Any] = {}
+        self.failures: Dict[int, PointFailure] = {}
+        #: points (with attempt number) ready to launch now
+        self.runnable: List[Tuple[SweepPoint, int]] = []
+        #: retries waiting out their backoff: (monotonic ready time, point, attempt)
+        self.delayed: List[Tuple[float, SweepPoint, int]] = []
+        self.running: List[_Running] = []
+        self.cancel_signals = 0
+        self.aborted = False
+        self.chaos = _chaos_label()
+
+    # ----------------------------------------------------------------- probes
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        if self.probe is not None:
+            self.probe.count(name, delta)
+
+    def _event(self, kind: str, **fields: Any) -> None:
+        if self.probe is not None and self.probe.trace:
+            self.probe.event(kind, 0, **fields)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def execute(self) -> SweepOutcome:
+        self._restore_from_journal()
+        pending = [p for p in self.pts if p.index not in self.values]
+        self.runnable = [(point, 1) for point in pending]
+        handlers = self._install_signal_handlers()
+        try:
+            if self._serial_reason(pending) is not None:
+                self._drain_serial()
+            else:
+                self._drain_parallel()
+        # Not swallowed: _finish() below converts the cancellation into a
+        # counted, journaled SweepInterrupted outcome.
+        # reprolint: disable=swallowed-without-record
+        except KeyboardInterrupt:
+            # Second signal (or a plain Ctrl-C raise): stop immediately but
+            # still leave a consistent, resumable journal behind.
+            self.cancel_signals = max(self.cancel_signals, 1)
+            self._terminate_running()
+        finally:
+            self._restore_signal_handlers(handlers)
+        return self._finish()
+
+    def _serial_reason(self, pending: List[SweepPoint]) -> Optional[str]:
+        """Why resilient execution runs in-process, or None to fan out."""
+        if self.executor.jobs == 1:
+            return "jobs=1"
+        if len(pending) < 2:
+            reason = "fewer than 2 points"
+        else:
+            reason = SweepExecutor._pickle_check(self.fn, pending)
+            if reason is None:
+                return None
+        self.executor.last_fallback = reason
+        if reason != "jobs=1":
+            self.outcome.notes.append(f"ran serially: {reason}")
+        return reason
+
+    def _install_signal_handlers(self) -> List[Tuple[int, Any]]:
+        """First SIGINT/SIGTERM drains; the second force-terminates.
+
+        Draining means: workers already running finish and are journaled,
+        nothing new launches, and on the serial path the current
+        in-process point completes. The second signal raises
+        ``KeyboardInterrupt`` wherever execution is, which the
+        :meth:`execute` wrapper turns into an immediate (but still
+        journal-consistent) stop.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return []
+
+        def _handler(signum: int, frame: Any) -> None:
+            self.cancel_signals += 1
+            self._count("resilience.cancel_signals")
+            if self.cancel_signals >= 2:
+                raise KeyboardInterrupt
+
+        saved: List[Tuple[int, Any]] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            saved.append((signum, signal.signal(signum, _handler)))
+        return saved
+
+    @staticmethod
+    def _restore_signal_handlers(saved: List[Tuple[int, Any]]) -> None:
+        for signum, handler in saved:
+            signal.signal(signum, handler)
+
+    # ---------------------------------------------------------------- restore
+
+    def _restore_from_journal(self) -> None:
+        if self.journal is None:
+            return
+        for point in self.pts:
+            ok, value = self.journal.restore(self.keys[point.index])
+            if ok:
+                self.values[point.index] = value
+                self.outcome.resumed += 1
+                self._count("resilience.points_resumed")
+                self._event(
+                    "resilience.resume", point=point.index, label=point.label
+                )
+
+    # ----------------------------------------------------------------- serial
+
+    def _drain_serial(self) -> None:
+        if self.options.retry.point_timeout is not None:
+            note = (
+                "point_timeout not enforced on the serial path "
+                "(points run in-process; use --jobs >= 2 for the watchdog)"
+            )
+            if note not in self.outcome.notes:
+                self.outcome.notes.append(note)
+        while self.runnable or self.delayed:
+            if self.cancel_signals:
+                return
+            if not self.runnable:
+                ready_at = min(entry[0] for entry in self.delayed)
+                delay = ready_at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                now = time.monotonic()
+                due = [e for e in self.delayed if e[0] <= now]
+                self.delayed = [e for e in self.delayed if e[0] > now]
+                self.runnable.extend((point, attempt) for _, point, attempt in due)
+                continue
+            point, attempt = self.runnable.pop(0)
+            if self.chaos is not None and point.label == self.chaos:
+                self._attempt_failed(
+                    point,
+                    attempt,
+                    "chaos",
+                    f"chaos hook: {CHAOS_ENV}={self.chaos!r} matched label",
+                )
+                continue
+            try:
+                value = self.fn(point)
+            except KeyboardInterrupt:
+                self.cancel_signals = max(self.cancel_signals, 1)
+                return
+            except Exception as exc:  # noqa: BLE001 - judged by the retry policy
+                detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+                self._attempt_failed(point, attempt, "error", detail)
+                continue
+            self._point_succeeded(point, attempt, value)
+
+    # --------------------------------------------------------------- parallel
+
+    def _drain_parallel(self) -> None:
+        ctx: BaseContext = multiprocessing.get_context()
+        while self.runnable or self.delayed or self.running:
+            now = time.monotonic()
+            if self.cancel_signals == 0:
+                due = [e for e in self.delayed if e[0] <= now]
+                self.delayed = [e for e in self.delayed if e[0] > now]
+                self.runnable.extend((point, attempt) for _, point, attempt in due)
+                while self.runnable and len(self.running) < self.executor.jobs:
+                    point, attempt = self.runnable.pop(0)
+                    self._launch(ctx, point, attempt)
+            if not self.running:
+                if self.cancel_signals:
+                    return  # drained; queued work is intentionally left behind
+                if self.delayed:
+                    # sleep in short slices so signals stay responsive
+                    ready_at = min(entry[0] for entry in self.delayed)
+                    time.sleep(min(max(ready_at - time.monotonic(), 0.0), 0.2))
+                continue
+            timeout = self._wait_timeout(now)
+            ready = _connection_wait(
+                [entry.conn for entry in self.running], timeout=timeout
+            )
+            ready_set = set(ready)
+            for entry in list(self.running):
+                if entry.conn in ready_set:
+                    self._reap(entry)
+            self._enforce_deadlines()
+
+    def _launch(self, ctx: BaseContext, point: SweepPoint, attempt: int) -> None:
+        if self.chaos is not None and point.label == self.chaos:
+            self._attempt_failed(
+                point,
+                attempt,
+                "chaos",
+                f"chaos hook: {CHAOS_ENV}={self.chaos!r} matched label",
+            )
+            return
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_run_point_child,
+            args=(self.fn, point, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline: Optional[float] = None
+        if self.options.retry.point_timeout is not None:
+            deadline = time.monotonic() + self.options.retry.point_timeout
+        self.running.append(_Running(proc, parent_conn, point, attempt, deadline))
+
+    def _wait_timeout(self, now: float) -> float:
+        bounds = [0.5]
+        for entry in self.running:
+            if entry.deadline is not None:
+                bounds.append(entry.deadline - now)
+        for ready_at, _, _ in self.delayed:
+            bounds.append(ready_at - now)
+        return min(0.5, max(0.01, min(bounds)))
+
+    def _reap(self, entry: _Running) -> None:
+        """A worker's pipe is readable: collect its message or its death."""
+        self.running.remove(entry)
+        try:
+            ok, payload = entry.conn.recv()
+        except (EOFError, OSError):
+            entry.proc.join(1.0)
+            self._attempt_failed(
+                entry.point,
+                entry.attempt,
+                "worker-died",
+                f"worker process exited (code {entry.proc.exitcode}) "
+                "without reporting a result",
+            )
+            entry.conn.close()
+            return
+        entry.conn.close()
+        entry.proc.join(5.0)
+        if ok:
+            self._point_succeeded(entry.point, entry.attempt, payload)
+        else:
+            self._attempt_failed(entry.point, entry.attempt, "error", str(payload))
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for entry in list(self.running):
+            if entry.deadline is None or now < entry.deadline:
+                continue
+            self.running.remove(entry)
+            self._kill(entry.proc)
+            entry.conn.close()
+            self.outcome.timeouts += 1
+            self._count("resilience.timeouts")
+            self._event(
+                "resilience.timeout",
+                point=entry.point.index,
+                label=entry.point.label,
+                attempt=entry.attempt,
+                timeout_s=self.options.retry.point_timeout,
+            )
+            self._attempt_failed(
+                entry.point,
+                entry.attempt,
+                "timeout",
+                f"exceeded point_timeout={self.options.retry.point_timeout}s "
+                f"(attempt {entry.attempt})",
+            )
+
+    @staticmethod
+    def _kill(proc: BaseProcess) -> None:
+        proc.terminate()
+        proc.join(0.5)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(1.0)
+
+    def _terminate_running(self) -> None:
+        for entry in self.running:
+            self._kill(entry.proc)
+            entry.conn.close()
+        self.running = []
+
+    # ------------------------------------------------------------- accounting
+
+    def _point_succeeded(self, point: SweepPoint, attempt: int, value: Any) -> None:
+        if self.journal is not None:
+            before = self.journal.point_count
+            # Raises SimulationError on any bit difference from a previous
+            # execution — the resume/retry determinism assertion.
+            self.journal.record(self.sweep_id, self.keys[point.index], point, value)
+            if self.journal.point_count > before:
+                self._count("resilience.journal_appends")
+        self.values[point.index] = value
+        self._count("resilience.points_completed")
+        if attempt > 1:
+            self._event(
+                "resilience.recovered",
+                point=point.index,
+                label=point.label,
+                attempts=attempt,
+            )
+
+    def _attempt_failed(
+        self, point: SweepPoint, attempt: int, kind: str, detail: str
+    ) -> None:
+        policy = self.options.retry
+        if attempt <= policy.retries:
+            delay = policy.delay_before(point.index, attempt)
+            self.outcome.retried += 1
+            self._count("resilience.retries")
+            self._event(
+                "resilience.retry",
+                point=point.index,
+                label=point.label,
+                attempt=attempt,
+                failure_kind=kind,
+                delay_s=round(delay, 6),
+            )
+            self.delayed.append((time.monotonic() + delay, point, attempt + 1))
+            return
+        failure = PointFailure(
+            index=point.index,
+            label=point.label,
+            attempts=attempt,
+            kind=kind,
+            detail=detail,
+        )
+        self.failures[point.index] = failure
+        self._count("resilience.failures")
+        self._event(
+            "resilience.failure",
+            point=point.index,
+            label=point.label,
+            attempts=attempt,
+            failure_kind=kind,
+        )
+        if self.options.on_failure is FailurePolicy.FAIL_FAST:
+            self.aborted = True
+            self._terminate_running()
+            self.runnable = []
+            self.delayed = []
+            self._finish()
+            raise SimulationError(
+                f"sweep point {point.index} ({point.label}) failed after "
+                f"{attempt} attempt(s) [{kind}]:\n{detail}"
+            )
+
+    def _finish(self) -> SweepOutcome:
+        self.outcome.results = [
+            PointResult(point, self.values[point.index])
+            for point in self.pts
+            if point.index in self.values
+        ]
+        self.outcome.failures = [
+            self.failures[point.index]
+            for point in self.pts
+            if point.index in self.failures
+        ]
+        if self.cancel_signals:
+            self.outcome.cancelled = True
+            self._count("resilience.cancelled")
+            self._event("resilience.cancel", sweep=self.sweep_id)
+        self.options.outcomes.append(self.outcome)
+        if self.cancel_signals:
+            raise SweepInterrupted(
+                f"sweep {self.sweep_id} cancelled after completing "
+                f"{self.outcome.completed}/{self.outcome.total_points} points"
+                + (
+                    f"; resume with --resume {self.journal.path}"
+                    if self.journal is not None
+                    else ""
+                ),
+                outcome=self.outcome,
+            )
+        # A missing point that is neither a failure, an abort casualty, nor
+        # cancellation is an executor bug — surface it like the legacy path.
+        holes = [
+            p
+            for p in self.pts
+            if p.index not in self.values and p.index not in self.failures
+        ]
+        if holes and not self.aborted:
+            names = ", ".join(p.label for p in holes)
+            raise SimulationError(f"sweep lost results for points [{names}]")
+        return self.outcome

@@ -1,0 +1,104 @@
+"""Journal inspection commands: ``python -m repro.resilience hash|diff``.
+
+``hash`` prints each sweep's merged digest from a journal — the same
+SHA-256-over-reprs that :func:`repro.parallel.result_hash` computes for an
+in-memory sweep — and ``diff`` compares two journals sweep by sweep. The
+CI chaos job uses these to prove the resume contract end to end: kill a
+sweep mid-run, ``--resume`` it, then ``diff`` the resumed journal against
+an uninterrupted run's and require bit-identity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ConfigError
+from .journal import journal_hashes
+
+
+def _cmd_hash(args: argparse.Namespace) -> int:
+    hashes = journal_hashes(args.journal)
+    if not hashes:
+        print(f"{args.journal}: no sweeps recorded", file=sys.stderr)
+        return 1
+    status = 0
+    for identity, info in hashes.items():
+        marker = "" if info["complete"] else "  [INCOMPLETE]"
+        print(
+            f"{identity}: {info['points']}/{info['expected_points']} points "
+            f"hash={info['hash']}{marker}"
+        )
+        if args.require_complete and not info["complete"]:
+            status = 1
+    return status
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    left = journal_hashes(args.left)
+    right = journal_hashes(args.right)
+    status = 0
+    for identity in sorted(set(left) | set(right)):
+        if identity not in left:
+            print(f"only in {args.right}: {identity}")
+            status = 1
+        elif identity not in right:
+            print(f"only in {args.left}: {identity}")
+            status = 1
+        elif left[identity]["hash"] != right[identity]["hash"]:
+            print(
+                f"MISMATCH {identity}:\n"
+                f"  {args.left}: {left[identity]['points']} points "
+                f"hash={left[identity]['hash']}\n"
+                f"  {args.right}: {right[identity]['points']} points "
+                f"hash={right[identity]['hash']}"
+            )
+            status = 1
+        else:
+            print(
+                f"match {identity}: {left[identity]['points']} points "
+                f"hash={left[identity]['hash']}"
+            )
+    if status == 0:
+        print("journals are bit-identical per sweep")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.resilience``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Inspect and compare sweep journals.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    hash_parser = sub.add_parser(
+        "hash", help="print each sweep's merged result hash from a journal"
+    )
+    hash_parser.add_argument("journal", help="journal file to hash")
+    hash_parser.add_argument(
+        "--require-complete",
+        action="store_true",
+        help="exit 1 if any sweep is missing points",
+    )
+    hash_parser.set_defaults(fn=_cmd_hash)
+
+    diff_parser = sub.add_parser(
+        "diff", help="compare two journals sweep by sweep (exit 1 on any diff)"
+    )
+    diff_parser.add_argument("left", help="first journal file")
+    diff_parser.add_argument("right", help="second journal file")
+    diff_parser.set_defaults(fn=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    try:
+        result: int = args.fn(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""The run journal: a crash-safe checkpoint store for sweep results.
+
+Every completed sweep point is recorded — key, label, and the exact
+``repr`` of its payload — the moment it finishes, through the atomic
+write path in :mod:`repro.resilience.atomic`. A sweep killed mid-run
+(crash, OOM, SIGKILL, Ctrl-C) therefore leaves a journal that is always a
+*complete prefix* of the run, never a torn file, and ``--resume`` picks up
+exactly where it stopped: restored points are served from the journal,
+missing points are recomputed.
+
+Why ``repr`` and not pickle: the executor's merged ``result_hash`` is
+defined over ``repr`` (floats round-trip exactly), so storing the repr
+makes the resume guarantee *checkable* — a restored value hashes
+identically by construction, and a recomputed point is asserted against
+the journaled repr on re-execution (:meth:`RunJournal.record` raises
+``SimulationError`` on any bit difference). Payloads whose repr is not a
+Python literal (custom result objects, NaNs) are journaled with
+``restorable: false``; resume recomputes them and still gets the
+identity assertion.
+
+File format: newline-delimited JSON. Line one is a header; ``sweep``
+lines name each registered sweep (a pure function of the worker function
+and the ordered point keys, so the same sweep re-registers identically on
+resume); ``point`` lines carry completed results. One journal file can
+hold many sweeps — ``repro-exp fig4 --journal run.journal`` records both
+panels — and :func:`journal_hashes` folds each sweep's ordered reprs into
+the same digest :func:`repro.parallel.result_hash` would produce, which
+is what the CI chaos job diffs against an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Protocol, Sequence, Tuple, Union
+
+from ..errors import ConfigError, SimulationError
+from .atomic import atomic_write_text
+
+#: Bumped when the journal line layout changes incompatibly.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class SweepPointLike(Protocol):
+    """The envelope fields a journal key is derived from.
+
+    Structural (not an import of :class:`repro.parallel.SweepPoint`) so the
+    resilience package never imports ``repro.parallel`` — the executor
+    imports *us*, and keeping the edge one-directional avoids a cycle.
+    """
+
+    @property
+    def index(self) -> int: ...
+
+    @property
+    def label(self) -> str: ...
+
+    @property
+    def seed(self) -> int: ...
+
+    @property
+    def params(self) -> Tuple[Tuple[str, Any], ...]: ...
+
+
+def worker_name(fn: object) -> str:
+    """Stable dotted name for a worker callable (functions and instances).
+
+    Instances (e.g. the replication adapter) key by their *class*, never
+    by ``repr`` — object reprs carry memory addresses, which would change
+    the key on every run and silently defeat resume.
+    """
+    qualname = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    if not isinstance(qualname, str):
+        qualname = type(fn).__qualname__
+        module = type(fn).__module__
+    return f"{module}.{qualname}"
+
+
+def point_key(fn_name: str, point: SweepPointLike) -> str:
+    """Content key of one sweep point under one worker function.
+
+    A pure function of everything that determines the point's result —
+    the worker's dotted name plus the envelope's index, label, seed, and
+    params (all reprs are deterministic: params are primitives or frozen
+    dataclasses). Two runs of the same sweep derive the same keys in any
+    process, which is the whole resume contract.
+    """
+    payload = repr((fn_name, point.index, point.label, point.seed, point.params))
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def sweep_id(fn_name: str, keys: Sequence[str]) -> str:
+    """Stable id for a sweep: worker name + digest of its ordered keys."""
+    digest = hashlib.blake2b(
+        "\n".join(keys).encode("utf-8"), digest_size=6
+    ).hexdigest()
+    return f"{fn_name}#{digest}"
+
+
+def _restorable_repr(value: Any) -> Tuple[str, bool]:
+    """``(repr, restorable)`` — restorable iff the repr literal-evals back.
+
+    ``ast.literal_eval`` covers every payload built from primitives,
+    tuples, lists, dicts, and sets; the round-trip repr comparison proves
+    bit-exactness (floats round-trip exactly through repr).
+    """
+    text = repr(value)
+    try:
+        restored = ast.literal_eval(text)
+    except (ValueError, SyntaxError, MemoryError, RecursionError):
+        return text, False
+    return text, repr(restored) == text
+
+
+class RunJournal:
+    """Append-only checkpoint store for completed sweep points.
+
+    Args:
+        path: journal file. With ``resume=False`` a fresh journal is
+            started (an existing file is replaced — atomically — on the
+            first record). With ``resume=True`` the file must exist and
+            parse; its points become restorable checkpoints.
+
+    The journal is parent-process-only state: worker processes never see
+    it, and one journal instance must not be shared between concurrently
+    running executors (sweeps within one CLI invocation run sequentially,
+    which is the supported sharing).
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False) -> None:
+        self._path = Path(path)
+        self.resume = resume
+        #: point key -> parsed point record
+        self._points: Dict[str, Dict[str, Any]] = {}
+        #: sweep id -> sweep record, in first-appearance order
+        self._sweeps: Dict[str, Dict[str, Any]] = {}
+        if resume:
+            if not self._path.exists():
+                raise ConfigError(
+                    f"cannot resume: journal {self._path} does not exist"
+                )
+            self._load()
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def path(self) -> str:
+        """The journal file path, as given."""
+        return str(self._path)
+
+    @property
+    def point_count(self) -> int:
+        """Completed points currently journaled (all sweeps)."""
+        return len(self._points)
+
+    def entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The journaled point record for ``key``, or None."""
+        return self._points.get(key)
+
+    def restore(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` when ``key`` is journaled and restorable.
+
+        ``(False, None)`` means the point must be recomputed — either it
+        was never journaled or its payload is not a Python literal (the
+        re-execution still gets the identity assertion in
+        :meth:`record`).
+        """
+        record = self._points.get(key)
+        if record is None or not record["restorable"]:
+            return False, None
+        return True, ast.literal_eval(record["value_repr"])
+
+    # -------------------------------------------------------------- mutation
+
+    def register_sweep(
+        self, fn_name: str, points: Sequence[SweepPointLike]
+    ) -> str:
+        """Ensure a sweep record exists; returns its stable id."""
+        keys = [point_key(fn_name, point) for point in points]
+        identity = sweep_id(fn_name, keys)
+        if identity not in self._sweeps:
+            self._sweeps[identity] = {
+                "kind": "sweep",
+                "id": identity,
+                "fn": fn_name,
+                "points": len(points),
+            }
+            self._flush()
+        return identity
+
+    def record(
+        self, sweep: str, key: str, point: SweepPointLike, value: Any
+    ) -> None:
+        """Checkpoint one completed point (atomic flush before returning).
+
+        Re-recording an already-journaled key is the *determinism assert*:
+        a resumed or retried execution must reproduce the journaled repr
+        bit for bit.
+
+        Raises:
+            SimulationError: when a re-executed point's value differs from
+                the journaled one — the sweep is not deterministic and the
+                journal must not be trusted for resume.
+        """
+        value_repr, restorable = _restorable_repr(value)
+        existing = self._points.get(key)
+        if existing is not None:
+            if existing["value_repr"] != value_repr:
+                raise SimulationError(
+                    f"journal determinism violation: point {point.label!r} "
+                    f"(key {key}) re-executed to a different value.\n"
+                    f"  journaled: {existing['value_repr'][:200]}\n"
+                    f"  recomputed: {value_repr[:200]}\n"
+                    f"The journal {self._path} does not describe this sweep; "
+                    "delete it or fix the nondeterminism before resuming."
+                )
+            return  # identical re-execution; nothing new to record
+        self._points[key] = {
+            "kind": "point",
+            "sweep": sweep,
+            "key": key,
+            "index": point.index,
+            "label": point.label,
+            "value_repr": value_repr,
+            "restorable": restorable,
+        }
+        self._flush()
+
+    def _flush(self) -> None:
+        """Write the full journal atomically (old file stays intact on crash)."""
+        lines = [
+            json.dumps(
+                {
+                    "kind": "header",
+                    "schema_version": JOURNAL_SCHEMA_VERSION,
+                    "tool": "repro-journal",
+                }
+            )
+        ]
+        for sweep_record in self._sweeps.values():
+            lines.append(json.dumps(sweep_record))
+        for point_record in self._points.values():
+            lines.append(json.dumps(point_record))
+        atomic_write_text(self._path, "\n".join(lines) + "\n")
+
+    # --------------------------------------------------------------- loading
+
+    def _load(self) -> None:
+        sweeps, points = _parse_journal(self._path)
+        self._sweeps = sweeps
+        self._points = points
+
+
+def _parse_journal(
+    path: Path,
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Dict[str, Any]]]:
+    """Parse and validate a journal file -> (sweeps, points).
+
+    Raises:
+        ConfigError: on any malformed line — a journal that does not parse
+            must fail loudly, not resume from garbage.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read journal {path}: {exc}") from exc
+    sweeps: Dict[str, Dict[str, Any]] = {}
+    points: Dict[str, Dict[str, Any]] = {}
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ConfigError(f"journal {path} is empty")
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"journal {path}:{lineno} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ConfigError(
+                f"journal {path}:{lineno}: expected an object with 'kind'"
+            )
+        kind = record["kind"]
+        if lineno == 1:
+            if kind != "header":
+                raise ConfigError(
+                    f"journal {path}: first line must be the header"
+                )
+            if record.get("schema_version") != JOURNAL_SCHEMA_VERSION:
+                raise ConfigError(
+                    f"journal {path}: schema_version "
+                    f"{record.get('schema_version')} != {JOURNAL_SCHEMA_VERSION}"
+                )
+            continue
+        if kind == "sweep":
+            for field in ("id", "fn", "points"):
+                if field not in record:
+                    raise ConfigError(
+                        f"journal {path}:{lineno}: sweep record missing {field!r}"
+                    )
+            sweeps[str(record["id"])] = record
+        elif kind == "point":
+            for field in ("sweep", "key", "index", "label", "value_repr", "restorable"):
+                if field not in record:
+                    raise ConfigError(
+                        f"journal {path}:{lineno}: point record missing {field!r}"
+                    )
+            points[str(record["key"])] = record
+        else:
+            raise ConfigError(
+                f"journal {path}:{lineno}: unknown record kind {kind!r}"
+            )
+    return sweeps, points
+
+
+def journal_hashes(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Per-sweep merged digests of a journal's checkpointed values.
+
+    For each sweep: points ordered by index, digest =
+    SHA-256 over ``repr(value) + NUL`` per point — exactly
+    :func:`repro.parallel.result_hash` of the sweep's ordered payloads, so
+    a resumed run's journal hash can be diffed directly against an
+    uninterrupted run's.
+    """
+    sweeps, points = _parse_journal(Path(path))
+    out: Dict[str, Dict[str, Any]] = {}
+    for identity, sweep_record in sweeps.items():
+        members = sorted(
+            (record for record in points.values() if record["sweep"] == identity),
+            key=lambda record: int(record["index"]),
+        )
+        digest = hashlib.sha256()
+        for record in members:
+            digest.update(str(record["value_repr"]).encode("utf-8"))
+            digest.update(b"\x00")
+        out[identity] = {
+            "points": len(members),
+            "expected_points": int(sweep_record["points"]),
+            "complete": len(members) == int(sweep_record["points"]),
+            "hash": digest.hexdigest(),
+        }
+    return out

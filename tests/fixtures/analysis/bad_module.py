@@ -54,6 +54,14 @@ def bare_except(action):
         pass
 
 
+def absorb_and_continue(action, cache):
+    """RL011: failure absorbed — no re-raise, no record, no exit."""
+    try:
+        action()
+    except ValueError:
+        cache.clear()
+
+
 def select_without_commit(arbiter, requests, now):
     """RC101: selects a winner but never commits/abandons/returns it."""
     winner = arbiter.select(requests, now)

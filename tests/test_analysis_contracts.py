@@ -30,7 +30,7 @@ GOOD = FIXTURES / "good_module.py"
 def test_bad_fixture_trips_the_expected_rules():
     report = lint_paths([str(BAD)])
     found = {f.rule_id for f in report.open_findings}
-    assert {"RL001", "RL003", "RL004", "RL005", "RL006", "RL009", "RL010", "RC101", "RC102", "RC103"} <= found
+    assert {"RL001", "RL003", "RL004", "RL005", "RL006", "RL009", "RL010", "RL011", "RC101", "RC102", "RC103"} <= found
     assert report.exit_code != 0
 
 
@@ -103,7 +103,7 @@ def test_cli_clean_tree_exits_zero(capsys):
     assert payload["summary"]["open_findings"] == 0
     assert {rule["id"] for rule in payload["rules"]} >= {
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008",
-        "RL009", "RL010", "RC101", "RC102", "RC103",
+        "RL009", "RL010", "RL011", "RC101", "RC102", "RC103",
     }
 
 

@@ -76,6 +76,11 @@ RULE_CASES = [
         "from repro.parallel import SweepExecutor\nex = SweepExecutor(jobs=2)\n",
     ),
     (
+        "RL011",
+        "def f(g, cache):\n    try:\n        g()\n    except ValueError:\n        cache.clear()\n",
+        "def f(g, probe):\n    try:\n        g()\n    except ValueError:\n        probe.count('fail', 1)\n",
+    ),
+    (
         "RC101",
         "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    w.use()\n",
         "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    arb.commit(w, now)\n",

@@ -38,6 +38,8 @@ def test_repro_error_does_not_swallow_builtins(small_config):
     with pytest.raises(TypeError):
         try:
             raise TypeError("a bug")
+        # pytest.fail raises internally; nothing is swallowed here.
+        # reprolint: disable=swallowed-without-record
         except ReproError:  # pragma: no cover - must not happen
             pytest.fail("ReproError caught a TypeError")
 
