@@ -9,6 +9,13 @@ bounded thermometer levels. This package enforces them statically:
   per-line/per-file suppressions, text & JSON reports.
 * :mod:`repro.analysis.rules` — simulator-specific hygiene rules (RL1xx).
 * :mod:`repro.analysis.contracts` — cross-module protocol contracts (RC1xx).
+* :mod:`repro.analysis.project` — whole-program loader: module/symbol
+  tables, import graph, approximate call graph, and the
+  :class:`ProjectRule` API behind ``repro-lint --project``.
+* :mod:`repro.analysis.project_rules` — cross-module rules (RP2xx):
+  seed provenance, fork-safety, exception-contract, probe-flush.
+* :mod:`repro.analysis.baseline` — grandfathered-findings baseline so CI
+  fails only on regressions.
 * :mod:`repro.analysis.cli` — the ``repro-lint`` console entry point.
 
 The analyzer lints its own source (``repro-lint src/repro`` includes this
@@ -25,10 +32,20 @@ from .engine import (
     all_rules,
     register,
 )
+from .project import (
+    Project,
+    ProjectLoader,
+    ProjectRule,
+    all_project_rules,
+    analyze_project,
+    register_project_rule,
+)
+from .baseline import apply_baseline, load_baseline, write_baseline
 
-# Importing the rule modules populates the registry.
+# Importing the rule modules populates the registries.
 from . import rules as _rules  # noqa: F401,E402
 from . import contracts as _contracts  # noqa: F401,E402
+from . import project_rules as _project_rules  # noqa: F401,E402
 
 
 def lint_paths(paths: "list[str]", force_guarded: bool = False) -> Report:
@@ -46,12 +63,21 @@ def lint_source(
 __all__ = [
     "Engine",
     "Finding",
+    "Project",
+    "ProjectLoader",
+    "ProjectRule",
     "Report",
     "Rule",
     "Severity",
     "SourceModule",
+    "all_project_rules",
     "all_rules",
+    "analyze_project",
+    "apply_baseline",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "register",
+    "register_project_rule",
+    "write_baseline",
 ]

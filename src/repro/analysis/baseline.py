@@ -1,0 +1,109 @@
+"""Grandfathered-findings baseline for ``repro-lint --project``.
+
+A whole-program analyzer adopted mid-project inevitably fires on code
+that predates it. Rather than suppressing those findings inline (noise
+in the source, and indistinguishable from deliberate waivers) or fixing
+everything in one PR (unreviewable), CI compares the current findings
+against a committed baseline file and fails only on *regressions*: a
+finding is allowed iff an identical ``(rule_id, path, message)`` entry
+exists in the baseline, with multiset semantics so two identical new
+findings against one baselined entry still fail.
+
+Baselined findings stay visible in the report (marked ``baselined``)
+but do not affect the exit code; ``repro-lint --write-baseline``
+regenerates the file from the current open findings so shrinking it is
+a one-command operation once a grandfathered issue is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..errors import ConfigError
+from .engine import Finding, Report
+
+_TOOL = "reprolint-baseline"
+_VERSION = 1
+
+#: The identity under which a finding matches a baseline entry. Line
+#: numbers are deliberately excluded: unrelated edits above a
+#: grandfathered finding must not un-baseline it.
+_Key = Tuple[str, str, str]
+
+
+def _finding_key(finding: Finding) -> _Key:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path: Union[str, Path]) -> Counter:
+    """Load a baseline file into a multiset of finding keys."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError as exc:
+        raise ConfigError(f"baseline file not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("tool") != _TOOL:
+        raise ConfigError(f"baseline file {path} is not a {_TOOL} file")
+    if payload.get("version") != _VERSION:
+        raise ConfigError(
+            f"baseline file {path} has unsupported version "
+            f"{payload.get('version')!r} (expected {_VERSION})"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ConfigError(f"baseline file {path} has no 'entries' list")
+    keys: Counter = Counter()
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(field), str)
+            for field in ("rule_id", "path", "message")
+        ):
+            raise ConfigError(
+                f"baseline file {path} entry {i} must have string "
+                "'rule_id', 'path', and 'message' fields"
+            )
+        keys[(entry["rule_id"], entry["path"], entry["message"])] += 1
+    return keys
+
+
+def apply_baseline(report: Report, baseline: Counter) -> int:
+    """Mark baselined findings in-place; return the count of *stale*
+    baseline entries (present in the file, no longer found — a nudge to
+    regenerate the baseline, never a failure)."""
+    budget = Counter(baseline)
+    for finding in report.findings:
+        if finding.suppressed:
+            continue
+        key = _finding_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            # Finding is a frozen dataclass; baselining is the one
+            # post-construction state transition it supports.
+            object.__setattr__(finding, "baselined", True)
+    return sum(budget.values())
+
+
+def write_baseline(report: Report, path: Union[str, Path]) -> int:
+    """Write the current open findings as the new baseline; returns the
+    entry count. Deterministic ordering so the file diffs cleanly."""
+    entries: List[Dict[str, str]] = [
+        {
+            "rule_id": finding.rule_id,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding in sorted(
+            report.open_findings,
+            key=lambda f: (f.path, f.rule_id, f.line, f.message),
+        )
+    ]
+    payload = {"tool": _TOOL, "version": _VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return len(entries)

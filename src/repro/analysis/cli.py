@@ -1,11 +1,14 @@
 """``repro-lint`` — the command-line front end of the analyzer.
 
-Exit codes: 0 clean (suppressed findings allowed), 1 open findings,
-2 a file failed to parse or a CLI argument was invalid.
+Exit codes: 0 clean (suppressed and baselined findings allowed), 1 open
+findings, 2 a file failed to parse or a CLI argument was invalid.
 
 Examples::
 
-    repro-lint src/repro                       # lint the library
+    repro-lint src/repro                       # per-file lint of the library
+    repro-lint --project                       # whole-program pass over src/
+    repro-lint --project --baseline analysis/baseline.json
+    repro-lint --project --write-baseline analysis/baseline.json
     repro-lint src/repro --format json         # machine-readable report
     repro-lint path.py --select RL001,RC101    # only these rules
     repro-lint --list-rules                    # rule catalogue
@@ -17,7 +20,13 @@ import argparse
 import sys
 from typing import List, Optional, Sequence, Set
 
+from ..errors import ConfigError
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .engine import Engine, all_rules, resolve_rule_tokens
+from .project import all_project_rules, analyze_project
+
+#: Default analysis root for ``--project`` when no paths are given.
+_DEFAULT_PROJECT_ROOT = "src"
 
 
 def _split_tokens(values: Sequence[str]) -> Set[str]:
@@ -33,6 +42,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="Static analysis and contract verification for the QoS switch simulator.",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-program analysis: parse the tree once, run the RP2xx "
+        "cross-module rules in addition to the per-file rules "
+        f"(paths are analysis roots; default: {_DEFAULT_PROJECT_ROOT}/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="grandfather findings listed in this baseline file; only "
+        "regressions affect the exit code",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current open findings to FILE as the new baseline "
+        "and exit 0",
+    )
     parser.add_argument(
         "--format",
         choices=("text", "json"),
@@ -77,6 +105,12 @@ def _render_rule_list() -> str:
         scope = "guarded packages" if rule.guarded_only else "all files"
         lines.append(f"{rule.id}  {rule.name:<24} [{rule.severity}] ({scope})")
         lines.append(f"       {rule.description}")
+    for project_rule in all_project_rules():
+        lines.append(
+            f"{project_rule.id}  {project_rule.name:<24} "
+            f"[{project_rule.severity}] (whole program)"
+        )
+        lines.append(f"       {project_rule.description}")
     return "\n".join(lines)
 
 
@@ -86,23 +120,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if options.list_rules:
         print(_render_rule_list())
         return 0
-    if not options.paths:
-        parser.error("no paths given (or use --list-rules)")
+    if options.baseline and options.write_baseline:
+        parser.error("--baseline and --write-baseline are mutually exclusive")
+    if not options.project and (options.baseline or options.write_baseline):
+        parser.error("--baseline/--write-baseline require --project")
+    if not options.paths and not options.project:
+        parser.error("no paths given (or use --project / --list-rules)")
     try:
         select = _split_tokens(options.select)
         ignore = _split_tokens(options.ignore)
     except ValueError as exc:
         parser.error(str(exc))
-    runner = Engine(
-        select=select or None,
-        ignore=ignore or None,
-        force_guarded=options.force_guarded,
-    )
-    report = runner.lint_paths(options.paths)
+    if options.project:
+        roots = options.paths or [_DEFAULT_PROJECT_ROOT]
+        report = analyze_project(roots, select=select or None, ignore=ignore or None)
+    else:
+        runner = Engine(
+            select=select or None,
+            ignore=ignore or None,
+            force_guarded=options.force_guarded,
+        )
+        report = runner.lint_paths(options.paths)
+    if options.write_baseline:
+        count = write_baseline(report, options.write_baseline)
+        print(f"wrote {count} baseline entries to {options.write_baseline}")
+        return 0 if not report.parse_errors else 2
+    stale = 0
+    if options.baseline:
+        try:
+            stale = apply_baseline(report, load_baseline(options.baseline))
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if options.format == "json":
         print(report.to_json())
     else:
-        print(report.to_text(show_suppressed=options.show_suppressed))
+        print(
+            report.to_text(
+                show_suppressed=options.show_suppressed,
+                per_rule_summary=options.project,
+            )
+        )
+        if stale:
+            print(
+                f"note: {stale} stale baseline entries no longer match any "
+                "finding; regenerate with --write-baseline"
+            )
     return report.exit_code
 
 

@@ -76,6 +76,9 @@ class Finding:
     severity: Severity
     message: str
     suppressed: bool = False
+    #: True when a committed baseline file grandfathers this finding; like
+    #: suppression it keeps the finding visible but off the exit code.
+    baselined: bool = False
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
@@ -90,10 +93,15 @@ class Finding:
             "severity": str(self.severity),
             "message": self.message,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
         }
 
     def render(self) -> str:
-        mark = " (suppressed)" if self.suppressed else ""
+        mark = ""
+        if self.suppressed:
+            mark = " (suppressed)"
+        elif self.baselined:
+            mark = " (baselined)"
         return (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule_id} [{self.rule_name}] {self.message}{mark}"
@@ -152,12 +160,22 @@ def all_rules() -> List[Type[Rule]]:
     return list(_REGISTRY)
 
 
+#: id/name tokens contributed by rule families living outside this module
+#: (the project rules register theirs here, avoiding a circular import).
+_EXTRA_RULE_TOKENS: Dict[str, str] = {}
+
+
+def register_rule_token(key: str, rule_id: str) -> None:
+    """Make ``key`` (an id or name) resolvable by :func:`resolve_rule_tokens`."""
+    _EXTRA_RULE_TOKENS[key.lower()] = rule_id
+
+
 def resolve_rule_tokens(tokens: Iterable[str]) -> Set[str]:
     """Map a mix of rule ids/names to canonical rule ids.
 
     Unknown tokens raise ``ValueError`` so CLI typos fail loudly.
     """
-    by_key = {}
+    by_key = dict(_EXTRA_RULE_TOKENS)
     for rule in all_rules():
         by_key[rule.id.lower()] = rule.id
         by_key[rule.name.lower()] = rule.id
@@ -276,13 +294,27 @@ class ModuleContext:
         )
 
     def _is_suppressed(self, rule: Rule, line: int, end_line: int) -> bool:
-        keys = {rule.id.lower(), rule.name.lower(), "all"}
-        if keys & self.module.file_suppressions:
+        return finding_suppressed(
+            self.module, rule.id, rule.name, line, end_line
+        )
+
+
+def finding_suppressed(
+    module: SourceModule, rule_id: str, rule_name: str, line: int, end_line: int
+) -> bool:
+    """Shared suppression check for per-file and project-rule findings.
+
+    The same ``# reprolint: disable=`` comment grammar governs both rule
+    families, so a justified inline suppression silences a whole-program
+    rule (e.g. RP203) exactly like a local one.
+    """
+    keys = {rule_id.lower(), rule_name.lower(), "all"}
+    if keys & module.file_suppressions:
+        return True
+    for physical in range(line, end_line + 1):
+        if keys & module.line_suppressions.get(physical, set()):
             return True
-        for physical in range(line, end_line + 1):
-            if keys & self.module.line_suppressions.get(physical, set()):
-                return True
-        return False
+    return False
 
 
 @dataclass
@@ -296,11 +328,15 @@ class Report:
 
     @property
     def open_findings(self) -> List[Finding]:
-        return [f for f in self.findings if not f.suppressed]
+        return [f for f in self.findings if not f.suppressed and not f.baselined]
 
     @property
     def suppressed_findings(self) -> List[Finding]:
         return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.baselined and not f.suppressed]
 
     @property
     def exit_code(self) -> int:
@@ -316,6 +352,7 @@ class Report:
             "files_scanned": self.files_scanned,
             "open_findings": len(self.open_findings),
             "suppressed_findings": len(self.suppressed_findings),
+            "baselined_findings": len(self.baselined_findings),
             "parse_errors": len(self.parse_errors),
             "findings_per_rule": dict(sorted(per_rule.items())),
         }
@@ -333,7 +370,9 @@ class Report:
             sort_keys=False,
         )
 
-    def to_text(self, show_suppressed: bool = False) -> str:
+    def to_text(
+        self, show_suppressed: bool = False, per_rule_summary: bool = False
+    ) -> str:
         lines = []
         for error in self.parse_errors:
             lines.append(f"parse error: {error}")
@@ -341,11 +380,24 @@ class Report:
         for finding in sorted(shown, key=Finding.sort_key):
             lines.append(finding.render())
         summary = self.summary()
-        lines.append(
+        if per_rule_summary:
+            per_rule = summary["findings_per_rule"]
+            assert isinstance(per_rule, dict)
+            lines.append("findings per rule:")
+            if per_rule:
+                for rule_id, count in per_rule.items():
+                    lines.append(f"  {rule_id}: {count}")
+            else:
+                lines.append("  (none)")
+        tail = (
             f"{summary['files_scanned']} file(s) scanned, "
             f"{summary['open_findings']} finding(s), "
             f"{summary['suppressed_findings']} suppressed"
         )
+        baselined = summary["baselined_findings"]
+        if isinstance(baselined, int) and baselined:
+            tail += f", {baselined} baselined"
+        lines.append(tail)
         return "\n".join(lines)
 
 

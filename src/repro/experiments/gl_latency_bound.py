@@ -21,6 +21,7 @@ from typing import Tuple
 
 from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
 from ..core.gl_bound import gl_latency_bound
+from ..errors import SimulationError
 from ..metrics.report import format_table
 from ..traffic.flows import Workload, gb_flow, gl_flow
 from ..traffic.generators import BernoulliInjection
@@ -142,7 +143,7 @@ def run_gl_bound(
             waits.append(stats.waiting)
             packets += stats.waiting.count
     if not waits:
-        raise RuntimeError("no GL packets delivered; increase horizon or gl_rate")
+        raise SimulationError("no GL packets delivered; increase horizon or gl_rate")
     max_wait = max(w.maximum for w in waits)
     mean_wait = sum(w.mean * w.count for w in waits) / packets
     return GLBoundResult(

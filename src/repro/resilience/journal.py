@@ -1,10 +1,13 @@
 """The run journal: a crash-safe checkpoint store for sweep results.
 
 Every completed sweep point is recorded — key, label, and the exact
-``repr`` of its payload — the moment it finishes, through the atomic
-write path in :mod:`repro.resilience.atomic`. A sweep killed mid-run
-(crash, OOM, SIGKILL, Ctrl-C) therefore leaves a journal that is always a
-*complete prefix* of the run, never a torn file, and ``--resume`` picks up
+``repr`` of its payload — the moment it finishes, as one fsync'd
+newline-terminated JSON line appended to the journal (the header and
+any rewrite go through the atomic path in
+:mod:`repro.resilience.atomic`). A sweep killed mid-run (crash, OOM,
+SIGKILL, Ctrl-C) therefore leaves a journal that is always a *complete
+prefix* of the run plus at most one torn final line — which resume
+detects (unterminated last line) and drops — and ``--resume`` picks up
 exactly where it stopped: restored points are served from the journal,
 missing points are recomputed.
 
@@ -33,8 +36,9 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Protocol, Sequence, Tuple, Union
+from typing import Any, Dict, Optional, Protocol, Sequence, TextIO, Tuple, Union
 
 from ..errors import ConfigError, SimulationError
 from .atomic import atomic_write_text
@@ -137,6 +141,13 @@ class RunJournal:
         self._points: Dict[str, Dict[str, Any]] = {}
         #: sweep id -> sweep record, in first-appearance order
         self._sweeps: Dict[str, Dict[str, Any]] = {}
+        #: lazily opened append handle (records are appended, not rewritten)
+        self._fh: Optional[TextIO] = None
+        #: True when the on-disk file does not match the in-memory state
+        #: and must be atomically rewritten before the first append: a
+        #: fresh (non-resume) journal, or a resumed journal whose final
+        #: line was torn by a crash mid-append.
+        self._stale_on_disk = not resume
         if resume:
             if not self._path.exists():
                 raise ConfigError(
@@ -182,19 +193,20 @@ class RunJournal:
         keys = [point_key(fn_name, point) for point in points]
         identity = sweep_id(fn_name, keys)
         if identity not in self._sweeps:
-            self._sweeps[identity] = {
+            record = {
                 "kind": "sweep",
                 "id": identity,
                 "fn": fn_name,
                 "points": len(points),
             }
-            self._flush()
+            self._append(record)
+            self._sweeps[identity] = record
         return identity
 
     def record(
         self, sweep: str, key: str, point: SweepPointLike, value: Any
     ) -> None:
-        """Checkpoint one completed point (atomic flush before returning).
+        """Checkpoint one completed point (fsync'd append before returning).
 
         Re-recording an already-journaled key is the *determinism assert*:
         a resumed or retried execution must reproduce the journaled repr
@@ -218,7 +230,7 @@ class RunJournal:
                     "delete it or fix the nondeterminism before resuming."
                 )
             return  # identical re-execution; nothing new to record
-        self._points[key] = {
+        record = {
             "kind": "point",
             "sweep": sweep,
             "key": key,
@@ -227,9 +239,48 @@ class RunJournal:
             "value_repr": value_repr,
             "restorable": restorable,
         }
-        self._flush()
+        self._append(record)
+        self._points[key] = record
 
-    def _flush(self) -> None:
+    # -------------------------------------------------------------- file I/O
+    #
+    # Appends, not rewrites: the old `_flush` serialized every journaled
+    # point on every record — O(n^2) bytes over a sweep, painful at the
+    # scales the resumable-sweep CLI targets. The crash contract is kept
+    # by construction instead:
+    #
+    # * The header (plus any state the file does not yet reflect) is
+    #   written through ``atomic_write_text`` exactly once, before the
+    #   first append — a crash there leaves the old file intact.
+    # * Each record is a single ``write`` + ``flush`` + ``fsync`` of one
+    #   newline-terminated JSON line, so the journal is always a complete
+    #   prefix of the run plus at most one torn final line.
+    # * A torn final line (no trailing newline) is salvaged on resume and
+    #   the truncated prefix is atomically rewritten before appending.
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record line (fsync before returning).
+
+        Callers must append *before* inserting ``record`` into the
+        in-memory state: the first append may atomically rewrite that
+        state, and a pre-inserted record would then be written twice.
+        """
+        if self._fh is None:
+            self._open_for_append()
+        assert self._fh is not None
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def _open_for_append(self) -> None:
+        if self._stale_on_disk:
+            # Fresh journal (atomically replacing any stale file) or a
+            # salvaged torn tail: rewrite the current in-memory state once.
+            self._rewrite()
+            self._stale_on_disk = False
+        self._fh = self._path.open("a", encoding="utf-8")
+
+    def _rewrite(self) -> None:
         """Write the full journal atomically (old file stays intact on crash)."""
         lines = [
             json.dumps(
@@ -246,18 +297,40 @@ class RunJournal:
             lines.append(json.dumps(point_record))
         atomic_write_text(self._path, "\n".join(lines) + "\n")
 
+    def close(self) -> None:
+        """Close the append handle (safe to call repeatedly)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # --------------------------------------------------------------- loading
 
     def _load(self) -> None:
-        sweeps, points = _parse_journal(self._path)
+        sweeps, points, salvaged_tail = _parse_journal(
+            self._path, salvage_tail=True
+        )
         self._sweeps = sweeps
         self._points = points
+        if salvaged_tail:
+            self._stale_on_disk = True
 
 
 def _parse_journal(
-    path: Path,
-) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Dict[str, Any]]]:
-    """Parse and validate a journal file -> (sweeps, points).
+    path: Path, salvage_tail: bool = False
+) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Dict[str, Any]], bool]:
+    """Parse and validate a journal file -> (sweeps, points, salvaged).
+
+    With ``salvage_tail``, a *final* line that both fails to parse and is
+    unterminated (no trailing newline) is recognised as a write torn by a
+    crash mid-append and dropped; ``salvaged`` is True so the caller can
+    rewrite the clean prefix. Corruption anywhere else — including a
+    malformed line that *is* newline-terminated — still fails loudly.
 
     Raises:
         ConfigError: on any malformed line — a journal that does not parse
@@ -272,10 +345,19 @@ def _parse_journal(
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines:
         raise ConfigError(f"journal {path} is empty")
+    salvaged = False
     for lineno, line in enumerate(lines, start=1):
         try:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
+            if (
+                salvage_tail
+                and lineno == len(lines)
+                and lineno > 1
+                and not text.endswith("\n")
+            ):
+                salvaged = True
+                break
             raise ConfigError(
                 f"journal {path}:{lineno} is not valid JSON: {exc}"
             ) from exc
@@ -313,7 +395,7 @@ def _parse_journal(
             raise ConfigError(
                 f"journal {path}:{lineno}: unknown record kind {kind!r}"
             )
-    return sweeps, points
+    return sweeps, points, salvaged
 
 
 def journal_hashes(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
@@ -325,7 +407,7 @@ def journal_hashes(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
     a resumed run's journal hash can be diffed directly against an
     uninterrupted run's.
     """
-    sweeps, points = _parse_journal(Path(path))
+    sweeps, points, _ = _parse_journal(Path(path))
     out: Dict[str, Dict[str, Any]] = {}
     for identity, sweep_record in sweeps.items():
         members = sorted(

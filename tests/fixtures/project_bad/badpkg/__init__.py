@@ -1,0 +1,7 @@
+"""Deliberately fork-unsafe, unseeded, taxonomy-breaking mini-project.
+
+Every module here exists to make one of the RP2xx project rules fire;
+the mirror package under ``project_good`` does the same work correctly.
+"""
+
+from .rng import make_rng  # noqa: F401  (re-export exercised by loader tests)

@@ -1,0 +1,9 @@
+"""Mini exception taxonomy mirroring ``repro.errors``."""
+
+
+class ReproError(Exception):
+    """Taxonomy root."""
+
+
+class SimulationError(ReproError):
+    """A run failed mid-flight."""

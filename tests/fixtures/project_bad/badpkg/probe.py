@@ -1,0 +1,12 @@
+"""Stand-in probe surface with the same hook shape as repro.obs."""
+
+
+class Hooks:
+    def __init__(self, count=None):
+        self.count = count
+
+
+def resolve_hooks(probe):
+    if probe is None:
+        return Hooks()
+    return Hooks(count=probe.count)

@@ -1,0 +1,34 @@
+"""RP203 bait: raises outside the taxonomy and cause-dropping re-wraps."""
+
+from .errs import SimulationError
+
+
+class LocalError(Exception):
+    """Project exception defined outside the taxonomy."""
+
+
+def fail_builtin():
+    # RP203: RuntimeError is not on the idiomatic builtin allow-list.
+    raise RuntimeError("boom")
+
+
+def fail_local(flag):
+    if flag:
+        # RP203: project class that does not derive from ReproError.
+        raise LocalError("outside the taxonomy")
+
+
+def rewrap(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError as exc:
+        # RP203: re-wrap without 'from exc' drops the caught exception.
+        raise SimulationError(f"missing point {key}")
+
+
+def severed(run):
+    try:
+        return run()
+    except Exception as exc:
+        # RP203: 'from None' severs a broad catch; the cause is erased.
+        raise SimulationError("run failed") from None

@@ -1,0 +1,19 @@
+"""RP202 bait: submission sites handing unsafe workers to the executor."""
+
+from .pool import SweepExecutor
+from .workers import caching_worker, logging_worker
+
+
+def run_all(points):
+    executor = SweepExecutor(jobs=4)
+    executor.map(caching_worker, points)
+    executor.run(logging_worker, points)
+    # RP202: lambdas are not picklable.
+    executor.map(lambda p: p + 1, points)
+
+    def local_worker(p):
+        return p * 2
+
+    # RP202: nested functions are not picklable by qualified name.
+    executor.map(local_worker, points)
+    return executor

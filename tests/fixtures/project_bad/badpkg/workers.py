@@ -1,0 +1,27 @@
+"""RP202 bait: workers leaning on module-level state."""
+
+_CACHE = {}
+_SEEN = []
+LOG = open("sweep.log", "a")  # module-level OS resource
+
+_TOTAL = 0
+
+
+def caching_worker(point):
+    # RP202: mutates a module-level dict; per-process copies diverge.
+    _CACHE[point] = point * 2
+    return tally(point)
+
+
+def tally(point):
+    # RP202 (transitive): global write two hops below the submission site.
+    global _TOTAL
+    _TOTAL += point
+    _SEEN.append(point)
+    return _TOTAL
+
+
+def logging_worker(point):
+    # RP202: open file handle crossing the fork boundary.
+    LOG.write(f"{point}\n")
+    return point

@@ -1,0 +1,7 @@
+"""Correct mirror of ``badpkg``: seeds threaded, workers pure, taxonomy
+respected, probes flushed — plus the loader stress cases (import cycle,
+TYPE_CHECKING-only imports, dynamic ``__getattr__``) that must not
+produce findings or hang the analyzer.
+"""
+
+from .rng import make_rng  # noqa: F401  (re-export exercised by loader tests)

@@ -1,0 +1,9 @@
+"""Half of an import cycle: the loader must terminate resolution."""
+
+from .cycle_b import beta
+
+
+def alpha(x):
+    if x <= 0:
+        return 0
+    return beta(x - 1) + 1

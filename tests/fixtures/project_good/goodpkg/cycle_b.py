@@ -1,0 +1,9 @@
+"""Other half of the import cycle."""
+
+from . import cycle_a
+
+
+def beta(x):
+    if x <= 0:
+        return 0
+    return cycle_a.alpha(x - 1) + 1

@@ -1,0 +1,14 @@
+"""Module-level dynamic ``__getattr__`` fallback (PEP 562)."""
+
+_LAZY = {"answer": 42}
+
+
+def __getattr__(name):
+    try:
+        return _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+
+
+def concrete():
+    return "present"

@@ -1,0 +1,12 @@
+"""Stand-in executor with the same submission surface as repro.parallel."""
+
+
+class SweepExecutor:
+    def __init__(self, jobs=1):
+        self.jobs = jobs
+
+    def map(self, fn, points):
+        return [fn(p) for p in points]
+
+    def run(self, fn, points):
+        return self.map(fn, points)

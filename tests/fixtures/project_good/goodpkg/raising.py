@@ -1,0 +1,38 @@
+"""Exception-contract conformance: taxonomy errors, chains preserved."""
+
+from .errs import SimulationError
+
+
+def fail():
+    # Taxonomy errors are always fine.
+    raise SimulationError("boom")
+
+
+def validate(count):
+    if count < 0:
+        # Idiomatic builtin for a programming error: allowed.
+        raise ValueError(f"count must be >= 0, got {count}")
+
+
+def rewrap(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError as exc:
+        # Re-wrap keeping the causal chain.
+        raise SimulationError(f"missing point {key}") from exc
+
+
+def rewrap_embedding(run):
+    try:
+        return run()
+    except Exception as exc:
+        # Embedding the caught exception also preserves the evidence.
+        raise SimulationError(f"run failed: {exc}") from exc
+
+
+def lookup(table, key):
+    try:
+        return table[key]
+    except KeyError:
+        # Severing a *specific* info-less builtin is the repo idiom.
+        raise SimulationError(f"unknown key {key!r}") from None

@@ -1,0 +1,11 @@
+"""Submission sites handing only fork-safe workers to the executor."""
+
+from .pool import SweepExecutor
+from .workers import WorkerAdapter, pure_worker
+
+
+def run_all(points):
+    executor = SweepExecutor(jobs=4)
+    executor.map(pure_worker, points)
+    executor.run(WorkerAdapter(offset=1), points)
+    return executor

@@ -1,0 +1,10 @@
+"""TYPE_CHECKING-only imports must be marked type-only, not runtime edges."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .workers import WorkerAdapter
+
+
+def describe(adapter: "WorkerAdapter") -> str:
+    return f"adapter offset={adapter.offset}"

@@ -1,0 +1,27 @@
+"""Fork-safe workers: pure functions of their sweep point."""
+
+#: Read-only module constant — immutable, safe to share across forks.
+SCALE = 3
+
+
+def pure_worker(point):
+    local = []  # locals are per-invocation; no cross-process state
+    local.append(point * SCALE)
+    return stats_of(local)
+
+
+def stats_of(values):
+    total = 0
+    for value in values:
+        total += value
+    return total
+
+
+class WorkerAdapter:
+    """Picklable callable wrapper (module-level class)."""
+
+    def __init__(self, offset):
+        self.offset = offset
+
+    def __call__(self, point):
+        return pure_worker(point) + self.offset

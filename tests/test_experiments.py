@@ -145,6 +145,16 @@ class TestGLExperiments:
         result = run_gl_bound(n_gl=6, horizon=50_000, seed=5)
         assert result.holds
 
+    def test_no_gl_delivery_raises_taxonomy_error(self):
+        # Regression (RP203): "no GL packets" used to raise a bare
+        # RuntimeError, invisible to callers catching ReproError.
+        from repro.errors import ReproError, SimulationError
+
+        with pytest.raises(SimulationError) as excinfo:
+            run_gl_bound(horizon=40, gl_rate=0.0001, seed=17)
+        assert isinstance(excinfo.value, ReproError)
+        assert "no GL packets" in str(excinfo.value)
+
     def test_policing_ablation_shows_starvation(self):
         ablation = run_policing_ablation(horizon=20_000)
         # Unpoliced: the abuser takes (nearly) everything, GB starves.
