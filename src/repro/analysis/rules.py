@@ -474,3 +474,140 @@ class SwallowedWithoutRecordRule(Rule):
             return False
         lowered = name.lower()
         return any(marker in lowered for marker in _RECORD_MARKERS)
+
+
+#: Dotted names (and the builtin) that denote a floating-point dtype.
+_FLOAT_DTYPE_NAMES = frozenset(
+    {
+        "float",
+        "np.float16", "np.float32", "np.float64", "np.float128",
+        "np.half", "np.single", "np.double", "np.longdouble", "np.floating",
+        "numpy.float16", "numpy.float32", "numpy.float64", "numpy.float128",
+        "numpy.half", "numpy.single", "numpy.double", "numpy.longdouble",
+        "numpy.floating",
+    }
+)
+
+#: String dtype spellings that denote floats ("f" alone is float32).
+_FLOAT_DTYPE_STRINGS = frozenset(
+    {"f", "f2", "f4", "f8", "f16", "float16", "float32", "float64",
+     "float128", "half", "single", "double", "longdouble"}
+)
+
+#: numpy constructors whose *default* dtype is float64 when none is given.
+_FLOAT_DEFAULT_CTORS = frozenset({"zeros", "ones", "empty"})
+
+#: numpy array constructors where an explicit float dtype is flagged.
+_ARRAY_CTORS = _FLOAT_DEFAULT_CTORS | {"array", "asarray", "full", "arange", "full_like", "zeros_like", "ones_like", "empty_like"}
+
+#: Selection reductions whose lowest-index tie-break must be documented.
+_TIE_BREAK_FNS = frozenset({"argmin", "argmax", "argsort"})
+
+_NUMPY_HEADS = ("np", "numpy")
+
+
+@register
+class NumpyDeterminismRule(Rule):
+    """RL012: numpy in guarded packages — integer arrays, documented ties.
+
+    The array kernel's parity contract (``docs/KERNELS.md``) holds only
+    if its numpy usage is as replayable as the scalar loops it mirrors.
+    Three hazards are flagged inside the guarded packages:
+
+    * ``np.random.*`` global-state samplers — a hidden process-wide
+      RandomState draw cannot be replayed; the sanctioned idiom is a
+      seeded ``np.random.SeedSequence(...).spawn(...)`` / ``default_rng``
+      Generator (RL001 flags the same samplers everywhere, but an
+      un-guarded module can suppress it locally — inside the guarded
+      packages this rule makes the ban non-negotiable);
+    * float dtypes in array constructors — an explicit ``dtype=float64``
+      (or a ``zeros``/``ones``/``empty`` call *without* a dtype, which
+      defaults to float64) puts round-off into the grant path, where the
+      contract is integer-exact compares; pass an integer or bool dtype;
+    * ``argmin``/``argmax``/``argsort`` without a nearby ``tie-break``
+      comment — numpy resolves ties by lowest index, and whether that
+      coincides with the scalar arbiter's LRG order is exactly the kind
+      of silent assumption that breaks bit-identical parity; document why
+      the tie-break is safe within two lines of the call.
+    """
+
+    id = "RL012"
+    name = "numpy-determinism"
+    severity = Severity.ERROR
+    description = "numpy usage that can break bit-identical arbitration replay"
+    node_types = (ast.Call,)
+    guarded_only = True
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = dotted_name(node.func)
+        if name is not None:
+            head, _, tail = name.rpartition(".")
+            if head in _NUMPY_ALIASES and tail in _GLOBAL_NUMPY_FNS:
+                ctx.report(
+                    self,
+                    node,
+                    f"{name}() draws from numpy's hidden global RandomState; "
+                    "arbitration code must use a seeded, injected Generator",
+                )
+                return
+            if head in _NUMPY_HEADS and tail in _ARRAY_CTORS:
+                self._check_ctor(node, name, tail, ctx)
+                return
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "astype":
+                if node.args and self._is_float_dtype(node.args[0]):
+                    ctx.report(
+                        self,
+                        node,
+                        "astype() to a float dtype in arbitration code; "
+                        "the grant path compares integers only",
+                    )
+                return
+            if node.func.attr in _TIE_BREAK_FNS and not self._documented(node, ctx):
+                ctx.report(
+                    self,
+                    node,
+                    f"{node.func.attr}() without a documented tie-break; "
+                    "numpy picks the lowest index on ties — add a "
+                    "'# tie-break:' comment within two lines saying why "
+                    "that matches the scalar arbiter",
+                )
+
+    def _check_ctor(
+        self, node: ast.Call, name: str, tail: str, ctx: ModuleContext
+    ) -> None:
+        dtype = next((kw.value for kw in node.keywords if kw.arg == "dtype"), None)
+        if dtype is None:
+            if tail in _FLOAT_DEFAULT_CTORS:
+                ctx.report(
+                    self,
+                    node,
+                    f"{name}() without a dtype defaults to float64; grant-path "
+                    "arrays must pass an explicit integer or bool dtype",
+                )
+            return
+        if self._is_float_dtype(dtype):
+            ctx.report(
+                self,
+                node,
+                f"{name}() with a float dtype in arbitration code; the "
+                "grant path compares integers only",
+            )
+
+    @staticmethod
+    def _is_float_dtype(node: ast.AST) -> bool:
+        name = dotted_name(node)
+        if name in _FLOAT_DTYPE_NAMES:
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            spelling = node.value.lstrip("<>=").lower()
+            return spelling in _FLOAT_DTYPE_STRINGS
+        return False
+
+    def _documented(self, node: ast.Call, ctx: ModuleContext) -> bool:
+        lines = ctx.module.source.splitlines()
+        lo = max(node.lineno - 3, 0)
+        hi = min(node.lineno + 1, len(lines))
+        window = "\n".join(lines[lo:hi]).lower()
+        return "tie-break" in window or "tie break" in window

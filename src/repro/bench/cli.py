@@ -2,8 +2,9 @@
 
 Usage::
 
-    repro-bench                        # full suite -> BENCH_4.json
+    repro-bench                        # full suite -> BENCH_5.json
     repro-bench --quick                # CI smoke horizons
+    repro-bench --kernel array         # only the array-kernel cases
     repro-bench --jobs 8               # workers for the parallel sweep case
     repro-bench --baseline auto       # compare vs. newest other BENCH_*.json
     repro-bench --baseline BENCH_2.json --threshold 0.3
@@ -95,6 +96,14 @@ _OVERHEAD_FIELDS: Dict[str, type] = {
     "enabled_overhead_pct": float,
 }
 
+_SPEEDUP_FIELDS: Dict[str, type] = {
+    "case": str,
+    "baseline": str,
+    "speedup": float,
+    "results_match": bool,
+    "cpu_count": int,
+}
+
 
 def validate_bench_document(doc: JSONDict) -> None:
     """Raise ``ConfigError`` unless ``doc`` is a well-formed BENCH report."""
@@ -106,6 +115,13 @@ def validate_bench_document(doc: JSONDict) -> None:
             value = obj[key]
             if kind is float and isinstance(value, int) and not isinstance(value, bool):
                 continue  # JSON round-trips whole floats as ints
+            if kind is bool:
+                if not isinstance(value, bool):
+                    raise ConfigError(
+                        f"BENCH document: {where}.{key} must be bool, "
+                        f"got {type(value).__name__}"
+                    )
+                continue
             if not isinstance(value, kind) or isinstance(value, bool):
                 raise ConfigError(
                     f"BENCH document: {where}.{key} must be {kind.__name__}, "
@@ -129,10 +145,50 @@ def validate_bench_document(doc: JSONDict) -> None:
             raise ConfigError(f"BENCH document: duplicate case {case['name']!r}")
         names.add(case["name"])
     check(doc["probe_overhead"], _OVERHEAD_FIELDS, "probe_overhead")
+    # kernel_speedup appeared in schema revision BENCH_5; older documents
+    # legitimately lack it, so it is validated only when present.
+    for i, entry in enumerate(doc.get("kernel_speedup", [])):
+        if not isinstance(entry, dict):
+            raise ConfigError(f"BENCH document: kernel_speedup[{i}] must be an object")
+        check(entry, _SPEEDUP_FIELDS, f"kernel_speedup[{i}]")
+
+
+def _reset_peak_rss() -> bool:
+    """Reset the kernel's RSS high-water mark for this process (Linux).
+
+    ``ru_maxrss`` is a process-lifetime maximum, so sampling it after
+    every case used to report one identical number for the whole suite
+    (whichever case peaked first, usually the import + first case).
+    Writing ``5`` to ``/proc/self/clear_refs`` zeroes ``VmHWM``, letting
+    each case report its *own* peak. Returns False where unsupported
+    (non-Linux, restricted /proc) — callers then fall back to the old
+    monotonic behavior rather than failing the run.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w", encoding="ascii") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
 
 
 def _peak_rss_kb() -> int:
-    """Process high-water RSS in KiB (ru_maxrss is KiB on Linux)."""
+    """High-water RSS in KiB since the last :func:`_reset_peak_rss`.
+
+    Reads ``VmHWM`` from ``/proc/self/status`` (the counter clear_refs
+    resets); falls back to ``ru_maxrss`` (KiB on Linux, bytes on macOS)
+    where /proc is unavailable.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    # Falling through to ru_maxrss *is* the handling: the report then
+    # carries the old monotonic number instead of failing the bench run.
+    # reprolint: disable=swallowed-exception
+    except (OSError, ValueError, IndexError):
+        pass
     rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":  # bytes on macOS
         rss //= 1024
@@ -143,23 +199,29 @@ def _run_suite(
     quick: bool,
     jobs: Optional[int] = None,
     resilience_factory: Optional[ResilienceFactory] = None,
-) -> Tuple[List[JSONDict], JSONDict, JSONDict]:
-    """Execute all cases, the probe-overhead pair, and the sweep summary.
+    kernel: str = "all",
+) -> Tuple[List[JSONDict], JSONDict, Optional[JSONDict]]:
+    """Execute the cases, the probe-overhead pair, and the sweep summary.
 
     ``jobs`` overrides the worker count of cases pinned above 1 (the
     parallel sweep case); serial cases always stay serial so the baseline
     side of the speedup ratio is meaningful. ``resilience_factory``
     (when given) supplies a per-case journal/retry bundle, threaded into
-    the sweep cases' executors.
+    the sweep cases' executors. ``kernel`` filters the suite to one
+    backend's cases (``"all"`` runs everything); the sweep summary is
+    ``None`` when the filter drops the sweep pair.
     """
     cases: List[JSONDict] = []
     for case in SUITE:
+        if kernel != "all" and case.kernel != kernel:
+            continue
         case_jobs = case.jobs
         if jobs is not None and case.jobs > 1:
             case_jobs = jobs
         resilience = (
             resilience_factory(case.name) if resilience_factory is not None else None
         )
+        _reset_peak_rss()
         start = time.perf_counter()
         grants, qos = run_case(case, quick=quick, jobs=case_jobs, resilience=resilience)
         elapsed = time.perf_counter() - start
@@ -167,6 +229,7 @@ def _run_suite(
             {
                 "name": case.name,
                 "description": case.description,
+                "kernel": case.kernel,
                 "horizon": case.quick_horizon if quick else case.horizon,
                 "wall_time_s": round(elapsed, 4),
                 "grants": grants,
@@ -202,16 +265,60 @@ def _timed(fn: "Callable[[], object]") -> float:
     return time.perf_counter() - start
 
 
-def _sweep_summary(cases: List[JSONDict]) -> JSONDict:
+def _kernel_speedups(cases: List[JSONDict]) -> List[JSONDict]:
+    """Array-vs-event mirror pairs: speedup plus the parity check.
+
+    Every suite case declaring a ``baseline`` mirrors an event-kernel
+    case with the identical config/workload/seed/horizon, so the two runs
+    must produce the same grant count and qos deltas (``results_match``
+    is the bit-identical-parity contract surfacing in the perf report).
+    ``cpu_count`` is recorded because numpy batching is a single-core
+    speedup — it should hold even on a 1-CPU container, unlike the
+    multiprocessing sweep ratio.
+    """
+    by_name = {case["name"]: case for case in cases}
+    cpu_count = os.cpu_count() or 1
+    entries: List[JSONDict] = []
+    for case in SUITE:
+        if case.baseline is None:
+            continue
+        mirror = by_name.get(case.name)
+        base = by_name.get(case.baseline)
+        if mirror is None or base is None:
+            continue  # filtered out by --kernel
+        entries.append(
+            {
+                "case": case.name,
+                "baseline": case.baseline,
+                "kernel": case.kernel,
+                "baseline_wall_s": base["wall_time_s"],
+                "case_wall_s": mirror["wall_time_s"],
+                "baseline_grants_per_sec": base["grants_per_sec"],
+                "case_grants_per_sec": mirror["grants_per_sec"],
+                "speedup": round(base["wall_time_s"] / mirror["wall_time_s"], 3),
+                "results_match": (
+                    mirror["grants"] == base["grants"]
+                    and mirror["qos"] == base["qos"]
+                ),
+                "cpu_count": cpu_count,
+            }
+        )
+    return entries
+
+
+def _sweep_summary(cases: List[JSONDict]) -> Optional[JSONDict]:
     """Serial-vs-parallel sweep pair: speedup and result-identity check.
 
     ``results_match`` is a hard contract at any core count. The speedup is
     only an *expectation* when the machine actually has more than one core
     (``speedup_expected``); a single-core container running the parallel
     case measures pure multiprocessing overhead, and recording that as a
-    regression-worthy "speedup" would be dishonest.
+    regression-worthy "speedup" would be dishonest. Returns ``None`` when
+    a ``--kernel`` filter dropped either half of the pair.
     """
     by_name = {case["name"]: case for case in cases}
+    if SWEEP_SERIAL_CASE not in by_name or SWEEP_PARALLEL_CASE not in by_name:
+        return None
     serial = by_name[SWEEP_SERIAL_CASE]
     parallel = by_name[SWEEP_PARALLEL_CASE]
     cpu_count = os.cpu_count() or 1
@@ -293,8 +400,15 @@ def main(argv: "list[str] | None" = None) -> int:
         help="short horizons (CI smoke); only comparable to --quick baselines",
     )
     parser.add_argument(
-        "--output", metavar="FILE", default="BENCH_4.json",
-        help="where to write the report (default: BENCH_4.json)",
+        "--output", metavar="FILE", default="BENCH_5.json",
+        help="where to write the report (default: BENCH_5.json)",
+    )
+    parser.add_argument(
+        "--kernel", choices=["event", "flit", "array", "all"], default="all",
+        metavar="KERNEL",
+        help="only run cases of this simulation backend (event, flit, "
+        "array; default: all). Filtering out the sweep pair drops the "
+        "parallel-sweep summary from the report",
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -385,7 +499,8 @@ def main(argv: "list[str] | None" = None) -> int:
 
     try:
         cases, overhead, sweep = _run_suite(
-            args.quick, jobs=args.jobs, resilience_factory=factory
+            args.quick, jobs=args.jobs, resilience_factory=factory,
+            kernel=args.kernel,
         )
     except SweepInterrupted as exc:
         print(f"repro-bench: interrupted — {exc}", file=sys.stderr)
@@ -393,15 +508,19 @@ def main(argv: "list[str] | None" = None) -> int:
             for line in options.summary_lines():
                 print(f"  {line}", file=sys.stderr)
         return 130
+    speedups = _kernel_speedups(cases)
     document: JSONDict = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
         "cases": cases,
         "probe_overhead": overhead,
-        "parallel_sweep": sweep,
+        "kernel_speedup": speedups,
     }
+    if sweep is not None:
+        document["parallel_sweep"] = sweep
     outcomes = [
         outcome for options in created_options for outcome in options.outcomes
     ]
@@ -421,25 +540,42 @@ def main(argv: "list[str] | None" = None) -> int:
         f"{overhead['disabled_wall_s']:.3f}s, enabled {overhead['enabled_wall_s']:.3f}s "
         f"({overhead['enabled_overhead_pct']:+.1f}%)"
     )
-    speedup_note = (
-        f"-> {sweep['speedup']:.2f}x"
-        if sweep["speedup_expected"]
-        else f"-> {sweep['speedup']:.2f}x (single core: speedup not expected, "
-        "measuring fan-out overhead only)"
-    )
-    print(
-        f"parallel sweep (jobs={sweep['jobs']}, cpus={sweep['cpu_count']}): serial "
-        f"{sweep['serial_wall_s']:.3f}s, parallel {sweep['parallel_wall_s']:.3f}s "
-        f"{speedup_note}, results "
-        f"{'identical' if sweep['results_match'] else 'DIVERGED'}"
-    )
+    for entry in speedups:
+        print(
+            f"kernel speedup {entry['case']} vs {entry['baseline']}: "
+            f"{entry['baseline_wall_s']:.3f}s -> {entry['case_wall_s']:.3f}s "
+            f"({entry['speedup']:.2f}x), results "
+            f"{'identical' if entry['results_match'] else 'DIVERGED'}"
+        )
+    if sweep is not None:
+        speedup_note = (
+            f"-> {sweep['speedup']:.2f}x"
+            if sweep["speedup_expected"]
+            else f"-> {sweep['speedup']:.2f}x (single core: speedup not expected, "
+            "measuring fan-out overhead only)"
+        )
+        print(
+            f"parallel sweep (jobs={sweep['jobs']}, cpus={sweep['cpu_count']}): serial "
+            f"{sweep['serial_wall_s']:.3f}s, parallel {sweep['parallel_wall_s']:.3f}s "
+            f"{speedup_note}, results "
+            f"{'identical' if sweep['results_match'] else 'DIVERGED'}"
+        )
     if outcomes:
         print("resilience:")
         for options in created_options:
             for line in options.summary_lines():
                 print(f"  {line}")
     print(f"wrote {output}")
-    if not sweep["results_match"]:
+    mismatched = [e for e in speedups if not e["results_match"]]
+    for entry in mismatched:
+        print(
+            f"REGRESSION: {entry['case']} diverged from {entry['baseline']} — "
+            "kernel parity contract violated",
+            file=sys.stderr,
+        )
+    if mismatched:
+        return 1
+    if sweep is not None and not sweep["results_match"]:
         print(
             "REGRESSION: parallel sweep results diverged from serial — "
             "determinism contract violated",

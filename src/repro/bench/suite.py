@@ -53,6 +53,13 @@ class BenchCase:
         jobs: worker processes the case is pinned to (sweep cases pin
             1 and 4 so the serial/parallel pair is tracked side by side;
             ``run_case(jobs=...)`` can override).
+        kernel: which simulation backend the case exercises (report
+            metadata; the body already constructs the right kernel).
+        baseline: name of the event-kernel case this one mirrors
+            (same config/workload/seed/horizon). The bench CLI pairs the
+            two into a ``kernel_speedup`` entry and asserts their grant
+            counts and qos deltas match — the parity contract, enforced
+            in the perf report itself.
     """
 
     name: str
@@ -61,6 +68,8 @@ class BenchCase:
     quick_horizon: int
     fn: CaseFn
     jobs: int = 1
+    kernel: str = "event"
+    baseline: Optional[str] = None
 
 
 def _paper_config(radix: int = 8, **overrides: object) -> SwitchConfig:
@@ -132,6 +141,90 @@ def _fast_gl_policed(
     return result.grants, {
         "gl_throttle_events": float(throttles),
         "gb_accepted": result.accepted_rate(FlowId(1, 0, TrafficClass.GB)),
+    }
+
+
+def _fast_uniform_array(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
+    """Array-kernel twin of ``fast-uniform-gb``: same config/workload/seed."""
+    from ..switch.array_kernel import ArraySimulation
+
+    config = _paper_config()
+    workload = uniform_random_workload(8, inject_rate=0.7, reserved_share=0.9)
+    result = ArraySimulation(config, workload, seed=1, probe=probe).run(horizon)
+    total = sum(result.output_utilization.values()) / config.radix
+    return result.grants, {"mean_utilization": total}
+
+
+def _fast_hotspot_array(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
+    """Array-kernel twin of ``fast-hotspot-fig4``: same config/workload/seed."""
+    from ..switch.array_kernel import ArraySimulation
+
+    config = _paper_config()
+    workload = fig4_workload(inject_rate=None)
+    result = ArraySimulation(config, workload, seed=1, probe=probe).run(horizon)
+    big = result.stats.flow_stats(FlowId(0, 0, TrafficClass.GB))
+    sustained = big.windowed.sustained_minimum()
+    return result.grants, {
+        "flow0_accepted": result.accepted_rate(FlowId(0, 0, TrafficClass.GB)),
+        "flow0_sustained_min": sustained,
+    }
+
+
+def _r128_workload() -> Workload:
+    """128 saturating GB flows funneled onto 8 hot outputs (16 per output)."""
+    workload = Workload(name="hotspot-r128")
+    for src in range(128):
+        workload.add(gb_flow(src, src % 8, reserved_rate=0.05, inject_rate=None))
+    return workload
+
+
+def _r128_hotspot(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
+    """Event kernel at radix 128 — the regime the array kernel targets.
+
+    At radix 8 both kernels spend most of each grant in shared per-packet
+    bookkeeping (queue pops, stats, channel scheduling), which caps any
+    arbitration-only speedup near 2x (Amdahl). At radix 128 the event
+    kernel's per-wake arbitration scan is O(radix^2) Python, while the
+    array kernel's is a handful of numpy row operations — this pair is
+    where the ``kernel_speedup`` headline comes from.
+    """
+    config = _paper_config(radix=128)
+    result = Simulation(config, _r128_workload(), seed=1, probe=probe).run(horizon)
+    return result.grants, {
+        "flow0_accepted": result.accepted_rate(FlowId(0, 0, TrafficClass.GB)),
+    }
+
+
+def _r128_hotspot_array(
+    horizon: int,
+    probe: Optional[Probe],
+    jobs: int = 1,
+    resilience: Optional[ResilienceOptions] = None,
+) -> CaseResult:
+    """Array-kernel twin of ``hotspot-r128``: same config/workload/seed."""
+    from ..switch.array_kernel import ArraySimulation
+
+    config = _paper_config(radix=128)
+    result = ArraySimulation(
+        config, _r128_workload(), seed=1, probe=probe
+    ).run(horizon)
+    return result.grants, {
+        "flow0_accepted": result.accepted_rate(FlowId(0, 0, TrafficClass.GB)),
     }
 
 
@@ -259,11 +352,29 @@ SUITE: Tuple[BenchCase, ...] = (
         fn=_fast_uniform,
     ),
     BenchCase(
+        name="fast-uniform-gb-array",
+        description="array kernel, radix 8, uniform GB Bernoulli 0.7",
+        horizon=60_000,
+        quick_horizon=8_000,
+        fn=_fast_uniform_array,
+        kernel="array",
+        baseline="fast-uniform-gb",
+    ),
+    BenchCase(
         name="fast-hotspot-fig4",
         description="event kernel, Fig. 4 hotspot, saturating GB",
         horizon=60_000,
         quick_horizon=10_000,
         fn=_fast_hotspot,
+    ),
+    BenchCase(
+        name="fast-hotspot-fig4-array",
+        description="array kernel, Fig. 4 hotspot, saturating GB",
+        horizon=60_000,
+        quick_horizon=10_000,
+        fn=_fast_hotspot_array,
+        kernel="array",
+        baseline="fast-hotspot-fig4",
     ),
     BenchCase(
         name="fast-gl-policed",
@@ -280,11 +391,28 @@ SUITE: Tuple[BenchCase, ...] = (
         fn=_faulted_hotspot,
     ),
     BenchCase(
+        name="hotspot-r128",
+        description="event kernel, radix 128, 128 saturating GB flows",
+        horizon=4_000,
+        quick_horizon=2_000,
+        fn=_r128_hotspot,
+    ),
+    BenchCase(
+        name="hotspot-r128-array",
+        description="array kernel, radix 128, 128 saturating GB flows",
+        horizon=4_000,
+        quick_horizon=2_000,
+        fn=_r128_hotspot_array,
+        kernel="array",
+        baseline="hotspot-r128",
+    ),
+    BenchCase(
         name="flit-uniform-gb",
         description="flit kernel, radix 4, uniform GB Bernoulli 0.5",
         horizon=12_000,
         quick_horizon=3_000,
         fn=_flit_parity,
+        kernel="flit",
     ),
     BenchCase(
         name="multiswitch-clos",

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import QoSConfig
 from ..errors import ArbitrationError, ConfigError
@@ -64,6 +64,23 @@ class _FlowState:
     value_num: int = 0
     epoch: int = 0
     transmit_count: int = field(default=0, repr=False)
+
+
+@dataclass(frozen=True)
+class SSVCState:
+    """Read-only snapshot of a core's integer counter state.
+
+    Produced by :meth:`SSVCCore.export_state` for array-kernel
+    initialization: all quantities are in the core's subtick units, so a
+    vectorized backend can reproduce the exact integer arithmetic without
+    reaching into private attributes. ``flows`` maps input port to
+    ``(vtick_num, value_num, epoch)``.
+    """
+
+    scale: int
+    quantum_num: int
+    saturation_num: int
+    flows: Dict[int, Tuple[int, int, int]]
 
 
 class SSVCCore:
@@ -314,3 +331,20 @@ class SSVCCore:
     def snapshot(self, now: int) -> Dict[int, float]:
         """Counter values of all registered flows (for tests/reports)."""
         return {i: self.counter_value(i, now) for i in sorted(self._flows)}
+
+    def export_state(self) -> SSVCState:
+        """Integer counter state for vectorized backends (read-only).
+
+        The array kernel seeds its int64 matrices from this snapshot and
+        thereafter performs the same subtick arithmetic as this core —
+        parity tests compare the resulting grant streams bit for bit.
+        """
+        return SSVCState(
+            scale=self._scale,
+            quantum_num=self._quantum_num,
+            saturation_num=self._saturation_num,
+            flows={
+                i: (flow.vtick_num, flow.value_num, flow.epoch)
+                for i, flow in self._flows.items()
+            },
+        )

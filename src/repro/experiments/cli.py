@@ -77,6 +77,7 @@ def _run_custom(
     seed: int,
     report_path: "str | None" = None,
     trace_path: "str | None" = None,
+    kernel: str = "event",
 ) -> str:
     """Run a JSON-described experiment and return its summary table."""
     from ..obs.probe import CountingProbe, Probe
@@ -95,7 +96,7 @@ def _run_custom(
     try:
         result = run_simulation(
             config, workload, arbiter=arbiter, horizon=horizon, seed=seed,
-            probe=probe,
+            probe=probe, kernel=kernel,
         )
     finally:
         if isinstance(probe, NDJSONTraceProbe):
@@ -159,6 +160,13 @@ def main(argv: "list[str] | None" = None) -> int:
         type=int,
         default=0,
         help="simulation seed for 'custom' (default: 0)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=["event", "flit", "array"],
+        default="event",
+        help="simulation backend for 'custom' (default: event; all three "
+        "produce bit-identical results, see docs/KERNELS.md)",
     )
     parser.add_argument(
         "--report",
@@ -234,12 +242,17 @@ def main(argv: "list[str] | None" = None) -> int:
             f"flags apply to: {', '.join(sorted(PARALLEL_EXPERIMENTS))}"
         )
 
+    if args.kernel != "event" and args.experiment != "custom":
+        parser.error("--kernel applies to 'custom' runs; the named "
+                     "experiments always use the event kernel")
+
     if args.experiment == "custom":
         if not args.config:
             parser.error("'custom' requires --config FILE")
         report = _run_custom(
             args.config, args.arbiter, args.horizon, args.seed,
             report_path=args.report, trace_path=args.trace,
+            kernel=args.kernel,
         )
         print(report)
         if args.output:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Union
+from typing import Optional, Protocol, Union
 
 from ..config import GLPolicerConfig, QoSConfig, SwitchConfig
 from ..errors import ConfigError
@@ -83,6 +83,44 @@ def make_arbiter_factory(preset: Union[str, ArbiterFactory]) -> ArbiterFactory:
         ) from None
 
 
+#: Simulation backends selectable by name (see docs/KERNELS.md).
+KERNELS = ("event", "flit", "array")
+
+
+class SimulationKernel(Protocol):
+    """What every backend exposes: one run() producing a result."""
+
+    def run(self, horizon: int) -> SimulationResult:
+        """Simulate ``horizon`` cycles and return the collected results."""
+
+
+def make_simulation(
+    kernel: str,
+    config: SwitchConfig,
+    workload: Workload,
+    **kwargs: object,
+) -> SimulationKernel:
+    """Construct the named kernel's simulation (event/flit/array).
+
+    The flit and array backends are imported lazily so the default path
+    pays nothing for them.
+
+    Raises:
+        ConfigError: for unknown kernel names, listing the valid ones.
+    """
+    if kernel == "event":
+        return Simulation(config, workload, **kwargs)  # type: ignore[arg-type]
+    if kernel == "flit":
+        from ..switch.flit_kernel import FlitLevelSimulation
+
+        return FlitLevelSimulation(config, workload, **kwargs)  # type: ignore[arg-type]
+    if kernel == "array":
+        from ..switch.array_kernel import ArraySimulation
+
+        return ArraySimulation(config, workload, **kwargs)  # type: ignore[arg-type]
+    raise ConfigError(f"unknown kernel {kernel!r}; valid: {list(KERNELS)}")
+
+
 def run_simulation(
     config: SwitchConfig,
     workload: Workload,
@@ -93,9 +131,11 @@ def run_simulation(
     collect_events: bool = False,
     probe: Optional[Probe] = None,
     fault_plan: Optional[FaultPlan] = None,
+    kernel: str = "event",
 ) -> SimulationResult:
     """Build and run one simulation (the single entry point experiments use)."""
-    sim = Simulation(
+    sim = make_simulation(
+        kernel,
         config,
         workload,
         arbiter_factory=make_arbiter_factory(arbiter),

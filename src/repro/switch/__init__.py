@@ -14,6 +14,7 @@ Swizzle Switch" — this package is that simulator. It models:
   (:mod:`repro.switch.simulator`).
 """
 
+from .array_kernel import ArraySimulation
 from .buffers import FlitBuffer, InputPort
 from .crossbar import SwizzleSwitch
 from .events import GrantEvent, PacketDelivered
@@ -23,6 +24,7 @@ from .output_channel import OutputChannel
 from .simulator import Simulation, SimulationResult
 
 __all__ = [
+    "ArraySimulation",
     "Flit",
     "FlitBuffer",
     "FlitLevelSimulation",

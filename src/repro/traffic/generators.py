@@ -236,6 +236,24 @@ class FlowSource:
             )
         return Packet(flow=self.flow, flits=self._draw_length(), created_cycle=created_cycle)
 
+    def skip_packet(self) -> None:
+        """Consume one packet id without creating a packet.
+
+        The event kernel's saturating top-up discovers a full buffer by
+        building the next packet and rolling ``created_count`` back — which
+        still burns one id from the shared stream. A kernel that prechecks
+        capacity arithmetically (possible only for fixed packet lengths,
+        where :meth:`_draw_length` consumes no randomness) calls this once
+        per abandoned top-up so downstream packet ids stay bit-identical.
+        """
+        if not isinstance(self.packet_length, int):
+            raise TrafficError(
+                f"skip_packet requires a fixed packet length, {self.flow} "
+                f"draws lengths from {self.packet_length}"
+            )
+        if self._ids is not None:
+            next(self._ids)
+
     # ------------------------------------------------- scheduled-source API
 
     def peek_time(self) -> Optional[int]:

@@ -81,6 +81,13 @@ RULE_CASES = [
         "def f(g, probe):\n    try:\n        g()\n    except ValueError:\n        probe.count('fail', 1)\n",
     ),
     (
+        "RL012",
+        "import numpy as np\nw = int(np.zeros(8).argmin())\n",
+        "import numpy as np\nkeys = np.zeros(8, dtype=np.int64)\n"
+        "# tie-break: keys are unique, argmin cannot tie.\n"
+        "w = int(keys.argmin())\n",
+    ),
+    (
         "RC101",
         "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    w.use()\n",
         "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    arb.commit(w, now)\n",
@@ -235,6 +242,39 @@ def test_fault_deep_import_exempts_the_faults_package():
     source = "from repro.faults.plan import FaultSpec\n"
     assert "RL010" in open_ids(source, path=PLAIN_PATH)
     assert open_ids(source, path="src/repro/faults/injector.py") == []
+
+
+def test_numpy_determinism_fires_only_in_guarded_packages():
+    source = "import numpy as np\nx = np.random.shuffle([1, 2])\n"
+    assert "RL012" not in open_ids(source, path=PLAIN_PATH)
+    assert "RL012" in open_ids(source, path="src/repro/switch/x.py")
+
+
+def test_numpy_determinism_fixture_pair():
+    from pathlib import Path
+
+    fixtures = Path(__file__).resolve().parent / "fixtures" / "analysis"
+    engine = Engine(select={"RL012"}, force_guarded=True)
+    bad = engine.lint_paths([str(fixtures / "bad_numpy_module.py")])
+    # One finding per offending function in the bad fixture.
+    assert len([f for f in bad.open_findings if f.rule_id == "RL012"]) == 7
+    good = engine.lint_paths([str(fixtures / "good_numpy_module.py")])
+    assert good.open_findings == []
+
+
+def test_numpy_determinism_accepts_string_and_dotted_float_dtypes():
+    for snippet in (
+        "import numpy as np\na = np.empty(4, dtype='float32')\n",
+        "import numpy as np\na = np.full(4, 0, dtype=np.double)\n",
+        "import numpy as np\na = np.array([1], dtype=float)\n",
+    ):
+        assert "RL012" in open_ids(snippet), snippet
+    for snippet in (
+        "import numpy as np\na = np.full(4, 0, dtype=np.int64)\n",
+        "import numpy as np\na = np.array([1.0])\n",  # no explicit dtype
+        "import numpy as np\na = np.arange(4)\n",
+    ):
+        assert "RL012" not in open_ids(snippet), snippet
 
 
 def test_rule_registry_is_complete_and_unique():

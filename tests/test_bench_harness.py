@@ -55,6 +55,75 @@ class TestReportSchema:
         assert over["disabled_wall_s"] > 0
         assert over["enabled_wall_s"] > 0
 
+    def test_peak_rss_is_sampled_per_case(self, quick_report):
+        """Regression: peak_rss_kb came from the process-lifetime
+        ``ru_maxrss`` high-water mark, so every case reported the same
+        number (all BENCH_4 cases said 38140 kb). After resetting VmHWM
+        between cases, the samples must actually vary. (No ordering
+        assertion between specific cases: under the full pytest run the
+        process baseline dwarfs any single case's working set, so only
+        all-identical — the original bug — is a safe signal.)"""
+        _, doc = quick_report
+        rss = {c["name"]: c["peak_rss_kb"] for c in doc["cases"]}
+        assert len(set(rss.values())) > 1, rss
+
+    def test_reset_peak_rss_forgets_released_allocations(self):
+        """VmHWM reset (the mechanism behind per-case sampling): allocate,
+        release, reset — the high-water mark must drop back down."""
+        from repro.bench.cli import _peak_rss_kb, _reset_peak_rss
+
+        if not _reset_peak_rss():
+            pytest.skip("/proc/self/clear_refs not writable on this platform")
+        ballast = bytearray(64 * 1024 * 1024)
+        ballast[::4096] = b"x" * len(ballast[::4096])  # fault the pages in
+        high = _peak_rss_kb()
+        del ballast
+        assert _reset_peak_rss()
+        assert _peak_rss_kb() < high
+
+    def test_kernel_speedup_section(self, quick_report):
+        """Every array case is paired with its event twin, parity holds
+        (results_match is the contract, not a hope), and the radix-128
+        pair shows the arbitration-bound speedup the array kernel exists
+        for."""
+        _, doc = quick_report
+        speedups = {entry["case"]: entry for entry in doc["kernel_speedup"]}
+        assert set(speedups) == {
+            "fast-uniform-gb-array",
+            "fast-hotspot-fig4-array",
+            "hotspot-r128-array",
+        }
+        for entry in speedups.values():
+            assert entry["results_match"] is True, entry
+            assert entry["kernel"] == "array"
+            assert entry["speedup"] > 0
+            assert entry["cpu_count"] >= 1
+        assert speedups["hotspot-r128-array"]["baseline"] == "hotspot-r128"
+
+    def test_validator_rejects_kernel_speedup_mutations(self, quick_report):
+        _, doc = quick_report
+        broken = copy.deepcopy(doc)
+        del broken["kernel_speedup"][0]["results_match"]
+        with pytest.raises(ConfigError):
+            validate_bench_document(broken)
+        wrong_type = copy.deepcopy(doc)
+        wrong_type["kernel_speedup"][0]["speedup"] = "fast"
+        with pytest.raises(ConfigError):
+            validate_bench_document(wrong_type)
+
+    def test_kernel_filter_runs_only_matching_cases(self, tmp_path):
+        out = tmp_path / "BENCH_2.json"
+        code = main(["--quick", "--output", str(out), "--baseline", "none",
+                     "--kernel", "array"])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        kernels = {case["kernel"] for case in doc["cases"]}
+        assert kernels == {"array"}
+        # The event baselines were filtered out, so no speedup pairs (and
+        # no sweep section — both sweep cases run on the event kernel).
+        assert doc["kernel_speedup"] == []
+        assert "parallel_sweep" not in doc
+
     def test_validator_rejects_mutations(self, quick_report):
         _, doc = quick_report
         missing = copy.deepcopy(doc)

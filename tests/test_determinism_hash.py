@@ -5,7 +5,10 @@ event streams: every grant, every delivery, same cycles, same order. If
 any code path consulted global RNG state, wall-clock time, or unordered
 iteration, these hashes would diverge (if not on this run, then under a
 different ``PYTHONHASHSEED`` — CI runs this on three interpreter
-versions).
+versions). The same-seed property is checked per backend (event, flit,
+array), and the array kernel's hash must additionally equal the event
+kernel's — the determinism side of the parity contract in
+docs/KERNELS.md.
 """
 
 from __future__ import annotations
@@ -16,12 +19,16 @@ import pytest
 
 from repro import Simulation, fig4_workload
 from repro.config import FIG4_CONFIG
+from repro.experiments.common import make_simulation
 
 HORIZON = 3_000
 
 
-def _event_stream_hash(seed: int, inject_rate: float = 0.3) -> str:
-    sim = Simulation(
+def _event_stream_hash(
+    seed: int, inject_rate: float = 0.3, kernel: str = "event"
+) -> str:
+    sim = make_simulation(
+        kernel,
         FIG4_CONFIG,
         fig4_workload(inject_rate=inject_rate),
         seed=seed,
@@ -32,8 +39,21 @@ def _event_stream_hash(seed: int, inject_rate: float = 0.3) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def test_same_seed_produces_identical_event_streams():
-    assert _event_stream_hash(seed=42) == _event_stream_hash(seed=42)
+@pytest.mark.parametrize("kernel", ["event", "flit", "array"])
+def test_same_seed_produces_identical_event_streams(kernel):
+    first = _event_stream_hash(seed=42, kernel=kernel)
+    assert first == _event_stream_hash(seed=42, kernel=kernel)
+
+
+def test_array_kernel_hash_equals_event_kernel_hash():
+    # The flit kernel is deliberately absent: it models buffer occupancy
+    # flit-by-flit, so its schedule matches the event kernel's only when
+    # backpressure never binds (tests/test_flit_kernel.py pins both sides
+    # of that boundary). The array kernel claims *unconditional* parity.
+    for seed in (0, 42):
+        assert _event_stream_hash(seed=seed, kernel="array") == _event_stream_hash(
+            seed=seed, kernel="event"
+        )
 
 
 def test_event_stream_is_nonempty_under_load():
