@@ -611,3 +611,167 @@ class NumpyDeterminismRule(Rule):
         hi = min(node.lineno + 1, len(lines))
         window = "\n".join(lines[lo:hi]).lower()
         return "tie-break" in window or "tie break" in window
+
+
+#: Container methods that mutate their receiver in place. Calling one on
+#: shared scheduler state (or on the caller's backlog) inside a grant/
+#: propose phase is the mid-iteration mutation RL013 forbids.
+_RL013_MUTATORS = frozenset(
+    {
+        "append", "appendleft", "add", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "setdefault",
+        "update",
+    }
+)
+
+#: Method-name markers for the read-only matching phases.
+_RL013_PHASE_MARKERS = ("grant", "propose", "request")
+
+
+def _rl013_root(node: ast.AST) -> Optional[str]:
+    """The base Name of an Attribute/Subscript chain (``self`` for
+    ``self._slots[i].by_input``), or None when the chain passes through a
+    call and the receiver cannot be tracked statically."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _rl013_touches_pointer(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and "pointer" in child.attr.lower():
+            return True
+    return False
+
+
+@register
+class IterativeArbiterContractRule(Rule):
+    """RL013: iterative-arbiter contract — pure phases, accept-gated pointers.
+
+    The iterative matchers (:mod:`repro.qos.iterative` subclasses) repeat
+    a request/grant/accept exchange several times per cycle. Two
+    structural invariants make that exchange replayable and keep the
+    schedulers' fairness arguments intact:
+
+    * **grant/propose phases are pure** — a method whose name marks it as
+      part of the request or grant phase (``grant``/``propose``/
+      ``request``) must not mutate shared scheduler state (``self.*``) or
+      the caller's VOQ backlog mid-iteration: a grant computed from
+      state another port's grant just changed is order-dependent, and the
+      simulator's determinism contract (docs/PARALLELISM.md) forbids
+      that. Mutation belongs in the accept phase or in ``match`` itself.
+    * **round-robin pointers advance only on accepted grants** — iSLIP's
+      no-starvation argument rests on pointers slipping past a match
+      only when the grant is *accepted*; a pointer write anywhere but an
+      accept-phase method (or ``__init__``) desynchronizes the rotation
+      and reintroduces the synchronization pathology round-robin
+      matching exists to avoid.
+
+    The rule fires on classes whose base list names ``IterativeArbiter``.
+    """
+
+    id = "RL013"
+    name = "iterative-arbiter-contract"
+    severity = Severity.ERROR
+    description = (
+        "iterative matchers must keep grant phases pure and advance "
+        "round-robin pointers only on accepted grants"
+    )
+    node_types = (ast.ClassDef,)
+    guarded_only = True
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(node, ast.ClassDef)
+        if not any(
+            (dotted_name(base) or "").split(".")[-1] == "IterativeArbiter"
+            for base in node.bases
+        ):
+            return
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_method(item, ctx)
+
+    def _check_method(self, method: ast.AST, ctx: ModuleContext) -> None:
+        assert isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+        lowered = method.name.lower()
+        pointer_ok = "accept" in lowered or method.name == "__init__"
+        is_phase = "accept" not in lowered and any(
+            marker in lowered for marker in _RL013_PHASE_MARKERS
+        )
+        args = method.args
+        params = {
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        } - {"self"}
+        for stmt in ast.walk(method):
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    self._check_write(target, method, ctx,
+                                      pointer_ok, is_phase, params)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    self._check_write(target, method, ctx,
+                                      pointer_ok, is_phase, params)
+            elif (
+                isinstance(stmt, ast.Call)
+                and isinstance(stmt.func, ast.Attribute)
+                and stmt.func.attr in _RL013_MUTATORS
+            ):
+                root = _rl013_root(stmt.func.value)
+                if is_phase and root is not None and (
+                    root == "self" or root in params
+                ):
+                    what = (
+                        "shared scheduler state" if root == "self"
+                        else f"the caller's {root!r}"
+                    )
+                    ctx.report(
+                        self,
+                        stmt,
+                        f"{method.name}() calls .{stmt.func.attr}() on "
+                        f"{what}; grant/propose phases must stay pure — "
+                        "mutate in the accept phase or in match()",
+                    )
+
+    def _check_write(
+        self,
+        target: ast.AST,
+        method: ast.AST,
+        ctx: ModuleContext,
+        pointer_ok: bool,
+        is_phase: bool,
+        params: "set[str]",
+    ) -> None:
+        assert isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_write(element, method, ctx,
+                                  pointer_ok, is_phase, params)
+            return
+        root = _rl013_root(target)
+        if root is None:
+            return
+        if _rl013_touches_pointer(target) and root == "self" and not pointer_ok:
+            ctx.report(
+                self,
+                target,
+                f"{method.name}() writes a round-robin pointer; pointers "
+                "advance only on accepted grants (an accept-phase method "
+                "or __init__)",
+            )
+            return
+        if is_phase and (root == "self" or root in params):
+            what = (
+                "shared scheduler state" if root == "self"
+                else f"the caller's {root!r}"
+            )
+            ctx.report(
+                self,
+                target,
+                f"{method.name}() assigns into {what}; grant/propose "
+                "phases must stay pure — mutate in the accept phase or "
+                "in match()",
+            )

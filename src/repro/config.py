@@ -138,6 +138,14 @@ class SwitchConfig:
         max_chain_length: packets a single input may chain before paying a
             full arbitration cycle again (bounds the latency a chained
             stream can add for a requester that arrives mid-chain).
+        voq: full virtual-output-queued input buffering. The paper's
+            switch gives only the GB class per-output queues; with
+            ``voq=True`` every class (BE and GL included) gets one queue
+            per (input, output) pair, removing head-of-line blocking
+            entirely. This is the canonical input-queued switch model the
+            iterative matching schedulers (iSLIP, QPS-r, SW-QPS) assume;
+            see docs/SCHEDULERS.md. Supported by the event kernel only —
+            the flit and array kernels refuse it at construction.
         qos: SSVC arbitration parameters.
         gl_policer: GL-class policing parameters.
     """
@@ -151,6 +159,7 @@ class SwitchConfig:
     arbitration_cycles: int = 1
     packet_chaining: bool = False
     max_chain_length: int = 4
+    voq: bool = False
     qos: QoSConfig = field(default_factory=QoSConfig)
     gl_policer: GLPolicerConfig = field(default_factory=GLPolicerConfig)
 

@@ -13,12 +13,16 @@ model (``repro.circuit``):
 * :mod:`repro.core.gl_bound` — Guaranteed Latency bound math (Eqs. 1-3).
 * :mod:`repro.core.arbitration` — request/grant value types shared by all
   arbiters.
+* :mod:`repro.core.matching` — round-robin pointers, keyed-hash
+  queue-proportional sampling, and the :class:`~repro.core.matching.Matching`
+  value type used by the iterative VOQ schedulers.
 """
 
 from .arbitration import Grant, Request
 from .bandwidth import BandwidthAllocator, Reservation
 from .gl_bound import burst_budgets, gl_latency_bound
 from .lrg import LRGState
+from .matching import Matching, keyed_draw, round_robin_pick, sample_proportional
 from .ssvc import SSVCCore
 from .thermometer import ThermometerCode
 from .virtual_clock import VirtualClockCounter, compute_vtick
@@ -27,6 +31,7 @@ __all__ = [
     "BandwidthAllocator",
     "Grant",
     "LRGState",
+    "Matching",
     "Request",
     "Reservation",
     "SSVCCore",
@@ -35,4 +40,7 @@ __all__ = [
     "burst_budgets",
     "compute_vtick",
     "gl_latency_bound",
+    "keyed_draw",
+    "round_robin_pick",
+    "sample_proportional",
 ]

@@ -1,0 +1,138 @@
+"""Matching primitives shared by the iterative VOQ schedulers.
+
+The input-queued schedulers in :mod:`repro.qos` (iSLIP, QPS-r, SW-QPS)
+are built from three deterministic ingredients:
+
+* :class:`Matching` — the value object one scheduling decision produces:
+  a conflict-free set of (input, output) pairs plus diagnostics;
+* :func:`round_robin_pick` — the rotating-priority selection both iSLIP
+  phases use (grant pointers at outputs, accept pointers at inputs);
+* :func:`keyed_draw` / :func:`sample_proportional` — queue-proportional
+  sampling driven by a keyed blake2b hash instead of RNG state, so a
+  draw depends only on ``(seed, cycle, round, port)`` and is therefore
+  bit-identical across kernels, process fan-out, and resumed sweeps
+  (the same stateless-draw idiom as :mod:`repro.faults.injector`).
+
+Everything here is integer arithmetic — no floats enter any grant
+decision, matching the repo-wide integer-exact arbitration contract
+(docs/KERNELS.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from ..errors import ArbitrationError
+
+
+@dataclass(frozen=True)
+class Matching:
+    """One scheduling decision of an iterative VOQ scheduler.
+
+    Attributes:
+        pairs: matched ``(input, output)`` pairs; each input and each
+            output appears at most once (validated on construction).
+        iterations: request/grant/accept (or propose/accept) rounds the
+            scheduler actually ran to produce this matching.
+        proposals: total requests/proposals examined across those rounds
+            (feeds the ``voq.proposals`` probe counter).
+    """
+
+    pairs: Tuple[Tuple[int, int], ...]
+    iterations: int = 1
+    proposals: int = 0
+
+    def __post_init__(self) -> None:
+        inputs = [i for i, _ in self.pairs]
+        outputs = [o for _, o in self.pairs]
+        if len(set(inputs)) != len(inputs) or len(set(outputs)) != len(outputs):
+            raise ArbitrationError(
+                f"matching is not conflict-free: inputs {sorted(inputs)}, "
+                f"outputs {sorted(outputs)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def round_robin_pick(candidates: Sequence[int], pointer: int) -> int:
+    """The first candidate at or after ``pointer``, wrapping around.
+
+    This is the rotating-priority selection of the iSLIP grant and accept
+    phases: ports are scanned in increasing index order starting at the
+    pointer, so the port the pointer rests on has highest priority and
+    the one just granted (pointer = winner + 1) has lowest.
+
+    Args:
+        candidates: strictly increasing port indices (the callers build
+            them from sorted dict iteration).
+        pointer: current round-robin pointer position.
+
+    Raises:
+        ArbitrationError: if ``candidates`` is empty or unsorted (a
+            scheduler bug — phases must present sorted request sets).
+    """
+    if not candidates:
+        raise ArbitrationError("round_robin_pick over no candidates")
+    previous = -1
+    for port in candidates:
+        if port <= previous:
+            raise ArbitrationError(
+                f"candidates must be strictly increasing, got {list(candidates)}"
+            )
+        previous = port
+    for port in candidates:
+        if port >= pointer:
+            return port
+    return candidates[0]
+
+
+def keyed_draw(*key: int) -> int:
+    """A 64-bit non-negative integer determined entirely by ``key``.
+
+    blake2b over the key tuple, same construction as the fault injector's
+    stateless draws: no RNG object, no call-order dependence — the draw
+    for ``(seed, cycle, round, port)`` is the same whoever asks first.
+    """
+    material = ",".join(str(part) for part in key).encode("ascii")
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def sample_proportional(weights: Mapping[int, int], *key: int) -> int:
+    """Pick a key of ``weights`` with probability proportional to weight.
+
+    The queue-proportional sampling step of QPS-r / SW-QPS: an input
+    samples one output with probability ``voq_len / total_backlog``. The
+    draw is :func:`keyed_draw` reduced modulo the total weight, then
+    located by walking the keys in increasing order — all integers, so
+    the decision replays exactly.
+
+    Args:
+        weights: positive integer weight per candidate (a VOQ backlog in
+            flits); iteration is over ``sorted(weights)`` so dict
+            insertion order cannot leak into the decision.
+
+    Raises:
+        ArbitrationError: if ``weights`` is empty or any weight is
+            non-positive (empty VOQs must be filtered before sampling).
+    """
+    if not weights:
+        raise ArbitrationError("sample_proportional over no candidates")
+    total = 0
+    for candidate in weights:
+        weight = weights[candidate]
+        if weight <= 0:
+            raise ArbitrationError(
+                f"non-positive weight {weight} for candidate {candidate}"
+            )
+        total += weight
+    point = keyed_draw(*key) % total
+    cumulative = 0
+    for candidate in sorted(weights):
+        cumulative += weights[candidate]
+        if point < cumulative:
+            return candidate
+    raise ArbitrationError("sample walk exhausted weights")  # pragma: no cover

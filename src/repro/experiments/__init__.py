@@ -12,6 +12,9 @@
 | :mod:`repro.experiments.scalability` | Section 4.4: lanes, and accuracy vs. significant bits |
 | :mod:`repro.experiments.circuit_verification` | Section 4.1: wire model equivalence |
 | :mod:`repro.experiments.baseline_comparison` | Section 2.2: WRR/TDM underutilization ablation |
+| :mod:`repro.experiments.composition` | Section 4.4 extension: multi-switch composition |
+| :mod:`repro.experiments.faults_resilience` | Extension: QoS guarantee survival under injected faults |
+| :mod:`repro.experiments.tournament` | Extension: classic SSVC vs iterative VOQ schedulers (docs/SCHEDULERS.md) |
 
 Run any of them via ``repro-exp <name>`` (see :mod:`repro.experiments.cli`).
 """

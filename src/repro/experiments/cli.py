@@ -14,6 +14,7 @@ Runs any of the paper's experiments and prints its report::
     repro-exp baselines
     repro-exp composition   # Section 4.4 multi-switch study (extension)
     repro-exp faults        # QoS resilience under injected faults
+    repro-exp tournament    # classic SSVC vs iterative VOQ schedulers
     repro-exp all           # everything (slow)
     repro-exp custom --config exp.json   # run a serialized experiment
 """
@@ -44,7 +45,9 @@ from . import (
     scalability,
     table1_storage,
     table2_frequency,
+    tournament,
 )
+from .common import ARBITER_PRESETS, KERNELS
 
 #: Experiment name -> its ``main(fast) -> str`` function.
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
@@ -60,13 +63,14 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "baselines": baseline_comparison.main,
     "composition": composition.main,
     "faults": faults_resilience.main,
+    "tournament": tournament.main,
 }
 
 #: Experiments whose ``main`` additionally accepts ``jobs=`` (sweeps that
 #: fan out through repro.parallel); --jobs is a no-op for the others.
 PARALLEL_EXPERIMENTS = frozenset(
     {"fig4", "fig5", "rate-adherence", "scalability", "circuit",
-     "composition", "faults"}
+     "composition", "faults", "tournament"}
 )
 
 
@@ -146,8 +150,11 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--arbiter",
+        choices=sorted(ARBITER_PRESETS),
         default="three-class",
-        help="arbiter preset for 'custom' (default: three-class)",
+        metavar="PRESET",
+        help="arbiter preset for 'custom' (default: three-class; one of: "
+        + ", ".join(sorted(ARBITER_PRESETS)) + ")",
     )
     parser.add_argument(
         "--horizon",
@@ -163,7 +170,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--kernel",
-        choices=["event", "flit", "array"],
+        choices=list(KERNELS),
         default="event",
         help="simulation backend for 'custom' (default: event; all three "
         "produce bit-identical results, see docs/KERNELS.md)",

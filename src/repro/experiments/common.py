@@ -15,15 +15,19 @@ from ..qos import (
     DWRRArbiter,
     FixedPriorityArbiter,
     GSFArbiter,
+    ISLIPArbiter,
     LRGArbiter,
     OutputArbiter,
     PreemptiveVCArbiter,
+    QPSRArbiter,
     SSVCArbiter,
+    SWQPSArbiter,
     TDMArbiter,
     ThreeClassArbiter,
     VirtualClockArbiter,
     WFQArbiter,
     WRRArbiter,
+    shared_iterative_factory,
 )
 from ..switch.crossbar import ArbiterFactory
 from ..switch.simulator import Simulation, SimulationResult
@@ -64,6 +68,12 @@ ARBITER_PRESETS: "dict[str, ArbiterFactory]" = {
     "wfq": lambda o, c: WFQArbiter(c.radix),
     "tdm": lambda o, c: TDMArbiter(c.radix),
     "gsf": lambda o, c: GSFArbiter(c.radix),
+    # Iterative VOQ matching schedulers (event kernel + SwitchConfig.voq
+    # only; see docs/SCHEDULERS.md). One instance arbitrates the whole
+    # switch, rebuilt per simulation by shared_iterative_factory.
+    "islip": shared_iterative_factory(lambda c: ISLIPArbiter(c.radix)),
+    "qps-r": shared_iterative_factory(lambda c: QPSRArbiter(c.radix)),
+    "sw-qps": shared_iterative_factory(lambda c: SWQPSArbiter(c.radix)),
 }
 
 
@@ -146,6 +156,32 @@ def run_simulation(
         fault_plan=fault_plan,
     )
     return sim.run(horizon)
+
+
+def voq_config(
+    radix: int = 8,
+    buffer_flits: int = 32,
+    arbitration_cycles: int = 0,
+) -> SwitchConfig:
+    """A full-VOQ input-queued switch for the scheduler tournament.
+
+    Every class gets per-output queues of ``buffer_flits`` flits, and the
+    arbitration bubble defaults to zero so iterative schedulers can reach
+    their papers' 100%-of-channel uniform throughput (with the Swizzle
+    Switch's 1-cycle bubble, ``L/(L+1)`` caps everyone at 0.89 for 8-flit
+    packets and the comparison flattens). GL reservation is disabled: the
+    tournament drives unreserved traffic so head-of-line blocking — the
+    thing VOQ removes — is what the classic-mode baseline exposes.
+    """
+    return SwitchConfig(
+        radix=radix,
+        voq=True,
+        arbitration_cycles=arbitration_cycles,
+        be_buffer_flits=buffer_flits,
+        gb_buffer_flits=buffer_flits,
+        gl_buffer_flits=buffer_flits,
+        gl_policer=GLPolicerConfig(reserved_rate=0.0),
+    )
 
 
 def gb_only_config(

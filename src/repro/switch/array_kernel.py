@@ -102,6 +102,11 @@ class ArraySimulation(Simulation):
                 "the array kernel does not model packet chaining; use the "
                 "event kernel for chained-grant experiments"
             )
+        if config.voq:
+            raise ConfigError(
+                "the array kernel vectorizes the classic partially-queued "
+                "ports; full-VOQ mode (config.voq) needs the event kernel"
+            )
         stacks: List[ThreeClassArbiter] = []
         for o, arb in enumerate(self.switch.arbiters):
             if not isinstance(arb, ThreeClassArbiter) or not isinstance(

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..config import SwitchConfig
 from ..core.arbitration import Request
-from ..errors import SimulationError, TrafficError
+from ..errors import ConfigError, SimulationError, TrafficError
 from ..metrics.counters import StatsCollector
 from ..obs.probe import Probe, resolve_hooks
 from ..switch.crossbar import ArbiterFactory, SwizzleSwitch
@@ -191,6 +191,11 @@ class FlitLevelSimulation:
     ) -> None:
         if config.packet_chaining:
             raise SimulationError("the flit-level engine does not model chaining")
+        if config.voq:
+            raise ConfigError(
+                "the flit-level engine buffers BE/GL in single per-input "
+                "queues; full-VOQ mode (config.voq) needs the event kernel"
+            )
         for spec in workload:
             if spec.process is not None and spec.process.saturating:
                 raise TrafficError(

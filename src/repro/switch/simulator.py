@@ -10,6 +10,16 @@ source side of the network interface), (2) tops up saturating sources, and
 the schedule a per-cycle loop would, at a fraction of the cost, because
 nothing observable changes between wake times.
 
+Arbitration runs in one of two modes. With per-output arbiters (the
+paper's switch) every idle output consults its own
+:class:`~repro.qos.base.OutputArbiter` in a rotating order. With an
+iterative matching scheduler (:class:`~repro.qos.iterative.
+IterativeArbiter` — iSLIP, QPS-r, SW-QPS; requires ``config.voq``) the
+kernel instead builds the VOQ backlog of every free input once per wake
+time and applies the scheduler's switch-wide matching. Both paths share
+one grant-bookkeeping closure so timing, fault accounting, and
+observability cannot drift between them.
+
 Timing model (see DESIGN.md): a grant at cycle ``t`` for an ``L``-flit
 packet occupies the output channel and the winning input until
 ``t + arbitration_cycles + L``; with the Swizzle Switch's single
@@ -32,6 +42,7 @@ from ..errors import ConfigError, SimulationError
 from ..faults import FaultInjector, FaultKind, FaultPlan, resolve_injector
 from ..metrics.counters import StatsCollector
 from ..obs.probe import Probe, resolve_hooks
+from ..qos.iterative import IterativeArbiter
 from ..types import FlowId, TrafficClass
 
 if False:  # TYPE_CHECKING — imported lazily at runtime to avoid a cycle
@@ -187,7 +198,10 @@ class Simulation:
         config: switch parameters.
         workload: flows to simulate (validated against the config).
         arbiter_factory: per-output arbitration policy; defaults to the
-            paper's three-class SSVC stack.
+            paper's three-class SSVC stack. A factory built with
+            :func:`repro.qos.shared_iterative_factory` instead selects the
+            switch-wide matching path (requires ``config.voq``; packet
+            chaining is rejected).
         seed: master seed; each flow gets an independent child stream so
             adding a flow never perturbs the others' arrivals.
         warmup_cycles: measurement starts here (defaults to 10% of the
@@ -225,6 +239,7 @@ class Simulation:
         self.config = config
         self.workload = workload
         self.switch = SwizzleSwitch(config, arbiter_factory)
+        self._scheduler = self._resolve_scheduler(config, self.switch)
         self.seed = seed
         self._warmup_override = warmup_cycles
         self.collect_events = collect_events
@@ -234,6 +249,52 @@ class Simulation:
         self._programmed = False
 
     # ----------------------------------------------------------------- setup
+
+    @staticmethod
+    def _resolve_scheduler(
+        config: SwitchConfig, switch: SwizzleSwitch
+    ) -> Optional[IterativeArbiter]:
+        """Detect and validate an iterative matching scheduler, if any.
+
+        Iterative schedulers compute one matching for the whole switch, so
+        every output must share a single instance (built through
+        :func:`repro.qos.shared_iterative_factory`), the input ports must
+        be fully virtual-output-queued, and packet chaining — a per-output
+        repeat-winner shortcut that would bypass the matching — is not
+        modeled.
+
+        Raises:
+            ConfigError: on any violation; misconfigured matching would
+                otherwise silently double-book inputs.
+        """
+        arbiters = switch.arbiters
+        if not any(isinstance(a, IterativeArbiter) for a in arbiters):
+            return None
+        first = arbiters[0]
+        if not isinstance(first, IterativeArbiter) or any(
+            a is not first for a in arbiters
+        ):
+            raise ConfigError(
+                "iterative schedulers are switch-wide: every output must "
+                "share one instance — build the arbiter factory with "
+                "repro.qos.shared_iterative_factory"
+            )
+        if not config.voq:
+            raise ConfigError(
+                f"{first.name} matches over virtual output queues; set "
+                "SwitchConfig(voq=True) (classic ports only VOQ the GB class)"
+            )
+        if config.packet_chaining:
+            raise ConfigError(
+                "packet chaining is a per-output repeat-winner shortcut and "
+                f"is not modeled for the {first.name} matching scheduler"
+            )
+        if first.num_inputs != config.radix:
+            raise ConfigError(
+                f"{first.name} was built for {first.num_inputs} ports but "
+                f"the switch radix is {config.radix}"
+            )
+        return first
 
     def _program_switch(self) -> None:
         """Install reservations and priority levels from the workload."""
@@ -292,6 +353,11 @@ class Simulation:
         if warmup >= horizon:
             raise SimulationError(f"warmup {warmup} must be below horizon {horizon}")
         self._program_switch()
+        scheduler = self._scheduler
+        if scheduler is not None:
+            # Sampling schedulers key every draw on (seed, cycle, round,
+            # port); binding here makes replay independent of sweep fan-out.
+            scheduler.bind_seed(self.seed)
         stats = StatsCollector(warmup_cycles=warmup, window_cycles=self.window_cycles)
         sources = self._build_sources(horizon)
         events: List[object] = []
@@ -312,6 +378,10 @@ class Simulation:
         overflow_scans = 0
         max_overflow_flows = 0
         max_overflow_depth = 0
+        voq_matches = 0
+        voq_pairs = 0
+        voq_iterations = 0
+        voq_proposals = 0
 
         switch = self.switch
         radix = switch.radix
@@ -413,6 +483,115 @@ class Simulation:
             for flow in drained:
                 del overflow[flow]
 
+        def book_grant(
+            o: int, in_port: int, packet: Packet, contenders: int, now: int
+        ) -> int:
+            """Pop the granted packet and run the shared delivery bookkeeping.
+
+            Both arbitration paths — per-output arbiters and switch-wide
+            iterative matching — funnel through here, so transmission
+            timing, packet chaining, drop/dup fault accounting, statistics,
+            trace/collected events, and the freed-buffer refill can never
+            drift between them. Returns the delivery cycle.
+            """
+            nonlocal grants, chained_grants, fault_drops, fault_dups
+            port = inputs[in_port]
+            port.pop_packet(packet)
+            arb_cycles = arb_cycles_for[o]
+            if packet_chaining:
+                if (
+                    chain_last_input[o] == in_port
+                    and chain_last_delivered[o] == now
+                    and chain_length[o] < max_chain_length
+                ):
+                    # Back-to-back repeat winner: the chain request was
+                    # raised during the previous tail flit, so no
+                    # arbitration bubble is paid.
+                    arb_cycles = 0
+                    chain_length[o] += 1
+                    chained_grants += 1
+                else:
+                    chain_length[o] = 0
+            delivered = outputs[o].start_transmission(packet, now, arb_cycles)
+            chain_last_input[o] = in_port
+            chain_last_delivered[o] = delivered
+            port.busy_until = delivered
+            dropped = faults_drop and injector.drop_delivery(
+                o, packet.packet_id, now
+            )
+            if dropped:
+                # The channel still carried the flits; only the
+                # delivery accounting is lost.
+                fault_drops += 1
+                if event_hook is not None:
+                    event_hook(
+                        "fault",
+                        now,
+                        kind="packet-drop",
+                        output=o,
+                        input=in_port,
+                        packet_id=packet.packet_id,
+                    )
+            else:
+                stats.on_delivered(packet)
+                if faults_dup and injector.duplicate_delivery(
+                    o, packet.packet_id, now
+                ):
+                    stats.on_delivered(packet)
+                    fault_dups += 1
+                    if event_hook is not None:
+                        event_hook(
+                            "fault",
+                            now,
+                            kind="packet-dup",
+                            output=o,
+                            input=in_port,
+                            packet_id=packet.packet_id,
+                        )
+            grants += 1
+            if event_hook is not None:
+                event_hook(
+                    "grant",
+                    now,
+                    output=o,
+                    input=in_port,
+                    flow=str(packet.flow),
+                    packet_id=packet.packet_id,
+                    flits=packet.flits,
+                    contenders=contenders,
+                    delivered=delivered,
+                    latency=packet.latency,
+                    waiting=packet.waiting_time,
+                )
+            if collect:
+                events.append(
+                    GrantEvent(
+                        cycle=now,
+                        output=o,
+                        input_port=in_port,
+                        flow=packet.flow,
+                        packet_id=packet.packet_id,
+                        packet_flits=packet.flits,
+                        contenders=contenders,
+                    )
+                )
+                if not dropped:
+                    events.append(
+                        PacketDelivered(
+                            cycle=delivered,
+                            flow=packet.flow,
+                            packet_id=packet.packet_id,
+                            latency=packet.latency,
+                            waiting_time=packet.waiting_time,
+                        )
+                    )
+            wake(delivered)
+            # Freed buffer space: admit waiting/saturating packets now
+            # so their injection timestamps are exact.
+            drain_overflow(now)
+            top_up_input(in_port, now)
+            return delivered
+
         while wake_heap:
             now = heapq.heappop(wake_heap)
             pending_wakes.discard(now)
@@ -469,7 +648,70 @@ class Simulation:
                             bit=spec.bit,
                         )
 
-            # 3. Arbitrate idle outputs, rotating the start to avoid bias.
+            # 3a. Switch-wide iterative matching: one match() call covers
+            #     every idle output this cycle.
+            if scheduler is not None:
+                free_outputs = [o for o in range(radix) if outputs[o].is_idle(now)]
+                if not free_outputs:
+                    continue
+                backlog: Dict[int, Dict[int, int]] = {}
+                for port in inputs:
+                    if port.busy_until > now or port.total_occupancy_flits == 0:
+                        continue
+                    if faults_stall and injector.stalled(port.port, now):
+                        # A stalled input raises no request lines at all
+                        # this cycle; its whole backlog is masked.
+                        fault_stall_masks += 1
+                        continue
+                    per_port = port.voq_backlog(free_outputs)
+                    if faults_dead:
+                        for dead_o in list(per_port):
+                            if injector.crosspoint_dead(port.port, dead_o):
+                                # A dead crosspoint cannot raise its request
+                                # line; that VOQ sits blocked in place.
+                                del per_port[dead_o]
+                                fault_dead_masks += 1
+                    if per_port:
+                        backlog[port.port] = per_port
+                if not backlog:
+                    continue
+                arbitrations += 1
+                matching = scheduler.match(backlog, free_outputs, now)
+                voq_matches += 1
+                voq_pairs += len(matching.pairs)
+                voq_iterations += matching.iterations
+                voq_proposals += matching.proposals
+                if event_hook is not None:
+                    event_hook(
+                        "match",
+                        now,
+                        scheduler=scheduler.name,
+                        requests=len(backlog),
+                        free_outputs=len(free_outputs),
+                        pairs=len(matching.pairs),
+                        iterations=matching.iterations,
+                        proposals=matching.proposals,
+                    )
+                if not matching.pairs:
+                    declines += 1
+                for in_port, o in sorted(matching.pairs, key=lambda pair: pair[1]):
+                    packet = inputs[in_port].head_for_output(o, allow_gl=True)
+                    if packet is None:
+                        raise SimulationError(
+                            f"{scheduler.name} matched input {in_port} to "
+                            f"output {o} but that VOQ is empty"
+                        )
+                    contenders = sum(1 for b in backlog.values() if o in b)
+                    book_grant(o, in_port, packet, contenders, now)
+                if len({pair[0] for pair in matching.pairs}) < len(backlog):
+                    # Some requesting input went unmatched (bounded
+                    # iterations, a sampling collision, or a stale window
+                    # slot): retry next cycle like a declining arbiter.
+                    wake(now + 1)
+                continue
+
+            # 3b. Per-output arbiters: arbitrate idle outputs, rotating the
+            #     start to avoid bias.
             for k in range(radix):
                 o = (now + k) % radix
                 channel = outputs[o]
@@ -503,8 +745,7 @@ class Simulation:
                         # A GL head masked by the policer is a throttle
                         # decision even though it never becomes a request
                         # (the GB/BE head in front of it requests instead).
-                        gl_head = port.gl_queue.head()
-                        if gl_head is not None and gl_head.dst == o:
+                        if port.gl_head_for(o) is not None:
                             gl_denied_inputs.append(port.port)
                     if head is None:
                         continue
@@ -546,100 +787,7 @@ class Simulation:
                         f"arbiter granted a request that is no longer head-of-line "
                         f"at input {winner.input_port}"
                     )
-                port.pop_packet(packet)
-                arb_cycles = arb_cycles_for[o]
-                if packet_chaining:
-                    if (
-                        chain_last_input[o] == winner.input_port
-                        and chain_last_delivered[o] == now
-                        and chain_length[o] < max_chain_length
-                    ):
-                        # Back-to-back repeat winner: the chain request was
-                        # raised during the previous tail flit, so no
-                        # arbitration bubble is paid.
-                        arb_cycles = 0
-                        chain_length[o] += 1
-                        chained_grants += 1
-                    else:
-                        chain_length[o] = 0
-                delivered = channel.start_transmission(packet, now, arb_cycles)
-                chain_last_input[o] = winner.input_port
-                chain_last_delivered[o] = delivered
-                port.busy_until = delivered
-                dropped = faults_drop and injector.drop_delivery(
-                    o, packet.packet_id, now
-                )
-                if dropped:
-                    # The channel still carried the flits; only the
-                    # delivery accounting is lost.
-                    fault_drops += 1
-                    if event_hook is not None:
-                        event_hook(
-                            "fault",
-                            now,
-                            kind="packet-drop",
-                            output=o,
-                            input=winner.input_port,
-                            packet_id=packet.packet_id,
-                        )
-                else:
-                    stats.on_delivered(packet)
-                    if faults_dup and injector.duplicate_delivery(
-                        o, packet.packet_id, now
-                    ):
-                        stats.on_delivered(packet)
-                        fault_dups += 1
-                        if event_hook is not None:
-                            event_hook(
-                                "fault",
-                                now,
-                                kind="packet-dup",
-                                output=o,
-                                input=winner.input_port,
-                                packet_id=packet.packet_id,
-                            )
-                grants += 1
-                if event_hook is not None:
-                    event_hook(
-                        "grant",
-                        now,
-                        output=o,
-                        input=winner.input_port,
-                        flow=str(packet.flow),
-                        packet_id=packet.packet_id,
-                        flits=packet.flits,
-                        contenders=len(requests),
-                        delivered=delivered,
-                        latency=packet.latency,
-                        waiting=packet.waiting_time,
-                    )
-                if collect:
-                    events.append(
-                        GrantEvent(
-                            cycle=now,
-                            output=o,
-                            input_port=winner.input_port,
-                            flow=packet.flow,
-                            packet_id=packet.packet_id,
-                            packet_flits=packet.flits,
-                            contenders=len(requests),
-                        )
-                    )
-                    if not dropped:
-                        events.append(
-                            PacketDelivered(
-                                cycle=delivered,
-                                flow=packet.flow,
-                                packet_id=packet.packet_id,
-                                latency=packet.latency,
-                                waiting_time=packet.waiting_time,
-                            )
-                        )
-                wake(delivered)
-                # Freed buffer space: admit waiting/saturating packets now
-                # so their injection timestamps are exact.
-                drain_overflow(now)
-                top_up_input(winner.input_port, now)
+                book_grant(o, winner.input_port, packet, len(requests), now)
 
         # Flush locally-accumulated aggregates to the probe once. Counters
         # that never fired stay absent, matching the old inline behaviour.
@@ -658,6 +806,17 @@ class Simulation:
             ):
                 if total:
                     count_hook(name, total)
+            if scheduler is not None:
+                # voq.* counters exist only under a matching scheduler, so
+                # per-output-arbiter runs flush exactly what they used to.
+                for name, total in (
+                    ("voq.matches", voq_matches),
+                    ("voq.matched_pairs", voq_pairs),
+                    ("voq.iterations", voq_iterations),
+                    ("voq.proposals", voq_proposals),
+                ):
+                    if total:
+                        count_hook(name, total)
             if injector is not None:
                 # faults.* counters exist only under an active plan, so
                 # empty-plan runs flush exactly what unfaulted runs do.

@@ -25,10 +25,12 @@ from .generators import (
 from .patterns import (
     FIG4_RESERVED_RATES,
     bit_complement_workload,
+    bursty_uniform_workload,
     fig4_workload,
     hotspot_workload,
     permutation_workload,
     single_output_workload,
+    uniform_be_workload,
     uniform_random_workload,
 )
 from .trace import TraceRecord, load_trace, save_trace, workload_from_trace
@@ -47,6 +49,7 @@ __all__ = [
     "be_flow",
     "bit_complement_workload",
     "build_source",
+    "bursty_uniform_workload",
     "fig4_workload",
     "gb_flow",
     "gl_flow",
@@ -55,6 +58,7 @@ __all__ = [
     "permutation_workload",
     "save_trace",
     "single_output_workload",
+    "uniform_be_workload",
     "uniform_random_workload",
     "workload_from_trace",
 ]

@@ -16,7 +16,12 @@ import numpy as np
 from ..errors import TrafficError
 from ..types import TrafficClass
 from .flows import Workload, be_flow, gb_flow
-from .generators import BernoulliInjection, PacketLength, SaturatingInjection
+from .generators import (
+    BernoulliInjection,
+    BurstyInjection,
+    PacketLength,
+    SaturatingInjection,
+)
 
 
 def single_output_workload(
@@ -93,6 +98,63 @@ def uniform_random_workload(
                     reserved_rate=per_pair_reservation,
                     packet_length=packet_length,
                     process=BernoulliInjection(per_pair_rate),
+                )
+            )
+    return workload
+
+
+def uniform_be_workload(
+    radix: int,
+    inject_rate: float,
+    packet_length: PacketLength = 8,
+) -> Workload:
+    """Uniform random best-effort traffic — the canonical VOQ benchmark.
+
+    Every input spreads ``inject_rate`` flits/cycle evenly over all
+    outputs as unreserved BE flows. Unlike :func:`uniform_random_workload`
+    (GB flows, which classic ports already virtual-output-queue), BE
+    traffic exposes head-of-line blocking in classic mode, so this is the
+    workload the scheduler tournament uses to compare classic and VOQ
+    switches on equal terms.
+    """
+    workload = Workload(name="uniform-be")
+    per_pair_rate = inject_rate / radix
+    for src in range(radix):
+        for dst in range(radix):
+            workload.add(
+                be_flow(
+                    src,
+                    dst,
+                    packet_length=packet_length,
+                    process=BernoulliInjection(per_pair_rate),
+                )
+            )
+    return workload
+
+
+def bursty_uniform_workload(
+    radix: int,
+    inject_rate: float,
+    packet_length: PacketLength = 8,
+    burst_packets: float = 4.0,
+) -> Workload:
+    """Uniformly-spread BE traffic injected in on/off bursts.
+
+    Same spatial pattern as :func:`uniform_be_workload` but each flow uses
+    the Section 4.3 two-state :class:`~repro.traffic.generators.
+    BurstyInjection` process, stressing schedulers whose matchings react
+    slowly to suddenly deep VOQs.
+    """
+    workload = Workload(name="bursty-uniform")
+    per_pair_rate = inject_rate / radix
+    for src in range(radix):
+        for dst in range(radix):
+            workload.add(
+                be_flow(
+                    src,
+                    dst,
+                    packet_length=packet_length,
+                    process=BurstyInjection(per_pair_rate, burst_packets=burst_packets),
                 )
             )
     return workload

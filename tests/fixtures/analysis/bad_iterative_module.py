@@ -1,0 +1,62 @@
+"""RL013 fixture: every way an iterative arbiter can break the contract.
+
+Lint-only — never imported. Expected findings, in order:
+
+1. ``_grant_phase`` assigns into shared scheduler state;
+2. ``_grant_phase`` mutates the caller's backlog in place;
+3. ``_grant_phase`` advances an accept pointer mid-grant;
+4. ``_propose_phase`` appends into a shared window deque;
+5. ``match`` advances a grant pointer outside the accept phase.
+"""
+
+from repro.qos.iterative import IterativeArbiter
+
+
+class ContractBreakingArbiter(IterativeArbiter):
+    name = "fixture-bad"
+
+    def __init__(self, num_inputs):
+        super().__init__(num_inputs)
+        self._grant_pointers = [0] * num_inputs
+        self._accept_pointers = [0] * num_inputs
+        self._window = []
+        self._last_grant = None
+
+    def _grant_phase(self, backlog, free_outputs):
+        offers = {}
+        for output in free_outputs:
+            requesters = [
+                port for port in sorted(backlog) if output in backlog[port]
+            ]
+            if not requesters:
+                continue
+            granted = requesters[self._grant_pointers[output] % len(requesters)]
+            self._last_grant = (granted, output)  # finding 1: impure phase
+            backlog[granted].pop(output)  # finding 2: mutates the backlog
+            self._accept_pointers[granted] += 1  # finding 3: pointer write
+            offers[granted] = output
+        return offers
+
+    def _propose_phase(self, backlog, now):
+        proposals = []
+        for port in sorted(backlog):
+            if backlog[port]:
+                pair = (port, min(backlog[port]))
+                self._window.append(pair)  # finding 4: impure phase
+                proposals.append(pair)
+        return proposals
+
+    def _accept_phase(self, offers):
+        accepted = []
+        for port in sorted(offers):
+            accepted.append((port, offers[port]))
+            self._accept_pointers[port] = (offers[port] + 1) % self.num_inputs
+        return accepted
+
+    def match(self, backlog, free_outputs, now):
+        offers = self._grant_phase(backlog, free_outputs)
+        pairs = self._accept_phase(offers)
+        for port, output in pairs:
+            # finding 5: pointer advance outside the accept phase
+            self._grant_pointers[output] = (port + 1) % self.num_inputs
+        return tuple(pairs)

@@ -1,0 +1,50 @@
+"""RL013 fixture: an iterative arbiter that honours the contract.
+
+Lint-only — never imported. The grant phase reads the pointers and the
+caller's backlog without touching either; pointer updates happen in the
+accept phase, on accepted grants only.
+"""
+
+from repro.qos.iterative import IterativeArbiter
+
+
+class ContractKeepingArbiter(IterativeArbiter):
+    name = "fixture-good"
+
+    def __init__(self, num_inputs):
+        super().__init__(num_inputs)
+        self._grant_pointers = [0] * num_inputs
+        self._accept_pointers = [0] * num_inputs
+
+    def _grant_phase(self, backlog, free_outputs, matched_outputs):
+        offers = {}
+        for output in free_outputs:
+            if output in matched_outputs:
+                continue
+            requesters = [
+                port for port in sorted(backlog) if output in backlog[port]
+            ]
+            if not requesters:
+                continue
+            pointer = self._grant_pointers[output] % len(requesters)
+            offers.setdefault(requesters[pointer], []).append(output)
+        return offers
+
+    def _accept_phase(self, offers, first_iteration):
+        accepted = []
+        for port in sorted(offers):
+            output = min(offers[port])
+            accepted.append((port, output))
+            if first_iteration:
+                self._grant_pointers[output] = (port + 1) % self.num_inputs
+                self._accept_pointers[port] = (output + 1) % self.num_inputs
+        return accepted
+
+    def match(self, backlog, free_outputs, now):
+        matched_outputs = set()
+        pairs = []
+        offers = self._grant_phase(backlog, free_outputs, matched_outputs)
+        for port, output in self._accept_phase(offers, True):
+            pairs.append((port, output))
+            matched_outputs.add(output)
+        return tuple(pairs)

@@ -88,6 +88,20 @@ RULE_CASES = [
         "w = int(keys.argmin())\n",
     ),
     (
+        "RL013",
+        "class Bad(IterativeArbiter):\n"
+        "    def _grant_phase(self, backlog):\n"
+        "        self._cache = dict(backlog)\n"
+        "        return {}\n",
+        "class Good(IterativeArbiter):\n"
+        "    def _grant_phase(self, backlog):\n"
+        "        offers = {}\n"
+        "        return offers\n"
+        "    def _accept_phase(self, offers):\n"
+        "        self._accept_pointers[0] = 1\n"
+        "        return offers\n",
+    ),
+    (
         "RC101",
         "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    w.use()\n",
         "def f(arb, reqs, now):\n    w = arb.select(reqs, now)\n    arb.commit(w, now)\n",
@@ -299,3 +313,50 @@ def test_engine_select_and_ignore_filters():
     without = Engine(ignore={"RL001"}).lint_source(source, path=GUARDED_PATH)
     assert "RL001" not in [f.rule_id for f in without]
     assert "RL007" in [f.rule_id for f in without]
+
+
+def test_iterative_contract_fixture_pair():
+    from pathlib import Path
+
+    fixtures = Path(__file__).resolve().parent / "fixtures" / "analysis"
+    engine = Engine(select={"RL013"}, force_guarded=True)
+    bad = engine.lint_paths([str(fixtures / "bad_iterative_module.py")])
+    # One finding per documented contract breach in the bad fixture.
+    assert len([f for f in bad.open_findings if f.rule_id == "RL013"]) == 5
+    good = engine.lint_paths([str(fixtures / "good_iterative_module.py")])
+    assert good.open_findings == []
+
+
+def test_iterative_contract_pointer_writes_need_accept_phase():
+    pointer_in_match = (
+        "class S(IterativeArbiter):\n"
+        "    def match(self, backlog, free_outputs, now):\n"
+        "        self._grant_pointers[0] = 1\n"
+        "        return ()\n"
+    )
+    assert "RL013" in open_ids(pointer_in_match)
+    pointer_in_init = (
+        "class S(IterativeArbiter):\n"
+        "    def __init__(self, n):\n"
+        "        self._grant_pointers = [0] * n\n"
+    )
+    assert "RL013" not in open_ids(pointer_in_init)
+    # Classes outside the IterativeArbiter hierarchy are not the rule's
+    # business, whatever their methods are called.
+    unrelated = (
+        "class S:\n"
+        "    def _grant_phase(self, backlog):\n"
+        "        self._cache = dict(backlog)\n"
+        "        return {}\n"
+    )
+    assert "RL013" not in open_ids(unrelated)
+
+
+def test_iterative_contract_flags_backlog_mutation():
+    source = (
+        "class S(IterativeArbiter):\n"
+        "    def _propose_phase(self, backlog, now):\n"
+        "        backlog[0].pop(1)\n"
+        "        return []\n"
+    )
+    assert "RL013" in open_ids(source)

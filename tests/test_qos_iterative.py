@@ -1,0 +1,227 @@
+"""Unit tests for the iterative VOQ matching schedulers.
+
+Covers the shared contract (:class:`IterativeArbiter`,
+:class:`~repro.core.matching.Matching`, the keyed-hash sampler), iSLIP's
+pointer discipline, QPS-r's conditional second round, and SW-QPS's
+window/replay behaviour. The end-to-end claims live in
+tests/test_tournament.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import (
+    Matching,
+    keyed_draw,
+    round_robin_pick,
+    sample_proportional,
+)
+from repro.errors import ArbitrationError
+from repro.qos import (
+    ISLIPArbiter,
+    QPSRArbiter,
+    SWQPSArbiter,
+    shared_iterative_factory,
+)
+
+
+def _uniform_backlog(n: int, weight: int = 8) -> dict:
+    return {i: {o: weight for o in range(n)} for i in range(n)}
+
+
+class TestMatchingPrimitives:
+    def test_matching_rejects_conflicting_pairs(self):
+        with pytest.raises(ArbitrationError, match="conflict-free"):
+            Matching(((0, 1), (0, 2)))
+        with pytest.raises(ArbitrationError, match="conflict-free"):
+            Matching(((0, 1), (2, 1)))
+        assert len(Matching(((0, 1), (2, 0)))) == 2
+
+    def test_round_robin_pick_wraps(self):
+        assert round_robin_pick([1, 3, 5], 0) == 1
+        assert round_robin_pick([1, 3, 5], 2) == 3
+        assert round_robin_pick([1, 3, 5], 6) == 1  # wrap-around
+        with pytest.raises(ArbitrationError):
+            round_robin_pick([], 0)
+
+    def test_keyed_draw_is_deterministic_and_key_sensitive(self):
+        assert keyed_draw(7, 3, 0, 2) == keyed_draw(7, 3, 0, 2)
+        draws = {keyed_draw(7, cycle, 0, 2) for cycle in range(64)}
+        assert len(draws) > 32  # the keyed hash actually varies per cycle
+
+    def test_sample_proportional_tracks_weights(self):
+        weights = {0: 1, 1: 1000}
+        hits = sum(
+            sample_proportional(weights, 1, cycle, 0, 0) == 1
+            for cycle in range(200)
+        )
+        assert hits > 180  # ~99.9% of the mass sits on output 1
+        with pytest.raises(ArbitrationError):
+            sample_proportional({}, 1, 0, 0, 0)
+
+
+class TestIterativeContract:
+    def test_select_and_commit_are_refused(self):
+        scheduler = ISLIPArbiter(4)
+        with pytest.raises(ArbitrationError, match="match"):
+            scheduler.select([], 0)
+        with pytest.raises(ArbitrationError, match="match"):
+            scheduler.commit(None, 0)
+
+    def test_too_small_radix_rejected(self):
+        with pytest.raises(ArbitrationError):
+            ISLIPArbiter(1)
+
+    def test_shared_factory_shares_within_and_isolates_across_switches(self):
+        from repro.config import SwitchConfig
+
+        factory = shared_iterative_factory(lambda c: ISLIPArbiter(c.radix))
+        config = SwitchConfig(radix=4, voq=True)
+        first_switch = [factory(o, config) for o in range(4)]
+        assert len({id(s) for s in first_switch}) == 1
+        second_switch = [factory(o, config) for o in range(4)]
+        assert len({id(s) for s in second_switch}) == 1
+        assert first_switch[0] is not second_switch[0]  # pristine per switch
+
+
+class TestISLIP:
+    def test_default_iterations_follow_log2_radix(self):
+        assert ISLIPArbiter(8).iterations == 3
+        assert ISLIPArbiter(2).iterations == 1
+        with pytest.raises(ArbitrationError):
+            ISLIPArbiter(4, iterations=0)
+
+    def test_full_uniform_backlog_yields_perfect_matching(self):
+        # Fresh pointers are synchronized (every output grants input 0),
+        # so a perfect matching on cycle one needs the full iteration
+        # budget; the slip then desynchronizes later cycles.
+        scheduler = ISLIPArbiter(4, iterations=4)
+        matching = scheduler.match(_uniform_backlog(4), range(4), now=0)
+        assert len(matching) == 4
+        assert matching.proposals > 0
+
+    def test_pointers_advance_only_on_first_iteration_accepts(self):
+        scheduler = ISLIPArbiter(4, iterations=2)
+        # Both inputs want output 0 only: iteration 1 grants input 0
+        # (pointer at 0) and advances the grant pointer past it; the
+        # loser's request cannot be granted in iteration 2 (output 0 is
+        # matched), and no pointer moved for it.
+        backlog = {0: {0: 8}, 1: {0: 8}}
+        first = scheduler.match(backlog, range(4), now=0)
+        assert first.pairs == ((0, 0),)
+        assert scheduler._grant_pointers[0] == 1
+        assert scheduler._accept_pointers[0] == 1
+        assert scheduler._accept_pointers[1] == 0  # loser: untouched
+        # Next cycle the advanced pointer favours the starved input 1.
+        second = scheduler.match(backlog, range(4), now=1)
+        assert second.pairs == ((1, 0),)
+
+    def test_later_iteration_accepts_leave_pointers_alone(self):
+        scheduler = ISLIPArbiter(4, iterations=2)
+        # Synchronized fresh pointers: iteration 1 has both outputs grant
+        # input 0, which accepts output 0 (slip fires). Iteration 2 pairs
+        # the leftovers (1, 1) — accepted, but refinement accepts must
+        # not move any pointer.
+        backlog = {0: {0: 8, 1: 8}, 1: {0: 8, 1: 8}}
+        matching = scheduler.match(backlog, range(4), now=0)
+        assert set(matching.pairs) == {(0, 0), (1, 1)}
+        assert matching.iterations == 2
+        assert scheduler._grant_pointers[0] == 1  # first-iteration accept
+        assert scheduler._grant_pointers[1] == 0  # refinement: no slip
+        assert scheduler._accept_pointers[1] == 0
+
+    def test_matching_respects_free_outputs(self):
+        scheduler = ISLIPArbiter(4)
+        matching = scheduler.match(_uniform_backlog(4), [1, 2], now=0)
+        assert {o for _, o in matching.pairs} <= {1, 2}
+
+
+class TestQPSR:
+    def test_rounds_validated(self):
+        with pytest.raises(ArbitrationError):
+            QPSRArbiter(4, rounds=0)
+
+    def test_matchings_are_seed_deterministic(self):
+        a, b = QPSRArbiter(8), QPSRArbiter(8)
+        a.bind_seed(3)
+        b.bind_seed(3)
+        for now in range(16):
+            assert a.match(_uniform_backlog(8), range(8), now).pairs == \
+                b.match(_uniform_backlog(8), range(8), now).pairs
+
+    def test_second_round_fills_holes_left_by_round_one(self):
+        one, two = QPSRArbiter(8, rounds=1), QPSRArbiter(8, rounds=2)
+        one.bind_seed(11)
+        two.bind_seed(11)
+        total_one = total_two = 0
+        for now in range(32):
+            backlog = _uniform_backlog(8)
+            total_one += len(one.match(backlog, range(8), now))
+            total_two += len(two.match(backlog, range(8), now))
+        # Round 2 re-proposes only unmatched ports, so it can only add
+        # pairs — and over 32 uniform cycles it must actually do so.
+        assert total_two > total_one
+
+    def test_proposals_favour_heavier_voqs(self):
+        scheduler = QPSRArbiter(4)
+        scheduler.bind_seed(1)
+        # Input 0's VOQ to output 3 dwarfs the rest; nearly every cycle
+        # must match (0, 3).
+        hits = 0
+        for now in range(64):
+            backlog = {0: {0: 1, 3: 500}, 1: {1: 4}}
+            if (0, 3) in scheduler.match(backlog, range(4), now).pairs:
+                hits += 1
+        assert hits > 56
+
+
+class TestSWQPS:
+    def test_window_validated_and_defaults_to_radix(self):
+        assert SWQPSArbiter(8).window == 8
+        assert SWQPSArbiter(8, window=3).window == 3
+        with pytest.raises(ArbitrationError):
+            SWQPSArbiter(8, window=0)
+
+    def test_replays_one_proposal_round_per_elapsed_cycle(self):
+        scheduler = SWQPSArbiter(4, window=4)
+        scheduler.bind_seed(2)
+        backlog = _uniform_backlog(4)
+        # First call at cycle 2: cycles 0..2 replayed, capped by history
+        # start, = min(window, now - (-1)) = 3 rounds of 4 proposals.
+        first = scheduler.match(backlog, range(4), now=2)
+        assert first.proposals == 3 * 4
+        # Next call one cycle later: exactly one fresh round.
+        second = scheduler.match(backlog, range(4), now=3)
+        assert second.proposals <= 4
+
+    def test_window_retains_unserved_proposals(self):
+        scheduler = SWQPSArbiter(4, window=4)
+        scheduler.bind_seed(2)
+        backlog = {0: {1: 8}, 2: {1: 8}}  # both want output 1
+        matching = scheduler.match(backlog, range(4), now=0)
+        assert len(matching) == 1
+        # The losing input's proposal stays queued in a window slot.
+        held = [
+            pair for slot in scheduler._slots for pair in slot.by_input.items()
+        ]
+        winners = set(matching.pairs)
+        assert any(pair not in winners for pair in held) or len(held) >= 1
+        # The held proposal departs once the winner's VOQ drains.
+        loser_port = next(p for p in (0, 2) if (p, 1) not in winners)
+        later = scheduler.match({loser_port: {1: 8}}, range(4), now=1)
+        assert later.pairs == ((loser_port, 1),)
+
+    def test_departure_skips_busy_outputs(self):
+        scheduler = SWQPSArbiter(4)
+        scheduler.bind_seed(0)
+        matching = scheduler.match(_uniform_backlog(4), [2], now=0)
+        assert {o for _, o in matching.pairs} <= {2}
+
+    def test_matchings_are_seed_deterministic(self):
+        a, b = SWQPSArbiter(8), SWQPSArbiter(8)
+        a.bind_seed(17)
+        b.bind_seed(17)
+        for now in range(16):
+            assert a.match(_uniform_backlog(8), range(8), now).pairs == \
+                b.match(_uniform_backlog(8), range(8), now).pairs
