@@ -2,7 +2,7 @@
 
 Usage::
 
-    repro-bench                        # full suite -> BENCH_5.json
+    repro-bench                        # full suite -> BENCH_6.json
     repro-bench --quick                # CI smoke horizons
     repro-bench --kernel array         # only the array-kernel cases
     repro-bench --jobs 8               # workers for the parallel sweep case
@@ -36,10 +36,12 @@ import platform
 import re
 import resource
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..catalog import RunCatalog
 from ..errors import ConfigError, SweepInterrupted
 from ..obs.probe import CountingProbe
 from ..resilience import (
@@ -104,6 +106,17 @@ _SPEEDUP_FIELDS: Dict[str, type] = {
     "cpu_count": int,
 }
 
+_CATALOG_CACHE_FIELDS: Dict[str, type] = {
+    "case": str,
+    "cold_wall_s": float,
+    "warm_wall_s": float,
+    "points": int,
+    "warm_hits": int,
+    "hit_rate": float,
+    "warm_speedup": float,
+    "results_match": bool,
+}
+
 
 def validate_bench_document(doc: JSONDict) -> None:
     """Raise ``ConfigError`` unless ``doc`` is a well-formed BENCH report."""
@@ -151,6 +164,18 @@ def validate_bench_document(doc: JSONDict) -> None:
         if not isinstance(entry, dict):
             raise ConfigError(f"BENCH document: kernel_speedup[{i}] must be an object")
         check(entry, _SPEEDUP_FIELDS, f"kernel_speedup[{i}]")
+    # catalog_cache appeared with BENCH_6 (the run-catalog PR); validated
+    # only when present for the same backward-compatibility reason.
+    if "catalog_cache" in doc:
+        entry = doc["catalog_cache"]
+        if not isinstance(entry, dict):
+            raise ConfigError("BENCH document: catalog_cache must be an object")
+        check(entry, _CATALOG_CACHE_FIELDS, "catalog_cache")
+        if not 0.0 <= entry["hit_rate"] <= 1.0:
+            raise ConfigError(
+                f"BENCH document: catalog_cache.hit_rate must be in [0, 1], "
+                f"got {entry['hit_rate']}"
+            )
 
 
 def _reset_peak_rss() -> bool:
@@ -342,6 +367,51 @@ def _sweep_summary(cases: List[JSONDict]) -> Optional[JSONDict]:
     }
 
 
+def _catalog_cache(quick: bool) -> JSONDict:
+    """Cold-vs-warm run-catalog timing on the fig4 sweep case.
+
+    Runs the serial sweep case twice against one throwaway catalog: the
+    cold pass computes and catalogues every point, the warm pass must
+    serve every point as a verified cache hit. The report carries the
+    hit rate (a warm pass below 1.0 means the cache-key contract broke)
+    and the warm/cold wall ratio — the headline number for what
+    ``--catalog`` / ``repro-serve`` buys a resubmitted sweep.
+    """
+    case = next(c for c in SUITE if c.name == SWEEP_SERIAL_CASE)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-catalog-") as tmp:
+        path = Path(tmp) / "bench.catalog"
+        cold_probe = CountingProbe()
+        with RunCatalog(path) as catalog:
+            cold_result: List[Tuple[int, Dict[str, float]]] = []
+            options = ResilienceOptions(catalog=catalog, probe=cold_probe)
+            cold = _timed(
+                lambda: cold_result.append(
+                    run_case(case, quick=quick, resilience=options)
+                )
+            )
+        warm_probe = CountingProbe()
+        with RunCatalog(path) as catalog:
+            warm_result: List[Tuple[int, Dict[str, float]]] = []
+            options = ResilienceOptions(catalog=catalog, probe=warm_probe)
+            warm = _timed(
+                lambda: warm_result.append(
+                    run_case(case, quick=quick, resilience=options)
+                )
+            )
+    points = int(cold_probe.value("catalog.appends"))
+    hits = int(warm_probe.value("catalog.hits"))
+    return {
+        "case": case.name,
+        "cold_wall_s": round(cold, 4),
+        "warm_wall_s": round(warm, 4),
+        "points": points,
+        "warm_hits": hits,
+        "hit_rate": round(hits / points, 4) if points else 0.0,
+        "warm_speedup": round(cold / warm, 3) if warm > 0 else 0.0,
+        "results_match": cold_result == warm_result,
+    }
+
+
 def _find_baseline(output: Path) -> Optional[Path]:
     """Newest BENCH_<n>.json next to ``output``, excluding ``output`` itself."""
     candidates = []
@@ -400,8 +470,8 @@ def main(argv: "list[str] | None" = None) -> int:
         help="short horizons (CI smoke); only comparable to --quick baselines",
     )
     parser.add_argument(
-        "--output", metavar="FILE", default="BENCH_5.json",
-        help="where to write the report (default: BENCH_5.json)",
+        "--output", metavar="FILE", default="BENCH_6.json",
+        help="where to write the report (default: BENCH_6.json)",
     )
     parser.add_argument(
         "--kernel", choices=["event", "flit", "array", "all"], default="all",
@@ -457,6 +527,17 @@ def main(argv: "list[str] | None" = None) -> int:
         help="resume from a prior --journal FILE prefix: per-case journals "
         "that exist are restored, missing ones start fresh",
     )
+    resilience_group.add_argument(
+        "--catalog", metavar="FILE", default=None,
+        help="durable result cache for the sweep cases; every case uses its "
+        "own FILE.<case-name> so the serial/parallel pair cannot share "
+        "cached points and fake the speedup (see docs/SERVICE.md)",
+    )
+    resilience_group.add_argument(
+        "--serve-url", metavar="HOST:PORT", default=None,
+        help="ship the sweep cases to a running repro-serve daemon instead "
+        "of executing locally (see docs/SERVICE.md)",
+    )
     args = parser.parse_args(argv)
     if args.threshold < 0:
         parser.error(f"--threshold must be >= 0, got {args.threshold}")
@@ -471,8 +552,11 @@ def main(argv: "list[str] | None" = None) -> int:
         or args.on_failure != FailurePolicy.FAIL_FAST.value
         or args.journal is not None
         or args.resume is not None
+        or args.catalog is not None
+        or args.serve_url is not None
     )
     created_options: List[ResilienceOptions] = []
+    created_catalogs: List[RunCatalog] = []
     factory: Optional[ResilienceFactory] = None
     if resilience_requested:
         try:
@@ -491,7 +575,17 @@ def main(argv: "list[str] | None" = None) -> int:
                     case_path,
                     resume=args.resume is not None and case_path.exists(),
                 )
-            options = ResilienceOptions(retry=retry, on_failure=policy, journal=journal)
+            catalog = None
+            if args.catalog is not None:
+                # Per-case catalogs for the same reason as per-case
+                # journals: the serial/parallel pair runs identical
+                # points, and a shared cache would fake the speedup.
+                catalog = RunCatalog(f"{args.catalog}.{case_name}")
+                created_catalogs.append(catalog)
+            options = ResilienceOptions(
+                retry=retry, on_failure=policy, journal=journal,
+                catalog=catalog, serve_url=args.serve_url,
+            )
             created_options.append(options)
             return options
 
@@ -508,7 +602,11 @@ def main(argv: "list[str] | None" = None) -> int:
             for line in options.summary_lines():
                 print(f"  {line}", file=sys.stderr)
         return 130
+    finally:
+        for catalog in created_catalogs:
+            catalog.close()
     speedups = _kernel_speedups(cases)
+    catalog_cache = _catalog_cache(args.quick) if args.kernel == "all" else None
     document: JSONDict = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": "quick" if args.quick else "full",
@@ -521,6 +619,8 @@ def main(argv: "list[str] | None" = None) -> int:
     }
     if sweep is not None:
         document["parallel_sweep"] = sweep
+    if catalog_cache is not None:
+        document["catalog_cache"] = catalog_cache
     outcomes = [
         outcome for options in created_options for outcome in options.outcomes
     ]
@@ -560,6 +660,16 @@ def main(argv: "list[str] | None" = None) -> int:
             f"{speedup_note}, results "
             f"{'identical' if sweep['results_match'] else 'DIVERGED'}"
         )
+    if catalog_cache is not None:
+        print(
+            f"catalog cache ({catalog_cache['case']}): cold "
+            f"{catalog_cache['cold_wall_s']:.3f}s, warm "
+            f"{catalog_cache['warm_wall_s']:.3f}s "
+            f"({catalog_cache['warm_speedup']:.1f}x), "
+            f"{catalog_cache['warm_hits']}/{catalog_cache['points']} hits "
+            f"({100.0 * catalog_cache['hit_rate']:.0f}%), results "
+            f"{'identical' if catalog_cache['results_match'] else 'DIVERGED'}"
+        )
     if outcomes:
         print("resilience:")
         for options in created_options:
@@ -579,6 +689,16 @@ def main(argv: "list[str] | None" = None) -> int:
         print(
             "REGRESSION: parallel sweep results diverged from serial — "
             "determinism contract violated",
+            file=sys.stderr,
+        )
+        return 1
+    if catalog_cache is not None and (
+        not catalog_cache["results_match"] or catalog_cache["hit_rate"] < 1.0
+    ):
+        print(
+            "REGRESSION: warm catalog run diverged from cold "
+            f"(hit rate {catalog_cache['hit_rate']:.2f}) — "
+            "cache-key contract violated",
             file=sys.stderr,
         )
         return 1

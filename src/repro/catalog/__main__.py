@@ -1,0 +1,77 @@
+"""Catalog maintenance commands: ``python -m repro.catalog stats|compact``.
+
+``stats`` prints what a catalog file holds (entries, restorable share,
+per-worker-function counts); ``compact`` atomically folds the file to
+one canonical line per key and reports the bytes reclaimed. Both open
+the catalog through :class:`~repro.catalog.RunCatalog`, so a torn final
+line left by a killed writer is salvaged exactly as the executor would.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import ConfigError
+from .store import RunCatalog
+
+
+def _open_existing(path: str) -> RunCatalog:
+    if not Path(path).exists():
+        raise ConfigError(f"catalog {path} does not exist")
+    return RunCatalog(path)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _open_existing(args.catalog) as catalog:
+        stats = catalog.stats()
+    print(f"{stats['path']}: {stats['entries']} entries "
+          f"({stats['restorable']} restorable)")
+    for fn_name in sorted(stats["functions"]):
+        print(f"  {fn_name}: {stats['functions'][fn_name]} points")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    with _open_existing(args.catalog) as catalog:
+        reclaimed = catalog.compact()
+        entries = catalog.entry_count
+    print(f"{args.catalog}: compacted to {entries} entries, "
+          f"reclaimed {reclaimed} bytes")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.catalog``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.catalog",
+        description="Inspect and maintain run-catalog files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats_parser = sub.add_parser(
+        "stats", help="print entry counts and per-function totals"
+    )
+    stats_parser.add_argument("catalog", help="catalog file to inspect")
+    stats_parser.set_defaults(fn=_cmd_stats)
+
+    compact_parser = sub.add_parser(
+        "compact",
+        help="atomically rewrite the catalog to one line per key",
+    )
+    compact_parser.add_argument("catalog", help="catalog file to compact")
+    compact_parser.set_defaults(fn=_cmd_compact)
+
+    args = parser.parse_args(argv)
+    try:
+        result: int = args.fn(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -229,6 +229,20 @@ def main(argv: "list[str] | None" = None) -> int:
         "restored, only missing points are recomputed, and every "
         "re-executed point is asserted bit-identical",
     )
+    resilience_group.add_argument(
+        "--catalog",
+        metavar="FILE",
+        help="durable cross-invocation result cache: already-catalogued "
+        "sweep points are served as verified cache hits, newly computed "
+        "points are catalogued for future runs (see docs/SERVICE.md)",
+    )
+    resilience_group.add_argument(
+        "--serve-url",
+        metavar="HOST:PORT",
+        help="ship sweep execution to a running repro-serve daemon instead "
+        "of executing locally; local --journal/--catalog still record the "
+        "verified results (see docs/SERVICE.md)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -238,6 +252,7 @@ def main(argv: "list[str] | None" = None) -> int:
     resilience_requested = bool(
         args.retries or args.point_timeout is not None or args.journal
         or args.resume or args.on_failure != FailurePolicy.FAIL_FAST.value
+        or args.catalog or args.serve_url
     )
     if resilience_requested and args.experiment == "custom":
         parser.error("resilience flags apply to sweep experiments, not "
@@ -275,12 +290,19 @@ def main(argv: "list[str] | None" = None) -> int:
                 journal = RunJournal(args.resume, resume=True)
             elif args.journal:
                 journal = RunJournal(args.journal)
+            catalog = None
+            if args.catalog:
+                from ..catalog import RunCatalog
+
+                catalog = RunCatalog(args.catalog)
             resilience = ResilienceOptions(
                 retry=RetryPolicy(
                     retries=args.retries, point_timeout=args.point_timeout
                 ),
                 on_failure=FailurePolicy(args.on_failure),
                 journal=journal,
+                catalog=catalog,
+                serve_url=args.serve_url,
             )
         except ConfigError as exc:
             print(f"error: {exc}", file=sys.stderr)

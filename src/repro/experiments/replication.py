@@ -17,6 +17,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..parallel import SweepExecutor, SweepPoint
 from ..resilience import ResilienceOptions
+from ..resilience.journal import worker_name
 
 #: An experiment run: seed in, named scalar metrics out.
 MetricFn = Callable[[int], Mapping[str, float]]
@@ -28,10 +29,19 @@ class _MetricPointFn:
     A class (not a closure) so the adapter pickles whenever the wrapped
     function does; an unpicklable ``fn`` (a lambda, a local closure) makes
     the executor fall back to its serial path automatically.
+
+    The instance takes on the wrapped function's dotted name (``__module__``
+    / ``__qualname__``): ``worker_name`` keys journal and catalog entries by
+    it, and without the forwarding every replicated experiment would share
+    the class's own name — two different experiments replicated through one
+    journal (or a shared catalog) would collide on identical ``seed:<n>``
+    envelopes and the second would be refused as a determinism violation.
     """
 
     def __init__(self, fn: MetricFn) -> None:
         self.fn = fn
+        base = worker_name(fn)
+        self.__module__, _, self.__qualname__ = base.rpartition(".")
 
     def __call__(self, point: SweepPoint) -> Dict[str, float]:
         return {name: float(v) for name, v in dict(self.fn(point.seed)).items()}

@@ -183,6 +183,8 @@ class SweepExecutor:
             SweepInterrupted: when SIGINT/SIGTERM cancelled the sweep.
         """
         pts = self._validated(points)
+        if self.resilience is not None and self.resilience.serve_url is not None:
+            return self._map_remote(fn, pts).results
         if self.resilience is not None and self.resilience.active:
             return self.run(fn, pts).results
         self.last_fallback = None
@@ -208,8 +210,28 @@ class SweepExecutor:
         """
         pts = self._validated(points)
         options = self.resilience if self.resilience is not None else ResilienceOptions()
+        if options.serve_url is not None:
+            return self._map_remote(fn, pts)
         runner = _ResilientRun(self, fn, pts, options)
         return runner.execute()
+
+    def _map_remote(self, fn: PointFn, pts: List[SweepPoint]) -> SweepOutcome:
+        """Ship the whole sweep to a ``repro-serve`` daemon.
+
+        The client restores the daemon's repr-transported values, asserts
+        the merged hash against the daemon's, and records every point
+        into the locally attached journal/catalog (with the usual
+        bit-identity asserts) — so a remote run leaves the same resumable
+        artifacts behind as a local one.
+        """
+        # Imported lazily: repro.serve depends on this module, and the
+        # client is only needed when a sweep actually goes remote.
+        from ..serve.client import ServeClient
+
+        options = self.resilience
+        assert options is not None and options.serve_url is not None
+        client = ServeClient(options.serve_url)
+        return client.submit(fn, pts, options)
 
     # ------------------------------------------------------------- validation
 
@@ -344,6 +366,7 @@ class _ResilientRun:
         self.options = options
         self.probe = options.probe
         self.journal = options.journal
+        self.catalog = options.catalog
         self.fn_name = worker_name(fn)
         self.keys: Dict[int, str] = {
             point.index: point_key(self.fn_name, point) for point in pts
@@ -356,6 +379,7 @@ class _ResilientRun:
             sweep=self.sweep_id,
             total_points=len(pts),
             journal_path=self.journal.path if self.journal is not None else None,
+            catalog_path=self.catalog.path if self.catalog is not None else None,
         )
         self.values: Dict[int, Any] = {}
         self.failures: Dict[int, PointFailure] = {}
@@ -382,6 +406,7 @@ class _ResilientRun:
 
     def execute(self) -> SweepOutcome:
         self._restore_from_journal()
+        self._restore_from_catalog()
         pending = [p for p in self.pts if p.index not in self.values]
         self.runnable = [(point, 1) for point in pending]
         handlers = self._install_signal_handlers()
@@ -460,6 +485,44 @@ class _ResilientRun:
                 self._event(
                     "resilience.resume", point=point.index, label=point.label
                 )
+
+    def _restore_from_catalog(self) -> None:
+        """Serve already-catalogued points as verified cache hits.
+
+        Runs after the journal restore: a point present in both stores is
+        counted as resumed (journal semantics win) but is still pushed
+        into the catalog so the durable store catches up with this run.
+        A catalogued point missing from the journal is a cache hit — it
+        is also journaled, keeping the journal a complete record of the
+        sweep for ``journal_hashes`` diffs and future ``--resume`` runs.
+        Every hit passed the catalog's bit-identity verification
+        (envelope match + integrity hash + repr round-trip) or raised a
+        catalog determinism violation instead of being served.
+        """
+        if self.catalog is None:
+            return
+        for point in self.pts:
+            if point.index in self.values:
+                if self.catalog.record(
+                    self.fn_name, self.sweep_id, point, self.values[point.index]
+                ):
+                    self._count("catalog.appends")
+                continue
+            hit, value = self.catalog.lookup(self.fn_name, point)
+            if hit:
+                self.values[point.index] = value
+                self.outcome.cache_hits += 1
+                self._count("catalog.hits")
+                self._event("catalog.hit", point=point.index, label=point.label)
+                if self.journal is not None:
+                    before = self.journal.point_count
+                    self.journal.record(
+                        self.sweep_id, self.keys[point.index], point, value
+                    )
+                    if self.journal.point_count > before:
+                        self._count("resilience.journal_appends")
+            else:
+                self._count("catalog.misses")
 
     # ----------------------------------------------------------------- serial
 
@@ -638,6 +701,12 @@ class _ResilientRun:
             self.journal.record(self.sweep_id, self.keys[point.index], point, value)
             if self.journal.point_count > before:
                 self._count("resilience.journal_appends")
+        if self.catalog is not None:
+            # Same determinism assert against the durable store; the probe
+            # count lands only after the entry is fsync'd (the serve
+            # daemon's crash drill relies on that ordering).
+            if self.catalog.record(self.fn_name, self.sweep_id, point, value):
+                self._count("catalog.appends")
         self.values[point.index] = value
         self._count("resilience.points_completed")
         if attempt > 1:

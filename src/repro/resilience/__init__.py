@@ -31,7 +31,9 @@ from .journal import (
     JOURNAL_SCHEMA_VERSION,
     RunJournal,
     journal_hashes,
+    point_envelope,
     point_key,
+    restorable_repr,
     sweep_id,
     worker_name,
 )
@@ -51,7 +53,9 @@ __all__ = [
     "atomic_write_text",
     "backoff_delay",
     "journal_hashes",
+    "point_envelope",
     "point_key",
+    "restorable_repr",
     "sweep_id",
     "worker_name",
 ]

@@ -83,6 +83,18 @@ def worker_name(fn: object) -> str:
     return f"{module}.{qualname}"
 
 
+def point_envelope(fn_name: str, point: SweepPointLike) -> str:
+    """The exact repr payload a point's content key hashes.
+
+    Exposed (rather than inlined in :func:`point_key`) because the run
+    catalog stores this string verbatim next to each cached value: a
+    cache hit re-derives the envelope from the live point and asserts it
+    matches the stored one character for character, so a catalog entry
+    whose envelope was mutated on disk can never be served silently.
+    """
+    return repr((fn_name, point.index, point.label, point.seed, point.params))
+
+
 def point_key(fn_name: str, point: SweepPointLike) -> str:
     """Content key of one sweep point under one worker function.
 
@@ -92,7 +104,7 @@ def point_key(fn_name: str, point: SweepPointLike) -> str:
     dataclasses). Two runs of the same sweep derive the same keys in any
     process, which is the whole resume contract.
     """
-    payload = repr((fn_name, point.index, point.label, point.seed, point.params))
+    payload = point_envelope(fn_name, point)
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
 
 
@@ -104,7 +116,7 @@ def sweep_id(fn_name: str, keys: Sequence[str]) -> str:
     return f"{fn_name}#{digest}"
 
 
-def _restorable_repr(value: Any) -> Tuple[str, bool]:
+def restorable_repr(value: Any) -> Tuple[str, bool]:
     """``(repr, restorable)`` — restorable iff the repr literal-evals back.
 
     ``ast.literal_eval`` covers every payload built from primitives,
@@ -217,7 +229,7 @@ class RunJournal:
                 the journaled one — the sweep is not deterministic and the
                 journal must not be trusted for resume.
         """
-        value_repr, restorable = _restorable_repr(value)
+        value_repr, restorable = restorable_repr(value)
         existing = self._points.get(key)
         if existing is not None:
             if existing["value_repr"] != value_repr:
@@ -296,6 +308,27 @@ class RunJournal:
         for point_record in self._points.values():
             lines.append(json.dumps(point_record))
         atomic_write_text(self._path, "\n".join(lines) + "\n")
+
+    def compact(self) -> int:
+        """Fold the on-disk journal to one canonical line per record.
+
+        The append-only format can accumulate superseded bytes that the
+        in-memory state has already resolved: a torn final line salvaged
+        on resume, duplicate point lines left by an interrupted writer
+        or a journal concatenation (the parser is last-wins per key), or
+        simply a stale pre-resume file. Compaction atomically rewrites
+        the file from the canonical in-memory state — exactly one
+        header, one line per sweep, one line per point key — and returns
+        the number of bytes reclaimed. Resume behavior is identical
+        before and after: both parse to the same sweeps and points, so
+        :func:`journal_hashes` is unchanged byte for byte.
+        """
+        self.close()
+        before = self._path.stat().st_size if self._path.exists() else 0
+        self._rewrite()
+        self._stale_on_disk = False
+        after = self._path.stat().st_size
+        return max(0, before - after)
 
     def close(self) -> None:
         """Close the append handle (safe to call repeatedly)."""

@@ -21,6 +21,7 @@ from .outcome import SweepOutcome
 from .policy import FailurePolicy, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..catalog import RunCatalog
     from ..obs.probe import Probe
 
 
@@ -33,8 +34,16 @@ class ResilienceOptions:
             timeout — identical to the historical executor).
         on_failure: ``FAIL_FAST`` (default, historical) or ``SALVAGE``.
         journal: shared checkpoint store, or None to run unjournaled.
-        probe: sink for ``resilience.*`` counters and retry/timeout trace
-            events; None falls back to the executor's ambient probe.
+        catalog: durable cross-invocation result cache
+            (:class:`repro.catalog.RunCatalog`), or None. Catalogued
+            points are served as verified cache hits; newly computed
+            points are catalogued for every future run.
+        serve_url: ``host:port`` of a ``repro-serve`` daemon. When set,
+            :meth:`repro.parallel.SweepExecutor.map` ships the whole
+            sweep to the daemon instead of executing locally; the local
+            journal/catalog (when attached) still record the results.
+        probe: sink for ``resilience.*`` / ``catalog.*`` counters and
+            trace events; None falls back to the executor's ambient probe.
         outcomes: every sweep's outcome, appended in execution order —
             the CLI reads this after the experiment returns.
     """
@@ -42,6 +51,8 @@ class ResilienceOptions:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     on_failure: FailurePolicy = FailurePolicy.FAIL_FAST
     journal: Optional[RunJournal] = None
+    catalog: "Optional[RunCatalog]" = None
+    serve_url: Optional[str] = None
     probe: "Optional[Probe]" = None
     outcomes: List[SweepOutcome] = field(default_factory=list)
 
@@ -54,6 +65,8 @@ class ResilienceOptions:
         """
         return (
             self.journal is not None
+            or self.catalog is not None
+            or self.serve_url is not None
             or self.retry.retries > 0
             or self.retry.point_timeout is not None
             or self.on_failure is not FailurePolicy.FAIL_FAST

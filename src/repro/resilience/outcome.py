@@ -64,6 +64,8 @@ class SweepOutcome:
             ``failures`` instead).
         failures: points that exhausted their retry budget, in point order.
         resumed: points restored from the journal without re-execution.
+        cache_hits: points served from the run catalog (locally or by the
+            serve daemon) without re-execution.
         retried: retry attempts performed (not points — a point retried
             twice counts 2).
         timeouts: attempts killed by the per-point watchdog.
@@ -71,6 +73,8 @@ class SweepOutcome:
             missing points are neither results nor failures.
         journal_path: where completed points were checkpointed, if
             journaling was on.
+        catalog_path: the durable result cache in play, if one was
+            attached (the daemon's own catalog for remote execution).
         notes: human-readable caveats (serial watchdog not enforced, ...).
     """
 
@@ -79,10 +83,12 @@ class SweepOutcome:
     results: "List[PointResult]" = field(default_factory=list)
     failures: List[PointFailure] = field(default_factory=list)
     resumed: int = 0
+    cache_hits: int = 0
     retried: int = 0
     timeouts: int = 0
     cancelled: bool = False
     journal_path: Optional[str] = None
+    catalog_path: Optional[str] = None
     notes: List[str] = field(default_factory=list)
 
     @property
@@ -102,10 +108,12 @@ class SweepOutcome:
             "total_points": self.total_points,
             "completed": self.completed,
             "resumed": self.resumed,
+            "cache_hits": self.cache_hits,
             "retried": self.retried,
             "timeouts": self.timeouts,
             "cancelled": self.cancelled,
             "journal": self.journal_path,
+            "catalog": self.catalog_path,
             "failures": [failure.to_dict() for failure in self.failures],
             "notes": list(self.notes),
         }
@@ -114,8 +122,8 @@ class SweepOutcome:
         """The resilience section the CLIs print — one line per fact."""
         lines = [
             f"sweep {self.sweep}: {self.completed}/{self.total_points} points"
-            f" ({self.resumed} resumed, {self.retried} retried,"
-            f" {self.timeouts} timeouts)"
+            f" ({self.resumed} resumed, {self.cache_hits} cached,"
+            f" {self.retried} retried, {self.timeouts} timeouts)"
         ]
         if self.cancelled:
             lines.append(
@@ -134,4 +142,8 @@ class SweepOutcome:
             lines.append(f"note: {note}")
         if self.journal_path is not None:
             lines.append(f"journal: {self.journal_path}")
+        if self.catalog_path is not None:
+            lines.append(
+                f"catalog: {self.catalog_path} ({self.cache_hits} cache hits)"
+            )
         return lines

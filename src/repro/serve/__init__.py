@@ -1,0 +1,43 @@
+"""``repro.serve`` — the crash-safe, cache-hitting sweep service.
+
+A small client/server layer over the existing resilient executor: the
+``repro-serve`` daemon (:mod:`~repro.serve.daemon`) owns a durable
+:class:`repro.catalog.RunCatalog` and runs submitted sweeps through
+:class:`repro.parallel.SweepExecutor`'s supervised worker pool; the
+client (:mod:`~repro.serve.client`) is what the executor dispatches to
+when ``ResilienceOptions.serve_url`` is set. The NDJSON wire format
+lives in :mod:`~repro.serve.protocol`. Protocol, failure matrix, and the
+crash-resume contract are documented in ``docs/SERVICE.md``.
+
+Import discipline: this package sits *above* ``repro.parallel`` and
+``repro.catalog`` (it imports both); nothing below imports it except the
+executor's lazy ``serve_url`` dispatch. Process fan-out stays inside
+``repro.parallel`` — the daemon reuses the executor rather than spawning
+workers itself.
+"""
+
+from .client import ServeClient
+from .daemon import ServeConfig, ServeDaemon, resolve_worker
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    parse_serve_url,
+    point_from_wire,
+    point_to_wire,
+    read_message,
+    write_message,
+)
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "parse_serve_url",
+    "point_from_wire",
+    "point_to_wire",
+    "read_message",
+    "resolve_worker",
+    "write_message",
+]

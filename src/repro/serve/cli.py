@@ -1,0 +1,162 @@
+"""``repro-serve``: run or talk to the sweep-service daemon.
+
+Subcommands::
+
+    repro-serve run --catalog run.catalog [--port 0 --port-file f ...]
+    repro-serve ping --url 127.0.0.1:7341
+    repro-serve stats --url 127.0.0.1:7341
+    repro-serve shutdown --url 127.0.0.1:7341
+
+``run`` blocks until drained (SIGINT/SIGTERM or a ``shutdown`` op) and
+exits 0 with the catalog flushed; with ``--port 0`` the OS picks an
+ephemeral port and ``--port-file`` publishes it for clients. ``ping`` /
+``stats`` / ``shutdown`` are one-shot client ops printing the daemon's
+JSON reply. Exit codes: 0 success, 1 daemon/stream failure, 2 usage or
+configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..catalog import RunCatalog
+from ..errors import ConfigError, ReproError
+from .client import ServeClient
+from .daemon import ServeConfig, ServeDaemon
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="crash-safe, cache-hitting sweep service (docs/SERVICE.md)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="start the daemon (blocks until drained)")
+    run.add_argument(
+        "--catalog",
+        required=True,
+        help="durable result catalog backing the service (created if missing, "
+        "resumed if present)",
+    )
+    run.add_argument("--host", default="127.0.0.1", help="bind address")
+    run.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (0 = OS-assigned ephemeral; see --port-file)",
+    )
+    run.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here (atomic) so clients can find an "
+        "ephemeral port",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per sweep job"
+    )
+    run.add_argument(
+        "--queue-limit",
+        type=int,
+        default=4,
+        help="submits allowed to wait behind the running job; beyond this "
+        "the daemon sheds with an explicit response",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="default per-point retry budget when the client sends none",
+    )
+    run.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        help="default per-point watchdog seconds (needs --jobs >= 2)",
+    )
+    run.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        help="seconds a job may go without completing a point before its "
+        "lease counts as expired",
+    )
+    run.add_argument(
+        "--allow",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="dotted-name prefix submitted workers may come from "
+        "(repeatable; default: repro.)",
+    )
+    run.add_argument(
+        "--chaos-kill-after",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # crash-drill hook: SIGKILL self after the
+        # Nth durable catalog append (CI uses it to prove resumability)
+    )
+
+    for name, doc in (
+        ("ping", "liveness check; prints the daemon's pong"),
+        ("stats", "print the daemon's counters, leases, and catalog stats"),
+        ("shutdown", "ask the daemon to drain and exit"),
+    ):
+        op = sub.add_parser(name, help=doc)
+        op.add_argument(
+            "--url",
+            required=True,
+            help="daemon address as host:port (or tcp://host:port)",
+        )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            config = ServeConfig(
+                host=args.host,
+                port=args.port,
+                jobs=args.jobs,
+                queue_limit=args.queue_limit,
+                retries=args.retries,
+                point_timeout=args.point_timeout,
+                lease_timeout=args.lease_timeout,
+                allow=tuple(args.allow) if args.allow else ("repro.",),
+                chaos_kill_after=args.chaos_kill_after,
+            )
+            catalog = RunCatalog(args.catalog)
+            daemon = ServeDaemon(config, catalog)
+            return daemon.serve(port_file=args.port_file)
+        client = ServeClient(args.url)
+        if args.command == "ping":
+            reply = client.ping()
+        elif args.command == "stats":
+            reply = client.stats()
+        else:
+            reply = client.shutdown()
+        try:
+            print(json.dumps(reply, indent=2, sort_keys=True))
+        except BrokenPipeError:  # reprolint: disable=RL011
+            # Downstream (e.g. `| head`) closed the pipe; the reply was
+            # received fine and nothing failed, so there is nothing to
+            # record. Point stdout at devnull so the interpreter's
+            # exit-time flush doesn't traceback (or force exit code 120).
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except ConfigError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

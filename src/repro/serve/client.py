@@ -1,0 +1,256 @@
+"""Client side of ``repro-serve``: ship a sweep to the daemon, verify it back.
+
+:class:`ServeClient` is what :meth:`repro.parallel.SweepExecutor.map`
+dispatches to when ``ResilienceOptions.serve_url`` is set. It serializes
+the sweep over the NDJSON protocol, relays the daemon's streamed progress
+and trace events to the local probe, and — on the terminal ``result``
+line — restores every value repr with ``ast.literal_eval`` and
+recomputes :func:`repro.parallel.result_hash` locally, refusing the
+response unless it matches the daemon's declared hash bit for bit. A
+verified result is then recorded into the caller's own journal/catalog
+(when attached), so a remote run leaves exactly the same durable local
+artifacts a local run would.
+
+Failure surface is explicit: a daemon that sheds, errors, or dies
+mid-stream raises :class:`~repro.errors.SimulationError` naming the
+cause; an unreachable daemon raises immediately. Nothing retries
+silently — resubmission is the caller's decision, and thanks to the
+daemon's catalog the resubmitted points that already completed come back
+as cache hits.
+"""
+
+from __future__ import annotations
+
+import ast
+import socket
+from typing import Any, Dict, List, Sequence
+
+from ..errors import ConfigError, SimulationError
+from ..parallel.envelope import PointResult, SweepPoint, result_hash
+from ..resilience import ResilienceOptions
+from ..resilience.journal import point_key, worker_name
+from ..resilience.outcome import SweepOutcome
+from .protocol import (
+    PROTOCOL_VERSION,
+    parse_serve_url,
+    point_to_wire,
+    read_message,
+    write_message,
+)
+
+
+class ServeClient:
+    """One daemon address; every operation is one connection."""
+
+    def __init__(self, url: str, timeout: float = 600.0) -> None:
+        self.url = url
+        self.host, self.port = parse_serve_url(url)
+        #: socket timeout per blocking read — generous, because a healthy
+        #: daemon heartbeats a progress line per completed point.
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- simple ops
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip a ``ping``; returns the daemon's ``pong`` payload."""
+        return self._roundtrip({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's counters, leases, and catalog statistics."""
+        return self._roundtrip({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit (returns its acknowledgement)."""
+        return self._roundtrip({"op": "shutdown"})
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot reach repro-serve daemon at {self.url}: {exc}"
+            ) from exc
+        try:
+            with sock.makefile("rwb") as stream:
+                write_message(stream, request)
+                reply = read_message(stream)
+        finally:
+            sock.close()
+        if reply is None:
+            raise SimulationError(
+                f"repro-serve daemon at {self.url} closed the stream "
+                "without replying"
+            )
+        return reply
+
+    # ----------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        fn: object,
+        points: Sequence[SweepPoint],
+        options: ResilienceOptions,
+    ) -> SweepOutcome:
+        """Run one sweep on the daemon; returns a verified local outcome.
+
+        Raises:
+            SimulationError: when the daemon sheds the job, reports an
+                error, dies mid-stream, or returns values whose locally
+                recomputed hash differs from its declared one.
+        """
+        fn_name = worker_name(fn)
+        request = {
+            "op": "submit",
+            "protocol": PROTOCOL_VERSION,
+            "fn": fn_name,
+            "points": [point_to_wire(point) for point in points],
+            "retries": options.retry.retries,
+            "point_timeout": options.retry.point_timeout,
+        }
+        reply = self._stream_submit(request, options)
+        values = self._restore_values(reply, len(points))
+        merged = result_hash(values)
+        declared = str(reply.get("hash", ""))
+        if merged != declared:
+            raise SimulationError(
+                "serve determinism violation: locally recomputed result "
+                f"hash {merged} != daemon-declared {declared} for sweep "
+                f"{fn_name} via {self.url}"
+            )
+        return self._record_local(fn_name, points, values, reply, options)
+
+    def _stream_submit(
+        self, request: Dict[str, Any], options: ResilienceOptions
+    ) -> Dict[str, Any]:
+        """One submit conversation; returns the terminal ``result`` message."""
+        probe = options.probe
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot reach repro-serve daemon at {self.url}: {exc}"
+            ) from exc
+        try:
+            with sock.makefile("rwb") as stream:
+                try:
+                    write_message(stream, request)
+                except OSError as exc:
+                    raise SimulationError(
+                        f"repro-serve daemon at {self.url} refused the "
+                        f"submit: {exc}"
+                    ) from exc
+                while True:
+                    try:
+                        message = read_message(stream)
+                    except OSError as exc:
+                        raise SimulationError(
+                            f"stream from repro-serve daemon at {self.url} "
+                            f"broke mid-job: {exc} — the daemon's catalog "
+                            "keeps every completed point; resubmit to "
+                            "resume from cache hits"
+                        ) from exc
+                    if message is None:
+                        raise SimulationError(
+                            f"repro-serve daemon at {self.url} died "
+                            "mid-job (stream ended before a result) — its "
+                            "catalog keeps every fsync'd point; restart "
+                            "the daemon and resubmit to resume from "
+                            "cache hits"
+                        )
+                    kind = message.get("kind")
+                    if kind == "result":
+                        return message
+                    if kind == "shed":
+                        raise SimulationError(
+                            f"repro-serve daemon at {self.url} shed the "
+                            f"sweep: {message.get('reason', 'no reason given')}"
+                        )
+                    if kind == "error":
+                        raise SimulationError(
+                            f"repro-serve daemon at {self.url} failed the "
+                            f"sweep: {message.get('detail', 'no detail given')}"
+                        )
+                    if probe is not None:
+                        self._relay(probe, kind, message)
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _relay(probe: Any, kind: Any, message: Dict[str, Any]) -> None:
+        """Forward a non-terminal stream line to the local probe."""
+        if kind == "progress":
+            probe.count("serve.progress_messages")
+        elif kind == "event":
+            fields = message.get("fields")
+            probe.event(
+                f"serve.{message.get('event', 'unknown')}",
+                0,
+                **(fields if isinstance(fields, dict) else {}),
+            )
+        elif kind == "accepted":
+            probe.count("serve.jobs_accepted")
+
+    @staticmethod
+    def _restore_values(reply: Dict[str, Any], expected: int) -> List[Any]:
+        """Literal-eval the result line's value reprs, length-checked."""
+        raw_values = reply.get("values")
+        if not isinstance(raw_values, list) or len(raw_values) != expected:
+            got = len(raw_values) if isinstance(raw_values, list) else "no"
+            raise SimulationError(
+                f"serve result carries {got} values, expected {expected}"
+            )
+        values: List[Any] = []
+        for position, text in enumerate(raw_values):
+            try:
+                values.append(ast.literal_eval(str(text)))
+            except (ValueError, SyntaxError) as exc:
+                raise SimulationError(
+                    f"serve result value {position} is not a Python "
+                    f"literal: {str(text)[:200]!r}"
+                ) from exc
+        return values
+
+    def _record_local(
+        self,
+        fn_name: str,
+        points: Sequence[SweepPoint],
+        values: List[Any],
+        reply: Dict[str, Any],
+        options: ResilienceOptions,
+    ) -> SweepOutcome:
+        """Mirror the verified remote results into local journal/catalog."""
+        sweep = str(reply.get("sweep", fn_name))
+        if options.journal is not None:
+            sweep = options.journal.register_sweep(fn_name, points)
+        cache_hits = int(reply.get("cache_hits", 0))
+        outcome = SweepOutcome(
+            sweep=sweep,
+            total_points=len(points),
+            cache_hits=cache_hits,
+            journal_path=(
+                options.journal.path if options.journal is not None else None
+            ),
+            catalog_path=(
+                options.catalog.path
+                if options.catalog is not None
+                else str(reply["catalog"]) if "catalog" in reply else None
+            ),
+        )
+        outcome.notes.append(
+            f"executed remotely via repro-serve at {self.url} "
+            f"({cache_hits} daemon cache hits, "
+            f"{int(reply.get('computed', 0))} computed)"
+        )
+        for point, value in zip(points, values):
+            outcome.results.append(PointResult(point=point, value=value))
+            key = point_key(fn_name, point)
+            if options.journal is not None:
+                options.journal.record(sweep, key, point, value)
+            if options.catalog is not None:
+                options.catalog.record(fn_name, sweep, point, value)
+        options.outcomes.append(outcome)
+        return outcome

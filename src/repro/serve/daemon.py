@@ -1,0 +1,617 @@
+"""The ``repro-serve`` daemon: a crash-safe, cache-hitting sweep service.
+
+Architecture (one process, the control plane of the service topology):
+
+* a :class:`socketserver.ThreadingTCPServer` accepts NDJSON requests
+  (:mod:`~repro.serve.protocol`) — ``ping``, ``stats``, ``shutdown``,
+  and the streaming ``submit``;
+* submitted jobs are **serialized** through a run lock (the data plane —
+  the supervised worker pool — belongs to one job at a time) with a
+  bounded admission queue in front: a submit beyond the queue limit is
+  refused with an explicit ``shed`` response, never silently dropped;
+* each job runs through the ordinary
+  :class:`repro.parallel.SweepExecutor` resilient path — one supervised
+  worker process per point, per-point watchdog timeouts, deterministic
+  retry-with-backoff (:class:`repro.resilience.RetryPolicy`) on worker
+  death — with the daemon's :class:`repro.catalog.RunCatalog` attached,
+  so every completed point is durably catalogued the moment it finishes
+  and every already-proven point is served as a verified cache hit;
+* a **lease** per running job tracks liveness: every completed or
+  cache-served point beats the lease (and streams a ``progress`` line to
+  the client — the same beat serves both supervision and UX); a lease
+  silent past the timeout is counted (``serve.lease_expired``) by the
+  monitor thread;
+* SIGINT/SIGTERM drain: in-flight work finishes and is catalogued,
+  queued submits shed, the catalog is flushed and closed, and the daemon
+  exits 0. A second signal — or SIGKILL at any moment — still cannot
+  lose completed work: catalog appends are fsync'd before the executor's
+  probe ever counts them, so a restarted daemon resumes from exactly the
+  prefix that was durably recorded.
+
+A client that disconnects mid-job does **not** cancel it: the sweep runs
+to completion server-side and is catalogued, so the resubmission gets
+cache hits for everything that finished (the lost stream is counted,
+``serve.client_lost``). See ``docs/SERVICE.md`` for the full failure
+matrix.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import signal
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..catalog import RunCatalog
+from ..errors import ConfigError, ReproError, SimulationError
+from ..obs.probe import EventValue, Probe
+from ..parallel.envelope import SweepPoint, result_hash
+from ..parallel.executor import SweepExecutor
+from ..resilience import ResilienceOptions, RetryPolicy, restorable_repr
+from ..resilience.atomic import atomic_write_text
+from .protocol import (
+    PROTOCOL_VERSION,
+    point_from_wire,
+    read_message,
+    write_message,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Static configuration of one daemon instance.
+
+    Attributes:
+        host/port: bind address; port 0 asks the OS for an ephemeral port
+            (pair with ``port_file`` so clients can find it).
+        jobs: worker processes per sweep job (the supervised pool size).
+        queue_limit: submits allowed to *wait* behind the running job;
+            anything beyond is shed with an explicit response.
+        retries: default retry budget per point when the client does not
+            send one.
+        point_timeout: default per-point watchdog (seconds; needs
+            ``jobs >= 2``, exactly as for local execution).
+        lease_timeout: seconds a running job may go without completing a
+            single point before the monitor counts its lease as expired.
+        allow: dotted-name prefixes a submitted worker function must
+            match — the daemon only ever executes code it was explicitly
+            pointed at, never arbitrary importables.
+        chaos_kill_after: crash-drill hook — SIGKILL this process after
+            the Nth durable catalog append. Deterministic by
+            construction: the entry is fsync'd before the append is
+            counted, so the drill always dies with exactly N entries on
+            disk.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    jobs: int = 1
+    queue_limit: int = 4
+    retries: int = 0
+    point_timeout: Optional[float] = None
+    lease_timeout: float = 60.0
+    allow: Tuple[str, ...] = ("repro.",)
+    chaos_kill_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigError(f"serve jobs must be >= 1, got {self.jobs}")
+        if self.queue_limit < 0:
+            raise ConfigError(
+                f"serve queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.retries < 0:
+            raise ConfigError(f"serve retries must be >= 0, got {self.retries}")
+        if self.lease_timeout <= 0:
+            raise ConfigError(
+                f"serve lease_timeout must be > 0, got {self.lease_timeout}"
+            )
+        if not self.allow:
+            raise ConfigError("serve allow-list must name at least one prefix")
+        if self.chaos_kill_after is not None and self.chaos_kill_after < 1:
+            raise ConfigError(
+                f"chaos_kill_after must be >= 1, got {self.chaos_kill_after}"
+            )
+
+
+@dataclass
+class Lease:
+    """Liveness record of one running job (heartbeat = completed points)."""
+
+    job: int
+    fn: str
+    total: int
+    started: float
+    last_beat: float
+    done: int = 0
+    cache_hits: int = 0
+    expired_beats: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot for the ``stats`` op."""
+        return {
+            "job": self.job,
+            "fn": self.fn,
+            "done": self.done,
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "age_s": round(time.monotonic() - self.started, 3),
+            "since_beat_s": round(time.monotonic() - self.last_beat, 3),
+            "expired_beats": self.expired_beats,
+        }
+
+
+def resolve_worker(
+    name: str, allow: Tuple[str, ...]
+) -> Callable[[SweepPoint], Any]:
+    """Import a submitted worker function by dotted name, allow-list gated.
+
+    Only module-level functions resolve (the same constraint pickling
+    already imposes on locally fanned-out workers).
+
+    Raises:
+        ConfigError: when the name is outside every allowed prefix, the
+            module does not import, or the attribute is not callable.
+    """
+    if not any(name.startswith(prefix) for prefix in allow):
+        raise ConfigError(
+            f"worker {name!r} is outside the daemon's allow-list "
+            f"({', '.join(allow)}); start repro-serve with --allow to widen it"
+        )
+    module_name, _, attr = name.rpartition(".")
+    if not module_name:
+        raise ConfigError(f"worker name {name!r} is not a dotted path")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigError(
+            f"cannot import worker module {module_name!r}: {exc}"
+        ) from exc
+    fn = getattr(module, attr, None)
+    if not callable(fn):
+        raise ConfigError(
+            f"worker {name!r} does not resolve to a callable "
+            f"(got {type(fn).__name__})"
+        )
+    return fn
+
+
+class _StreamProbe(Probe):
+    """Probe bridging one job's executor to its lease and client stream.
+
+    Every completed or cache-served point beats the lease and emits a
+    ``progress`` line; ``resilience.*``/``catalog.*`` trace events are
+    forwarded as ``event`` lines. Stream writes are best-effort: a client
+    that vanished mid-job must not kill the sweep (its points still land
+    in the catalog), so broken pipes are counted, never raised.
+    """
+
+    trace = True
+
+    def __init__(self, daemon: "ServeDaemon", stream: Any, lease: Lease) -> None:
+        self._daemon = daemon
+        self._stream = stream
+        self._lease = lease
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self._daemon.note_count(name, delta)
+        lease = self._lease
+        if name in ("resilience.points_completed", "catalog.hits"):
+            lease.last_beat = time.monotonic()
+            lease.done += delta
+            if name == "catalog.hits":
+                lease.cache_hits += delta
+            self._send(
+                {
+                    "kind": "progress",
+                    "job": lease.job,
+                    "done": lease.done,
+                    "total": lease.total,
+                    "cache_hits": lease.cache_hits,
+                }
+            )
+
+    def event(self, kind: str, cycle: int, **fields: EventValue) -> None:
+        del cycle  # harness events carry no simulated time
+        self._send(
+            {
+                "kind": "event",
+                "job": self._lease.job,
+                "event": kind,
+                "fields": dict(fields),
+            }
+        )
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        try:
+            write_message(self._stream, message)
+        except OSError:
+            # The job outlives its client by contract (results are still
+            # catalogued); the lost stream is recorded, not raised.
+            self._daemon.note_count("serve.client_lost_messages")
+
+
+class _ServeServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server carrying a back-reference to its daemon."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], serve_daemon: "ServeDaemon") -> None:
+        super().__init__(address, _Handler)
+        self.serve_daemon = serve_daemon
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection, one conversation (see :mod:`~repro.serve.protocol`)."""
+
+    def handle(self) -> None:
+        server = self.server
+        assert isinstance(server, _ServeServer)
+        server.serve_daemon.handle_connection(self.rfile, self.wfile)
+
+
+class ServeDaemon:
+    """The long-lived sweep service around one :class:`RunCatalog`.
+
+    Construct with a config and an (open) catalog, then call
+    :meth:`serve` from the main thread — it blocks until a drain signal
+    or ``shutdown`` op completes. :meth:`handle_connection` is the whole
+    protocol surface, reused directly by the in-process tests.
+    """
+
+    def __init__(self, config: ServeConfig, catalog: RunCatalog) -> None:
+        self.config = config
+        self.catalog = catalog
+        self._stats_lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._catalog_appends = 0
+        self._jobs_started = 0
+        self._leases: Dict[int, Lease] = {}
+        #: jobs admitted (running + waiting for the run lock)
+        self._queued = 0
+        self._queue_lock = threading.Lock()
+        self._run_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._stop_monitor = threading.Event()
+        self._signals = 0
+        self._server: Optional[_ServeServer] = None
+
+    # ------------------------------------------------------------ accounting
+
+    def note_count(self, name: str, delta: int = 1) -> None:
+        """Thread-safe daemon-lifetime counter (the ``stats`` op reads it).
+
+        ``catalog.appends`` additionally drives the crash-drill hook:
+        when ``chaos_kill_after`` is armed, the daemon SIGKILLs itself
+        the moment the Nth durable append is counted — deterministically
+        *after* that entry's fsync, because the executor only counts an
+        append once :meth:`RunCatalog.record` has returned.
+        """
+        chaos = False
+        with self._stats_lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+            if name == "catalog.appends":
+                self._catalog_appends += delta
+                chaos = (
+                    self.config.chaos_kill_after is not None
+                    and self._catalog_appends >= self.config.chaos_kill_after
+                )
+        if chaos:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the daemon-lifetime counters."""
+        with self._stats_lock:
+            return dict(self._counters)
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain was initiated (new submits are shed)."""
+        return self._draining.is_set()
+
+    # -------------------------------------------------------------- protocol
+
+    def handle_connection(self, rfile: Any, wfile: Any) -> None:
+        """Serve one connection's single request (any op)."""
+        self.note_count("serve.connections")
+        try:
+            try:
+                request = read_message(rfile)
+            except ConfigError as exc:
+                write_message(wfile, {"kind": "error", "detail": str(exc)})
+                return
+            if request is None:
+                return
+            op = request.get("op")
+            if op == "ping":
+                write_message(
+                    wfile,
+                    {
+                        "kind": "pong",
+                        "protocol": PROTOCOL_VERSION,
+                        "draining": self.draining,
+                        "catalog": self.catalog.path,
+                        "entries": self.catalog.entry_count,
+                    },
+                )
+            elif op == "stats":
+                with self._stats_lock:
+                    leases = [lease.to_dict() for lease in self._leases.values()]
+                    queued = self._queued
+                write_message(
+                    wfile,
+                    {
+                        "kind": "stats",
+                        "protocol": PROTOCOL_VERSION,
+                        "draining": self.draining,
+                        "queued": queued,
+                        "leases": leases,
+                        "counters": self.counters(),
+                        "catalog": self.catalog.stats(),
+                    },
+                )
+            elif op == "shutdown":
+                self.note_count("serve.shutdown_requests")
+                write_message(wfile, {"kind": "ok", "draining": True})
+                self.initiate_drain()
+            elif op == "submit":
+                self._handle_submit(request, wfile)
+            else:
+                write_message(
+                    wfile, {"kind": "error", "detail": f"unknown op {op!r}"}
+                )
+        except OSError:
+            # The peer vanished mid-conversation; nothing to answer to.
+            self.note_count("serve.client_lost")
+
+    def _handle_submit(self, request: Dict[str, Any], wfile: Any) -> None:
+        """Admission control, then one serialized job on the worker pool."""
+        protocol = request.get("protocol", PROTOCOL_VERSION)
+        if protocol != PROTOCOL_VERSION:
+            write_message(
+                wfile,
+                {
+                    "kind": "error",
+                    "detail": f"protocol {protocol} != {PROTOCOL_VERSION}",
+                },
+            )
+            return
+        shed_reason: Optional[str] = None
+        with self._queue_lock:
+            if self.draining:
+                shed_reason = "draining: daemon is shutting down"
+            elif self._queued > self.config.queue_limit:
+                shed_reason = (
+                    f"queue full: 1 job running and "
+                    f"{self.config.queue_limit} waiting (bounded admission; "
+                    "resubmit later — completed points will be cache hits)"
+                )
+            else:
+                self._queued += 1
+        if shed_reason is not None:
+            self.note_count("serve.shed")
+            write_message(wfile, {"kind": "shed", "reason": shed_reason})
+            return
+        try:
+            with self._run_lock:
+                if self.draining:
+                    # Admitted, but the drain won the lock race: still an
+                    # explicit refusal, never a silent drop.
+                    self.note_count("serve.shed")
+                    write_message(
+                        wfile,
+                        {
+                            "kind": "shed",
+                            "reason": "draining: daemon is shutting down",
+                        },
+                    )
+                    return
+                self._run_job(request, wfile)
+        finally:
+            with self._queue_lock:
+                self._queued -= 1
+
+    def _run_job(self, request: Dict[str, Any], wfile: Any) -> None:
+        """Execute one validated job and stream its lifecycle to the client."""
+        try:
+            fn_name = str(request.get("fn", ""))
+            fn = resolve_worker(fn_name, self.config.allow)
+            raw_points = request.get("points")
+            if not isinstance(raw_points, list) or not raw_points:
+                raise ConfigError("submit carries no points")
+            points = [point_from_wire(p) for p in raw_points]
+            retries = int(request.get("retries", self.config.retries))
+            raw_timeout = request.get("point_timeout", self.config.point_timeout)
+            timeout = None if raw_timeout is None else float(raw_timeout)
+            retry = RetryPolicy(retries=retries, point_timeout=timeout)
+        except (ConfigError, TypeError, ValueError) as exc:
+            self.note_count("serve.rejected_jobs")
+            write_message(wfile, {"kind": "error", "detail": str(exc)})
+            return
+
+        with self._stats_lock:
+            self._jobs_started += 1
+            job_id = self._jobs_started
+            now = time.monotonic()
+            lease = Lease(
+                job=job_id,
+                fn=fn_name,
+                total=len(points),
+                started=now,
+                last_beat=now,
+            )
+            self._leases[job_id] = lease
+        write_message(
+            wfile,
+            {
+                "kind": "accepted",
+                "job": job_id,
+                "fn": fn_name,
+                "points": len(points),
+                "jobs": self.config.jobs,
+                "catalog": self.catalog.path,
+            },
+        )
+        options = ResilienceOptions(
+            retry=retry,
+            catalog=self.catalog,
+            probe=_StreamProbe(self, wfile, lease),
+        )
+        executor = SweepExecutor(jobs=self.config.jobs, resilience=options)
+        start = time.monotonic()
+        try:
+            outcome = executor.run(fn, points)
+        except ReproError as exc:
+            self.note_count("serve.jobs_failed")
+            self._send_final(
+                wfile,
+                {
+                    "kind": "error",
+                    "job": job_id,
+                    "detail": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            return
+        finally:
+            with self._stats_lock:
+                self._leases.pop(job_id, None)
+        values: List[str] = []
+        for point_result in outcome.results:
+            text, restorable = restorable_repr(point_result.value)
+            if not restorable:
+                self.note_count("serve.jobs_failed")
+                self._send_final(
+                    wfile,
+                    {
+                        "kind": "error",
+                        "job": job_id,
+                        "detail": (
+                            f"point {point_result.point.label!r} returned a "
+                            "value whose repr is not a Python literal; "
+                            "repr-transport to the client is impossible"
+                        ),
+                    },
+                )
+                return
+            values.append(text)
+        self.note_count("serve.jobs_completed")
+        self.note_count("serve.points_served", len(values))
+        self._send_final(
+            wfile,
+            {
+                "kind": "result",
+                "job": job_id,
+                "sweep": outcome.sweep,
+                "hash": result_hash(r.value for r in outcome.results),
+                "values": values,
+                "cache_hits": outcome.cache_hits,
+                "computed": outcome.completed - outcome.cache_hits,
+                "catalog": self.catalog.path,
+                "wall_s": round(time.monotonic() - start, 4),
+            },
+        )
+
+    def _send_final(self, wfile: Any, message: Dict[str, Any]) -> None:
+        """Terminal line of a submit; a vanished client is counted, not fatal
+        (its completed points are already in the catalog)."""
+        try:
+            write_message(wfile, message)
+        except OSError:
+            self.note_count("serve.client_lost")
+
+    # ------------------------------------------------------------- lifecycle
+
+    def initiate_drain(self) -> None:
+        """Begin a graceful shutdown (idempotent, safe from any thread)."""
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        threading.Thread(target=self._drain, daemon=True).start()
+
+    def _drain(self) -> None:
+        with self._run_lock:
+            # In-flight job finished (queued submits shed on wake-up).
+            pass
+        self._stop_monitor.set()
+        if self._server is not None:
+            self._server.shutdown()
+        self.catalog.close()
+        self._drained.set()
+
+    def _monitor_leases(self) -> None:
+        interval = max(0.05, self.config.lease_timeout / 4.0)
+        while not self._stop_monitor.wait(interval):
+            now = time.monotonic()
+            with self._stats_lock:
+                leases = list(self._leases.values())
+            for lease in leases:
+                if now - lease.last_beat > self.config.lease_timeout:
+                    # Re-arm so one stall counts once per timeout window;
+                    # the executor's own watchdog does the killing.
+                    lease.last_beat = now
+                    lease.expired_beats += 1
+                    self.note_count("serve.lease_expired")
+
+    def serve(self, port_file: Optional[str] = None) -> int:
+        """Bind, announce, and block until drained. Returns the exit code.
+
+        The TCP accept loop runs on a helper thread so the *main* thread
+        stays free to take SIGINT/SIGTERM: the first signal initiates the
+        drain (finish in-flight work, flush the catalog, exit 0), a
+        second one exits immediately (the fsync'd catalog prefix is still
+        consistent — that is the whole crash contract).
+        """
+        server = _ServeServer((self.config.host, self.config.port), self)
+        self._server = server
+        host, port = server.server_address[0], server.server_address[1]
+        if port_file is not None:
+            atomic_write_text(port_file, f"{port}\n")
+        monitor = threading.Thread(target=self._monitor_leases, daemon=True)
+        monitor.start()
+        acceptor = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.1}, daemon=True
+        )
+        acceptor.start()
+        print(
+            f"repro-serve: listening on {host}:{port} "
+            f"(catalog {self.catalog.path}, {self.catalog.entry_count} entries, "
+            f"jobs={self.config.jobs})",
+            flush=True,
+        )
+        saved = self._install_signal_handlers()
+        try:
+            while not self._drained.wait(timeout=0.2):
+                pass
+        finally:
+            self._restore_signal_handlers(saved)
+            server.server_close()
+        print("repro-serve: drained, catalog flushed", flush=True)
+        return 0
+
+    def _install_signal_handlers(self) -> List[Tuple[int, Any]]:
+        if threading.current_thread() is not threading.main_thread():
+            return []
+
+        def _handler(signum: int, frame: Any) -> None:
+            del frame
+            self._signals += 1
+            if self._signals >= 2:
+                os._exit(1)
+            self.note_count("serve.drain_signals")
+            self.initiate_drain()
+
+        saved: List[Tuple[int, Any]] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            saved.append((signum, signal.signal(signum, _handler)))
+        return saved
+
+    @staticmethod
+    def _restore_signal_handlers(saved: List[Tuple[int, Any]]) -> None:
+        for signum, handler in saved:
+            signal.signal(signum, handler)

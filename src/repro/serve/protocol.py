@@ -1,0 +1,147 @@
+"""The ``repro-serve`` wire protocol: NDJSON messages over a TCP stream.
+
+One connection, one conversation. The client writes exactly one request
+line (``{"op": ...}``); the daemon answers with one or more
+newline-delimited JSON response lines (``{"kind": ...}``) and closes.
+``submit`` is the streaming op: the daemon emits ``accepted``, then a
+``progress`` line per completed or cache-served point (doubling as the
+client-visible heartbeat), interleaved ``event`` lines forwarding
+``resilience.*``/``catalog.*`` trace events, and finally exactly one
+terminal line — ``result``, ``error``, or (before any work starts)
+``shed``. A bounded queue sheds loudly: the client always receives an
+explicit refusal, never a silent drop.
+
+Values and sweep-point params travel as **reprs**, not as JSON values:
+JSON would silently turn tuples into lists and lose float bit-exactness
+guarantees, which would change ``repr``s and therefore every content key
+and result hash. ``ast.literal_eval`` on the receiving side restores the
+exact object, and the executor's existing bit-identity asserts check the
+round trip end to end.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigError
+from ..parallel.envelope import SweepPoint
+from ..resilience.journal import SweepPointLike
+
+#: Bumped when the message layout changes incompatibly; the daemon
+#: rejects submits from a different major version.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one message line; a sweep's result line carries every
+#: value repr, so this is generous but still a guard against a peer
+#: streaming garbage without a newline.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def write_message(stream: Any, message: Dict[str, Any]) -> None:
+    """Serialize one message as a newline-terminated JSON line and flush.
+
+    ``stream`` is any binary file-like object (a ``socket.makefile`` or a
+    request handler's ``wfile``); propagates ``OSError``/``BrokenPipeError``
+    to the caller, who decides whether a vanished peer matters.
+    """
+    stream.write((json.dumps(message) + "\n").encode("utf-8"))
+    stream.flush()
+
+
+def read_message(stream: Any) -> Optional[Dict[str, Any]]:
+    """Read one message line; None on a cleanly closed stream.
+
+    Raises:
+        ConfigError: on a non-JSON line, a non-object payload, or a line
+            exceeding :data:`MAX_LINE_BYTES` (no terminating newline
+            within the bound).
+    """
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ConfigError(
+            f"serve message exceeds {MAX_LINE_BYTES} bytes without a newline"
+        )
+    text = line.decode("utf-8", errors="replace").strip()
+    if not text:
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            f"malformed serve message ({exc}): {text[:200]!r}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"serve message must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def parse_serve_url(url: str) -> Tuple[str, int]:
+    """``host:port`` (optionally ``tcp://host:port``) -> ``(host, port)``.
+
+    Raises:
+        ConfigError: on an unsupported scheme, a missing port, or a port
+            outside 1..65535.
+    """
+    text = url
+    if "://" in text:
+        scheme, _, text = text.partition("://")
+        if scheme != "tcp":
+            raise ConfigError(
+                f"unsupported serve URL scheme {scheme!r} (use tcp://host:port)"
+            )
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ConfigError(f"serve URL must be host:port, got {url!r}")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ConfigError(f"serve URL port must be an integer, got {url!r}") from exc
+    if not 0 < port < 65536:
+        raise ConfigError(f"serve URL port must be in 1..65535, got {port}")
+    return host, port
+
+
+def point_to_wire(point: SweepPointLike) -> Dict[str, Any]:
+    """One sweep point as a wire object (params as an exact repr)."""
+    return {
+        "index": point.index,
+        "label": point.label,
+        "seed": point.seed,
+        "params_repr": repr(point.params),
+    }
+
+
+def point_from_wire(payload: Dict[str, Any]) -> SweepPoint:
+    """Reconstruct the exact :class:`SweepPoint` a client serialized.
+
+    Raises:
+        ConfigError: on missing fields or a ``params_repr`` that is not a
+            literal tuple — a daemon must never guess at an envelope,
+            because the content key is derived from it.
+    """
+    for fieldname in ("index", "label", "seed", "params_repr"):
+        if fieldname not in payload:
+            raise ConfigError(f"serve point is missing {fieldname!r}")
+    try:
+        params = ast.literal_eval(str(payload["params_repr"]))
+    except (ValueError, SyntaxError) as exc:
+        raise ConfigError(
+            f"serve point params_repr is not a Python literal: "
+            f"{str(payload['params_repr'])[:200]!r}"
+        ) from exc
+    if not isinstance(params, tuple):
+        raise ConfigError(
+            f"serve point params must be a tuple, got {type(params).__name__}"
+        )
+    return SweepPoint(
+        index=int(payload["index"]),
+        label=str(payload["label"]),
+        seed=int(payload["seed"]),
+        params=params,
+    )

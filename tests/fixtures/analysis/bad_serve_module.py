@@ -1,0 +1,41 @@
+"""Lint fixture: daemon/socket resources leaked on the exception path.
+
+Every function here violates RL014 (daemon-resource-cleanup): an OS-level
+socket or socket-backed stream is acquired into a local name and never
+guaranteed released — no ``with``, no ``finally``, and ownership never
+escapes the function. Exactly one finding per function; the count is
+asserted in tests/test_analysis_rules.py.
+"""
+
+import socket
+
+
+def leak_connection(host):
+    # No cleanup at all: an exception after connect leaks the descriptor.
+    sock = socket.create_connection((host, 80))
+    sock.sendall(b"ping")
+    return True
+
+
+def leak_happy_path_close(host):
+    # close() only on the happy path — the exception path is exactly
+    # where a long-lived daemon leaks, so this still violates RL014.
+    sock = socket.socket()
+    sock.connect((host, 80))
+    sock.close()
+    return True
+
+
+def leak_makefile(sock):
+    # makefile() hands out a buffered stream holding the socket open.
+    stream = sock.makefile("rwb")
+    stream.write(b"x")
+    stream.flush()
+
+
+def leak_accepted_connection(server):
+    # accept() mints a brand-new connection; dropping it without close
+    # strands the peer's half of the TCP stream.
+    conn, addr = server.accept()
+    conn.sendall(b"hello")
+    return addr

@@ -1,0 +1,54 @@
+"""Lint fixture: the sanctioned socket lifecycles (RL014-clean).
+
+Each function shows one release discipline RL014 accepts: a ``with``
+context, a ``finally`` close, ownership escaping (return / attribute),
+or registration with an exit stack. The module must lint clean.
+"""
+
+import socket
+
+
+def with_statement(host):
+    with socket.create_connection((host, 80)) as sock:
+        sock.sendall(b"ping")
+
+
+def try_finally(host):
+    sock = socket.create_connection((host, 80))
+    try:
+        sock.sendall(b"ping")
+    finally:
+        sock.close()
+
+
+def stream_in_with(sock):
+    with sock.makefile("rwb") as stream:
+        stream.write(b"x")
+        stream.flush()
+
+
+def ownership_returned(host):
+    # The caller receives the socket and owns its lifecycle.
+    sock = socket.create_connection((host, 80))
+    return sock
+
+
+def exit_stack_registered(host, stack):
+    sock = socket.create_connection((host, 80))
+    stack.callback(sock.close)
+    sock.sendall(b"ping")
+
+
+class Owner:
+    """Attribute storage moves the resource to the object's lifecycle."""
+
+    def __init__(self, host):
+        self.sock = socket.create_connection((host, 80))
+
+    def adopt_stream(self):
+        stream = self.sock.makefile("rwb")
+        self._stream = stream
+
+    def close(self):
+        self._stream.close()
+        self.sock.close()

@@ -159,3 +159,61 @@ class TestTornTail:
         path.write_text('{"kind": "hea', encoding="utf-8")
         with pytest.raises(ConfigError):
             RunJournal(path, resume=True)
+
+
+class TestCompaction:
+    def test_compact_folds_duplicates_to_canonical_bytes(self, tmp_path):
+        path = tmp_path / "run.journal"
+        points = _points()
+        _record_all(path, points)
+        canonical = path.read_text(encoding="utf-8")
+        hashes_before = journal_hashes(path)
+
+        # Simulate a journal concatenation: every non-header line repeated
+        # (the parser is last-wins per key, so parsing is unchanged).
+        lines = canonical.splitlines()
+        path.write_text("\n".join(lines + lines[1:]) + "\n", encoding="utf-8")
+        assert journal_hashes(path) == hashes_before
+
+        journal = RunJournal(path, resume=True)
+        reclaimed = journal.compact()
+        journal.close()
+        assert reclaimed > 0
+        # Byte identity: compaction reproduces exactly the file an
+        # uninterrupted run would have written.
+        assert path.read_text(encoding="utf-8") == canonical
+        assert journal_hashes(path) == hashes_before
+
+    def test_compact_salvages_a_torn_tail(self, tmp_path):
+        path = tmp_path / "run.journal"
+        points = _points(3)
+        _record_all(path, points)
+        canonical = path.read_text(encoding="utf-8")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"kind": "point", "sweep": "fn#')  # crash mid-append
+        journal = RunJournal(path, resume=True)
+        assert journal.compact() > 0
+        journal.close()
+        assert path.read_text(encoding="utf-8") == canonical
+
+    def test_compact_of_a_clean_journal_reclaims_nothing(self, tmp_path):
+        path = tmp_path / "run.journal"
+        _record_all(path, _points(3))
+        before = path.read_text(encoding="utf-8")
+        journal = RunJournal(path, resume=True)
+        assert journal.compact() == 0
+        journal.close()
+        assert path.read_text(encoding="utf-8") == before
+
+    def test_resume_after_compact_restores_every_point(self, tmp_path):
+        path = tmp_path / "run.journal"
+        points = _points()
+        _record_all(path, points)
+        journal = RunJournal(path, resume=True)
+        journal.compact()
+        journal.close()
+        resumed = RunJournal(path, resume=True)
+        for point in points:
+            hit, value = resumed.restore(point_key("fn", point))
+            assert hit and value == _value(point)
+        resumed.close()

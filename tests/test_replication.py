@@ -55,3 +55,81 @@ class TestReplicatedFig5:
 
         summaries = replicate(fn, seeds=[11, 23, 47])
         assert summaries["reset_spread"].mean < summaries["vc_spread"].mean
+
+def _metric_a(seed):
+    return {"x": float(seed)}
+
+
+def _metric_b(seed):
+    return {"x": float(seed * 2)}
+
+
+class TestReplicationResilience:
+    """Replication rides the resilient executor: journals, catalogs, resume.
+
+    The adapter class used to present its *own* name to the journal, so
+    two different replicated experiments sharing one journal (or one
+    catalog) collided on identical ``seed:<n>`` envelopes and the second
+    was refused as a determinism violation. The adapter now takes on the
+    wrapped function's dotted name; these tests pin that contract.
+    """
+
+    def test_adapter_takes_on_the_wrapped_functions_name(self):
+        from repro.experiments.replication import _MetricPointFn
+        from repro.resilience import worker_name
+
+        adapter = _MetricPointFn(_metric_a)
+        assert worker_name(adapter) == worker_name(_metric_a)
+
+    def test_distinct_metric_fns_share_a_journal_without_collision(
+        self, tmp_path
+    ):
+        from repro.resilience import ResilienceOptions, RunJournal
+
+        options = ResilienceOptions(journal=RunJournal(tmp_path / "rep.journal"))
+        a = replicate(_metric_a, seeds=[1, 2, 3], resilience=options)
+        b = replicate(_metric_b, seeds=[1, 2, 3], resilience=options)
+        assert a["x"].samples == (1.0, 2.0, 3.0)
+        assert b["x"].samples == (2.0, 4.0, 6.0)
+        first, second = options.outcomes
+        assert first.sweep != second.sweep  # distinct fns, distinct sweeps
+
+    def test_distinct_metric_fns_share_a_catalog_without_collision(
+        self, tmp_path
+    ):
+        from repro.catalog import RunCatalog
+        from repro.resilience import ResilienceOptions
+
+        with RunCatalog(tmp_path / "rep.catalog") as catalog:
+            options = ResilienceOptions(catalog=catalog)
+            replicate(_metric_a, seeds=[1, 2, 3], resilience=options)
+            replicate(_metric_b, seeds=[1, 2, 3], resilience=options)
+        assert RunCatalog(tmp_path / "rep.catalog").entry_count == 6
+
+    def test_replication_resumes_from_its_journal(self, tmp_path):
+        from repro.resilience import ResilienceOptions, RunJournal
+
+        path = tmp_path / "rep.journal"
+        first = ResilienceOptions(journal=RunJournal(path))
+        baseline = replicate(_metric_a, seeds=[1, 2, 3], resilience=first)
+
+        second = ResilienceOptions(journal=RunJournal(path, resume=True))
+        resumed = replicate(_metric_a, seeds=[1, 2, 3], resilience=second)
+        assert resumed["x"].samples == baseline["x"].samples
+        (outcome,) = second.outcomes
+        assert outcome.resumed == 3
+
+    def test_replication_second_run_hits_the_catalog(self, tmp_path):
+        from repro.catalog import RunCatalog
+        from repro.resilience import ResilienceOptions
+
+        path = tmp_path / "rep.catalog"
+        with RunCatalog(path) as catalog:
+            cold = ResilienceOptions(catalog=catalog)
+            baseline = replicate(_metric_a, seeds=[1, 2, 3], resilience=cold)
+        with RunCatalog(path) as catalog:
+            warm = ResilienceOptions(catalog=catalog)
+            cached = replicate(_metric_a, seeds=[1, 2, 3], resilience=warm)
+        assert cached["x"].samples == baseline["x"].samples
+        (outcome,) = warm.outcomes
+        assert outcome.cache_hits == 3

@@ -1,0 +1,268 @@
+"""In-process tests of the repro-serve daemon's protocol surface.
+
+:meth:`ServeDaemon.handle_connection` is the entire protocol — the TCP
+layer only feeds it a connection's streams — so these tests drive it
+with in-memory byte streams: no sockets, no subprocesses (the daemon
+runs its jobs with ``jobs=1``, which the executor serves in-process).
+The full TCP + crash lifecycle lives in ``test_serve_lifecycle.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.catalog import RunCatalog
+from repro.errors import ConfigError
+from repro.parallel import SweepPoint, result_hash
+from repro.serve import (
+    PROTOCOL_VERSION,
+    ServeConfig,
+    ServeDaemon,
+    parse_serve_url,
+    point_from_wire,
+    point_to_wire,
+    read_message,
+    resolve_worker,
+)
+
+from . import resilience_workers as workers
+
+WORKER = "tests.resilience_workers.square"
+
+
+def _daemon(tmp_path: Path, **overrides: Any) -> ServeDaemon:
+    overrides.setdefault("allow", ("tests.",))
+    return ServeDaemon(
+        ServeConfig(**overrides), RunCatalog(tmp_path / "serve.catalog")
+    )
+
+
+def _points(n: int = 4) -> List[SweepPoint]:
+    return [
+        SweepPoint.make(i, f"pt@{i}", seed=100 + i, rate=i / 10.0)
+        for i in range(n)
+    ]
+
+
+def _converse(daemon: ServeDaemon, request: Dict[str, Any]) -> List[Dict[str, Any]]:
+    rfile = io.BytesIO((json.dumps(request) + "\n").encode("utf-8"))
+    wfile = io.BytesIO()
+    daemon.handle_connection(rfile, wfile)
+    return [
+        json.loads(line) for line in wfile.getvalue().decode("utf-8").splitlines()
+    ]
+
+
+def _submit(points: List[SweepPoint], fn: str = WORKER) -> Dict[str, Any]:
+    return {
+        "op": "submit",
+        "protocol": PROTOCOL_VERSION,
+        "fn": fn,
+        "points": [point_to_wire(p) for p in points],
+    }
+
+
+class TestSimpleOps:
+    def test_ping_reports_protocol_and_catalog(self, tmp_path: Path) -> None:
+        daemon = _daemon(tmp_path)
+        (pong,) = _converse(daemon, {"op": "ping"})
+        assert pong["kind"] == "pong"
+        assert pong["protocol"] == PROTOCOL_VERSION
+        assert pong["draining"] is False
+        assert pong["entries"] == 0
+
+    def test_stats_reports_counters_and_catalog(self, tmp_path: Path) -> None:
+        daemon = _daemon(tmp_path)
+        _converse(daemon, {"op": "ping"})
+        (stats,) = _converse(daemon, {"op": "stats"})
+        assert stats["kind"] == "stats"
+        assert stats["counters"]["serve.connections"] >= 1
+        assert stats["queued"] == 0 and stats["leases"] == []
+        assert stats["catalog"]["entries"] == 0
+
+    def test_unknown_op_is_an_error(self, tmp_path: Path) -> None:
+        (reply,) = _converse(_daemon(tmp_path), {"op": "frobnicate"})
+        assert reply["kind"] == "error"
+        assert "frobnicate" in reply["detail"]
+
+    def test_malformed_request_line_is_an_error(self, tmp_path: Path) -> None:
+        daemon = _daemon(tmp_path)
+        wfile = io.BytesIO()
+        daemon.handle_connection(io.BytesIO(b"not json\n"), wfile)
+        (reply,) = [json.loads(l) for l in wfile.getvalue().splitlines()]
+        assert reply["kind"] == "error"
+
+
+class TestSubmit:
+    def test_happy_path_streams_progress_then_result(
+        self, tmp_path: Path
+    ) -> None:
+        daemon = _daemon(tmp_path)
+        points = _points()
+        replies = _converse(daemon, _submit(points))
+        kinds = [r["kind"] for r in replies]
+        assert kinds[0] == "accepted"
+        assert kinds[-1] == "result"
+        assert kinds.count("progress") == len(points)
+        result = replies[-1]
+        restored = [ast.literal_eval(v) for v in result["values"]]
+        assert restored == [workers.square(p) for p in points]
+        assert result["hash"] == result_hash(restored)
+        assert result["cache_hits"] == 0
+        assert result["computed"] == len(points)
+        assert daemon.counters()["serve.jobs_completed"] == 1
+        assert daemon.counters()["catalog.appends"] == len(points)
+
+    def test_resubmission_is_served_from_the_catalog(
+        self, tmp_path: Path
+    ) -> None:
+        daemon = _daemon(tmp_path)
+        points = _points()
+        first = _converse(daemon, _submit(points))[-1]
+        second = _converse(daemon, _submit(points))[-1]
+        assert second["kind"] == "result"
+        assert second["cache_hits"] == len(points)
+        assert second["computed"] == 0
+        assert second["hash"] == first["hash"]
+        assert second["values"] == first["values"]
+
+    def test_wrong_protocol_version_is_refused(self, tmp_path: Path) -> None:
+        request = _submit(_points())
+        request["protocol"] = PROTOCOL_VERSION + 1
+        (reply,) = _converse(_daemon(tmp_path), request)
+        assert reply["kind"] == "error"
+        assert "protocol" in reply["detail"]
+
+    def test_empty_point_list_is_refused(self, tmp_path: Path) -> None:
+        daemon = _daemon(tmp_path)
+        request = _submit(_points())
+        request["points"] = []
+        (reply,) = _converse(daemon, request)
+        assert reply["kind"] == "error"
+        assert "no points" in reply["detail"]
+        assert daemon.counters()["serve.rejected_jobs"] == 1
+
+    def test_garbage_retries_value_is_refused_not_crashed(
+        self, tmp_path: Path
+    ) -> None:
+        request = _submit(_points())
+        request["retries"] = "many"
+        (reply,) = _converse(_daemon(tmp_path), request)
+        assert reply["kind"] == "error"
+
+    def test_worker_outside_allow_list_is_refused(self, tmp_path: Path) -> None:
+        daemon = _daemon(tmp_path, allow=("repro.",))
+        (reply,) = _converse(daemon, _submit(_points()))
+        assert reply["kind"] == "error"
+        assert "allow-list" in reply["detail"]
+
+    def test_non_restorable_result_is_an_explicit_error(
+        self, tmp_path: Path
+    ) -> None:
+        daemon = _daemon(tmp_path)
+        replies = _converse(
+            daemon, _submit(_points(1), fn="tests.resilience_workers.opaque")
+        )
+        assert replies[-1]["kind"] == "error"
+        assert "not a Python literal" in replies[-1]["detail"]
+
+    def test_draining_daemon_sheds_submits(self, tmp_path: Path) -> None:
+        daemon = _daemon(tmp_path)
+        daemon.initiate_drain()
+        daemon._drained.wait(timeout=10)
+        (reply,) = _converse(daemon, _submit(_points()))
+        assert reply["kind"] == "shed"
+        assert "draining" in reply["reason"]
+        assert daemon.counters()["serve.shed"] == 1
+
+    def test_bounded_queue_sheds_loudly(self, tmp_path: Path) -> None:
+        daemon = _daemon(tmp_path, queue_limit=0)
+        # Simulate one submit already waiting behind the running job; the
+        # admission check sheds the next one before it touches the pool.
+        with daemon._queue_lock:
+            daemon._queued = 1
+        (reply,) = _converse(daemon, _submit(_points()))
+        assert reply["kind"] == "shed"
+        assert "queue full" in reply["reason"]
+        assert "cache hits" in reply["reason"]
+
+
+class TestWorkerResolution:
+    def test_resolves_module_level_functions(self) -> None:
+        fn = resolve_worker(WORKER, allow=("tests.",))
+        assert fn is workers.square
+
+    def test_allow_list_gates_resolution(self) -> None:
+        with pytest.raises(ConfigError, match="allow-list"):
+            resolve_worker(WORKER, allow=("repro.",))
+
+    def test_undotted_name_is_rejected(self) -> None:
+        with pytest.raises(ConfigError, match="dotted"):
+            resolve_worker("square", allow=("s",))
+
+    def test_missing_module_is_rejected(self) -> None:
+        with pytest.raises(ConfigError, match="cannot import"):
+            resolve_worker("tests.no_such_module.fn", allow=("tests.",))
+
+    def test_non_callable_attribute_is_rejected(self) -> None:
+        with pytest.raises(ConfigError, match="not resolve to a callable"):
+            resolve_worker("tests.resilience_workers.__doc__", allow=("tests.",))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"jobs": 0},
+            {"queue_limit": -1},
+            {"retries": -1},
+            {"lease_timeout": 0.0},
+            {"allow": ()},
+            {"chaos_kill_after": 0},
+        ],
+    )
+    def test_invalid_config_is_rejected(self, overrides: Dict[str, Any]) -> None:
+        with pytest.raises(ConfigError):
+            ServeConfig(**overrides)
+
+
+class TestProtocol:
+    def test_point_round_trip_preserves_the_envelope(self) -> None:
+        point = SweepPoint.make(3, "pt@3", seed=42, rate=0.7, pair=(1, 2))
+        restored = point_from_wire(point_to_wire(point))
+        assert restored == point
+        assert restored.params == point.params  # tuples, not JSON lists
+
+    def test_point_from_wire_rejects_missing_fields(self) -> None:
+        with pytest.raises(ConfigError, match="missing"):
+            point_from_wire({"index": 0})
+
+    def test_point_from_wire_rejects_non_literal_params(self) -> None:
+        wire = point_to_wire(_points(1)[0])
+        wire["params_repr"] = "__import__('os')"
+        with pytest.raises(ConfigError, match="literal"):
+            point_from_wire(wire)
+
+    def test_parse_serve_url_accepts_plain_and_tcp_forms(self) -> None:
+        assert parse_serve_url("127.0.0.1:8123") == ("127.0.0.1", 8123)
+        assert parse_serve_url("tcp://localhost:1") == ("localhost", 1)
+
+    @pytest.mark.parametrize(
+        "url", ["http://h:1", "no-port", ":1", "h:notaport", "h:0", "h:70000"]
+    )
+    def test_parse_serve_url_rejects_bad_urls(self, url: str) -> None:
+        with pytest.raises(ConfigError):
+            parse_serve_url(url)
+
+    def test_read_message_rejects_garbage(self) -> None:
+        with pytest.raises(ConfigError, match="malformed"):
+            read_message(io.BytesIO(b"not json\n"))
+        with pytest.raises(ConfigError, match="object"):
+            read_message(io.BytesIO(b"[1, 2]\n"))
+        assert read_message(io.BytesIO(b"")) is None

@@ -1,0 +1,170 @@
+"""End-to-end daemon lifecycle: crash mid-job, restart, cache-hit resume.
+
+This is the local twin of the CI ``serve-smoke`` drill, driven through
+the real ``repro-serve`` subprocess and the real executor ``serve_url``
+dispatch: a daemon armed with the hidden ``--chaos-kill-after`` hook
+SIGKILLs itself after the Nth fsync'd catalog append; the client must
+fail loudly (never hang, never return partial results); a restarted
+daemon on the same catalog serves exactly those N points as verified
+cache hits; and the resumed sweep's values and merged hash are
+bit-identical to an uninterrupted serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+from repro.catalog import RunCatalog
+from repro.errors import SimulationError
+from repro.parallel import SweepExecutor, SweepPoint, result_hash
+from repro.resilience import ResilienceOptions
+from repro.serve import ServeClient
+
+from . import resilience_workers as workers
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Enough points that a kill after 3 appends is genuinely mid-sweep.
+N_POINTS = 6
+CHAOS_AFTER = 3
+
+
+def _points() -> List[SweepPoint]:
+    return [
+        SweepPoint.make(i, f"pt@{i}", seed=100 + i, rate=i / 10.0)
+        for i in range(N_POINTS)
+    ]
+
+
+def _start_daemon(tmp_path: Path, *extra: str) -> "Tuple[subprocess.Popen, str]":
+    port_file = tmp_path / "serve.port"
+    port_file.unlink(missing_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(ROOT / "src"), str(ROOT), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve.cli", "run",
+            "--catalog", str(tmp_path / "serve.catalog"),
+            "--port-file", str(port_file),
+            "--allow", "tests.",
+            *extra,
+        ],
+        cwd=str(ROOT),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return proc, f"127.0.0.1:{int(port_file.read_text())}"
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited {proc.returncode} before binding:\n"
+                f"{proc.stdout.read() if proc.stdout else ''}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon never published its port")
+
+
+def _stop(proc: "subprocess.Popen") -> None:
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=30)
+    if proc.stdout is not None:
+        proc.stdout.close()
+
+
+class TestCrashDrill:
+    def test_kill_mid_job_then_resume_is_bit_identical(
+        self, tmp_path: Path
+    ) -> None:
+        points = _points()
+        serial = SweepExecutor(jobs=1).map(workers.square, points)
+        serial_hash = result_hash(r.value for r in serial)
+
+        # Phase 1: the daemon SIGKILLs itself after the 3rd durable
+        # append. The submit must fail loudly, pointing at resumability.
+        proc, url = _start_daemon(
+            tmp_path, "--jobs", "2", "--chaos-kill-after", str(CHAOS_AFTER)
+        )
+        try:
+            options = ResilienceOptions(serve_url=url)
+            with pytest.raises(SimulationError, match="resume from cache hits"):
+                SweepExecutor(jobs=1, resilience=options).map(
+                    workers.square, points
+                )
+            proc.wait(timeout=30)
+            assert proc.returncode == -signal.SIGKILL
+        finally:
+            _stop(proc)
+
+        # The fsync-before-count ordering makes the drill deterministic:
+        # exactly CHAOS_AFTER entries are on disk, every one verifiable.
+        catalog = RunCatalog(tmp_path / "serve.catalog")
+        assert catalog.entry_count == CHAOS_AFTER
+
+        # Phase 2: a restarted daemon on the same catalog serves the
+        # fsync'd prefix as cache hits and completes the sweep.
+        proc, url = _start_daemon(tmp_path, "--jobs", "2")
+        try:
+            resumed = ResilienceOptions(serve_url=url)
+            results = SweepExecutor(jobs=1, resilience=resumed).map(
+                workers.square, points
+            )
+            assert [r.value for r in results] == [r.value for r in serial]
+            assert result_hash(r.value for r in results) == serial_hash
+            (outcome,) = resumed.outcomes
+            assert outcome.cache_hits == CHAOS_AFTER
+            assert outcome.complete
+            assert any("repro-serve" in note for note in outcome.notes)
+
+            client = ServeClient(url)
+            stats = client.stats()
+            assert stats["counters"]["catalog.hits"] == CHAOS_AFTER
+            assert stats["counters"]["serve.jobs_completed"] == 1
+            reply = client.shutdown()
+            assert reply["draining"] is True
+            assert proc.wait(timeout=30) == 0
+        finally:
+            _stop(proc)
+
+        # Phase 3: everything — including the post-crash completions —
+        # is durable, so a third submission would be all hits; verify
+        # directly against the catalog instead of another daemon.
+        final = RunCatalog(tmp_path / "serve.catalog")
+        assert final.entry_count == N_POINTS
+        for point, point_result in zip(points, serial):
+            assert final.lookup(
+                "tests.resilience_workers.square", point
+            ) == (True, point_result.value)
+
+
+class TestGracefulLifecycle:
+    def test_sigterm_drains_and_flushes(self, tmp_path: Path) -> None:
+        proc, url = _start_daemon(tmp_path)
+        try:
+            assert ServeClient(url).ping()["kind"] == "pong"
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            output = proc.stdout.read() if proc.stdout else ""
+            assert "drained, catalog flushed" in output
+        finally:
+            _stop(proc)
+
+    def test_unreachable_daemon_raises_immediately(self) -> None:
+        client = ServeClient("127.0.0.1:1", timeout=2.0)
+        with pytest.raises(SimulationError, match="cannot reach"):
+            client.ping()
